@@ -1,0 +1,19 @@
+"""Fig. 6 bench: reset-window trade-off curves (k = 1..10)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6
+
+
+def bench_fig6(benchmark):
+    points = benchmark(fig6.run)
+    entries = [p.num_entries for p in points]
+    extra = [p.relative_additional_refreshes for p in points]
+    # Paper anchors and monotone shape.
+    assert entries[0] == 108 and entries[1] == 81
+    assert entries == sorted(entries, reverse=True)
+    assert extra == sorted(extra)
+    # The k=1 worst case is the abstract's ~0.34% figure.
+    assert 0.0030 < extra[0] < 0.0037
+    # Table size saturates: the last halving saves almost nothing.
+    assert entries[-2] - entries[-1] <= 2

@@ -1,0 +1,57 @@
+"""Fig. 7 / Section V-A bench: security of the probabilistic schemes.
+
+Times and verifies the three analyses: the PARA p-series derivation,
+the PRoHIT Monte Carlo under the Fig. 7(a) killer, and MRLoc's queue
+collapse under the Fig. 7(b) killer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.security import (
+    derive_para_probability,
+    mrloc_hit_rate_under_pattern,
+    simulate_prohit_attack,
+)
+from repro.mitigations.para import PAPER_PARA_P_SERIES
+
+
+def bench_para_derivation(benchmark):
+    def derive_all():
+        return {
+            trh: derive_para_probability(trh)
+            for trh in PAPER_PARA_P_SERIES
+        }
+
+    derived = benchmark(derive_all)
+    for trh, paper_p in PAPER_PARA_P_SERIES.items():
+        assert derived[trh] == pytest.approx(paper_p, rel=0.01)
+
+
+def bench_prohit_attack(benchmark, bench_trials):
+    result = benchmark.pedantic(
+        simulate_prohit_attack,
+        kwargs=dict(
+            hammer_threshold=50_000,
+            insert_probability=0.02,
+            refresh_period=4,
+            trials=bench_trials,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # At PARA's refresh budget the killer pattern defeats PRoHIT.
+    assert result.refreshes_per_window < 2_300
+    assert result.flip_probability > 0.05
+
+
+def bench_mrloc_collapse(benchmark):
+    hit_rate = benchmark.pedantic(
+        mrloc_hit_rate_under_pattern,
+        kwargs=dict(aggressors=8, acts=20_000),
+        rounds=1,
+        iterations=1,
+    )
+    assert hit_rate == 0.0

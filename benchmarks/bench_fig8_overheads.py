@@ -1,0 +1,57 @@
+"""Fig. 8 bench: energy/performance overheads at ``T_RH`` = 50K.
+
+Runs the (workload x scheme) matrix on representative workloads (the
+full 16-workload sweep is ``GRAPHENE_BENCH_FULL=1`` or
+``python -m repro.experiments.fig8``) and asserts the paper's shape:
+
+* Graphene and TWiCe: exactly zero victim refreshes on realistic
+  workloads, bounded-small on adversarial patterns;
+* PARA: sub-1% on realistic workloads, a few percent under attack;
+* CBT: the largest overhead and by far the largest single burst.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig8
+
+REALISTIC = ("mcf", "MICA", "omnetpp")
+ADVERSARIAL = ("S3", "S1-10")
+
+
+def bench_fig8_matrix(benchmark, bench_duration_ns):
+    data = benchmark.pedantic(
+        fig8.run,
+        kwargs=dict(
+            duration_ns=bench_duration_ns,
+            realistic=REALISTIC,
+            adversarial=ADVERSARIAL,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    matrix = data["matrix"]
+
+    for workload in REALISTIC:
+        entry = matrix[workload]
+        # Panel (a): deterministic trackers are silent, PARA is not.
+        assert entry["graphene"].victim_rows_refreshed == 0
+        assert entry["twice"].victim_rows_refreshed == 0
+        assert 0.0 < entry["para"].refresh_energy_increase() < 0.01
+        # Panel (c): zero perf overhead for the silent schemes.
+        assert entry["perf"]["graphene"] == 0.0
+        assert entry["perf"]["twice"] == 0.0
+
+    for pattern in ADVERSARIAL:
+        entry = matrix[pattern]
+        graphene = entry["graphene"].refresh_energy_increase()
+        para = entry["para"].refresh_energy_increase()
+        cbt = entry["cbt"].refresh_energy_increase()
+        # Graphene stays within its analytic bound; PARA pays more;
+        # CBT pays the most and in the largest bursts.
+        assert 0.0 < graphene < 0.006
+        assert para > 3 * graphene
+        assert cbt > para
+        assert (
+            entry["cbt"].largest_directive_rows
+            > entry["graphene"].largest_directive_rows
+        )

@@ -1,0 +1,60 @@
+"""Fig. 9 bench: scalability across Row Hammer thresholds.
+
+Panel (a) (area) runs at full scale -- it is pure arithmetic.  The
+simulation panels run a compressed sweep (three thresholds, two
+workloads) by default; the full sweep is ``python -m
+repro.experiments.fig9`` (reported in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.core.area import table_size_series
+from repro.experiments import fig9
+
+SWEEP = (50_000, 12_500, 1_562)
+
+
+def bench_fig9a_area(benchmark):
+    series = benchmark(table_size_series)
+    thresholds = sorted(series["Graphene"], reverse=True)
+    for scheme in ("Graphene", "TWiCe", "CBT"):
+        sizes = [series[scheme][trh].total_bits for trh in thresholds]
+        # Monotone growth as T_RH shrinks; ~linear in 1/T_RH.
+        assert sizes == sorted(sizes)
+        assert 16 < sizes[-1] / sizes[0] < 40
+    for trh in thresholds:
+        assert (
+            series["TWiCe"][trh].total_bits
+            > 10 * series["Graphene"][trh].total_bits
+        )
+
+
+def bench_fig9_simulated_panels(benchmark, bench_duration_ns):
+    data = benchmark.pedantic(
+        fig9.run,
+        kwargs=dict(
+            thresholds=SWEEP,
+            duration_ns=bench_duration_ns,
+            normal=("mcf",),
+            adversarial=("S3",),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    energy_normal = data["energy_normal"]
+    energy_adversarial = data["energy_adversarial"]
+    # Graphene stays ~0 on normal workloads at every threshold.
+    for trh in SWEEP:
+        assert energy_normal[trh]["graphene"] < 0.005
+        assert energy_normal[trh]["twice"] < 0.005
+    # PARA's overhead grows steeply as the threshold falls.
+    assert (
+        energy_normal[1_562]["para"] > 5 * energy_normal[50_000]["para"]
+    )
+    # Adversarial: Graphene scales ~linearly with 1/T_RH but stays far
+    # below PARA at every point.
+    for trh in SWEEP:
+        assert (
+            energy_adversarial[trh]["graphene"]
+            < energy_adversarial[trh]["para"]
+        )

@@ -1,0 +1,38 @@
+"""Sections III-D / V-D bench: non-adjacent Row Hammer costs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.non_adjacent import (
+    INVERSE_SQUARE_LIMIT,
+    graphene_non_adjacent_costs,
+)
+from repro.experiments.non_adjacent import distance_two_attack
+
+
+def bench_nonadjacent_costs(benchmark):
+    costs = benchmark(
+        graphene_non_adjacent_costs, 50_000, 4, "inverse_square"
+    )
+    # Table growth is bounded by pi^2/6 (paper: "limited to 1.64x").
+    for cost in costs:
+        assert cost.table_growth < INVERSE_SQUARE_LIMIT * 1.05
+    assert costs[0].table_bits_per_bank == 2_511
+    assert [c.victim_rows_per_refresh for c in costs] == [2, 4, 6, 8]
+
+
+def bench_distance_two_attack(benchmark):
+    def attack_both():
+        return (
+            distance_two_attack(protect_radius=1),
+            distance_two_attack(protect_radius=2),
+        )
+
+    unprotected, protected = benchmark.pedantic(
+        attack_both, rounds=1, iterations=1
+    )
+    # +-1 Graphene misses distance-2 victims; +-2 stops the attack.
+    assert unprotected["bit_flips"] > 0
+    assert protected["bit_flips"] == 0
+    assert protected["victim_refreshes"] > 0

@@ -1,0 +1,58 @@
+"""Remapping bench (paper Section II-C's argument against CBT).
+
+Under device-internal row remapping, a defense that refreshes *logical*
+neighbors misses the physical victims; the paper's NRR (device-side
+refresh of physical neighbors) is immune.  This is also why CBT must
+refresh 2x its counter range under remapping, doubling its bursts.
+"""
+
+from __future__ import annotations
+
+from repro.dram.remap import RemappedBankModel, RowRemapper
+from repro.dram.timing import DDR4_2400
+
+
+def _displaced_aggressor(remapper: RowRemapper) -> int:
+    for row in remapper.remapped_rows():
+        if remapper.breaks_logical_adjacency(row) and (
+            2 <= remapper.physical(row) < remapper.rows - 2
+        ):
+            return row
+    raise AssertionError("seed produced no displaced row")
+
+
+def _hammer(bank: RemappedBankModel, aggressor: int, acts: int, defend):
+    time_ns = 0.0
+    for index in range(acts):
+        time_ns = bank.earliest_activate(time_ns)
+        bank.activate(aggressor, time_ns)
+        if (index + 1) % 64 == 0:
+            defend(time_ns)
+        time_ns += DDR4_2400.trc
+
+
+def bench_remapping_defense_gap(benchmark):
+    trh = 300
+
+    def run_pair():
+        remapper = RowRemapper(rows=1024, swap_fraction=0.3, seed=7)
+        aggressor = _displaced_aggressor(remapper)
+        logical_bank = RemappedBankModel(1024, trh, remapper)
+        _hammer(
+            logical_bank, aggressor, 2 * trh,
+            lambda t: logical_bank.nrr_logical(
+                (aggressor - 1, aggressor + 1), t
+            ),
+        )
+        device_bank = RemappedBankModel(1024, trh, remapper)
+        _hammer(
+            device_bank, aggressor, 2 * trh,
+            lambda t: device_bank.nrr_device(aggressor, t),
+        )
+        return len(logical_bank.bit_flips), len(device_bank.bit_flips)
+
+    logical_flips, device_flips = benchmark.pedantic(
+        run_pair, rounds=1, iterations=1
+    )
+    assert logical_flips > 0   # logical-adjacency refresh is defeated
+    assert device_flips == 0   # the paper's NRR is not

@@ -1,0 +1,57 @@
+"""PAR-BS scheduler bench: fairness and protection under scheduling.
+
+Times a scheduled run of a profile-derived request trace and asserts
+the scheduler's contract: every request completes, batching bounds
+cross-core unfairness, and a hammer pushed through the scheduler is
+still contained by Graphene.
+"""
+
+from __future__ import annotations
+
+from repro.controller.batch_scheduler import (
+    MemRequest,
+    requests_from_profile,
+    run_batch_scheduler,
+)
+from repro.core.config import GrapheneConfig
+from repro.mitigations import graphene_factory, no_mitigation_factory
+
+
+def bench_parbs_profile_run(benchmark):
+    requests = requests_from_profile(
+        "mcf", duration_ns=2e6, cores=4, banks=8, seed=3
+    )
+
+    def run():
+        return run_batch_scheduler(
+            requests, no_mitigation_factory(), banks=8,
+            hammer_threshold=10**9,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.requests == len(requests)
+    assert result.batches_formed >= 1
+    assert result.fairness_ratio() < 5.0
+
+
+def bench_parbs_hammer_protected(benchmark):
+    trh = 800
+    config = GrapheneConfig(
+        hammer_threshold=trh, rows_per_bank=1024, reset_window_divisor=2
+    )
+    requests = [
+        MemRequest(arrival_ns=i * 50.0, sequence=i, core=0, bank=0,
+                   row=500)
+        for i in range(4_000)
+    ]
+
+    def run():
+        return run_batch_scheduler(
+            requests, graphene_factory(config), banks=1,
+            rows_per_bank=1024, hammer_threshold=trh,
+            track_faults=True, max_row_run=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.bit_flips == 0
+    assert result.victim_rows_refreshed > 0

@@ -1,0 +1,18 @@
+"""Table I bench: timing-parameter derivations.
+
+Regenerates the Table I rows and asserts the derived ACT budget ``W``
+matches the paper; the benchmark times the derivation itself (it sits
+on the hot path of every engine construction).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def bench_table1(benchmark):
+    data = benchmark(table1.run)
+    derived = data["derived"]
+    assert derived["W_max_acts_per_window"] == 1_358_404
+    assert derived["refreshes_per_window"] == 8_205
+    assert len(data["rows"]) == 4

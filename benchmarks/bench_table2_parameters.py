@@ -1,0 +1,22 @@
+"""Table II bench: Graphene parameter derivation.
+
+Asserts the exact paper values (T = 12,500 and N_entry = 108 at k = 1;
+T = 8,333 / 81 entries / 31 bits at k = 2) while timing the derivation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def bench_table2(benchmark):
+    data = benchmark(table2.run)
+    baseline = data["k=1"]
+    assert baseline["T"] == 12_500
+    assert baseline["N_entry"] == 108
+    assert abs(baseline["W"] - 1_360_000) < 5_000
+    optimized = data["k=2"]
+    assert optimized["T"] == 8_333
+    assert optimized["N_entry"] == 81
+    assert optimized["entry_bits"] == 31
+    assert optimized["table_bits_per_bank"] == 2_511

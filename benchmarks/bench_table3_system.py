@@ -1,0 +1,14 @@
+"""Table III bench: system-configuration assembly."""
+
+from __future__ import annotations
+
+from repro.experiments import table3
+from repro.sim.system import PAPER_SYSTEM
+
+
+def bench_table3(benchmark):
+    rows = benchmark(table3.run)
+    as_dict = dict(rows)
+    assert as_dict["Module"] == "DDR4-2400"
+    assert "4 channels" in as_dict["Configuration"]
+    assert PAPER_SYSTEM.total_banks == 64

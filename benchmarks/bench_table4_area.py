@@ -1,0 +1,14 @@
+"""Table IV bench: per-bank table sizes of the counter-based schemes."""
+
+from __future__ import annotations
+
+from repro.experiments import table4
+
+
+def bench_table4(benchmark):
+    areas = benchmark(table4.run)
+    assert areas["Graphene"].total_bits == 2_511
+    assert areas["CBT-128"].total_bits == 3_824
+    assert areas["TWiCe"].total_bits == 20_484 + 15_932
+    ratio = areas["TWiCe"].total_bits / areas["Graphene"].total_bits
+    assert 13 < ratio < 16  # "about 15x fewer table bits"

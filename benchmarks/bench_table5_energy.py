@@ -1,0 +1,19 @@
+"""Table V bench: Graphene module energy vs DRAM background energy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table5
+
+
+def bench_table5(benchmark):
+    data = benchmark(table5.run)
+    assert data["graphene_dynamic_per_act_nj"] == pytest.approx(3.69e-3)
+    assert data["graphene_static_per_trefw_nj"] == pytest.approx(4.03e3)
+    assert data["dynamic_fraction_of_act"] == pytest.approx(
+        0.00032, rel=0.02
+    )
+    assert data["static_fraction_of_refresh"] == pytest.approx(
+        0.00373, rel=0.02
+    )

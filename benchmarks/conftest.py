@@ -1,0 +1,32 @@
+"""Shared knobs for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper.
+Simulation-heavy benches run scaled-down traces by default so the whole
+suite finishes in a few minutes; set ``GRAPHENE_BENCH_FULL=1`` to run
+full refresh-window traces (the numbers reported in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.dram.timing import DDR4_2400
+
+#: Full scale = one complete refresh window per run.
+FULL_SCALE = bool(int(os.environ.get("GRAPHENE_BENCH_FULL", "0")))
+
+
+@pytest.fixture(scope="session")
+def bench_duration_ns() -> float:
+    """Trace length for simulation benches (per-window normalized)."""
+    if FULL_SCALE:
+        return DDR4_2400.trefw
+    return DDR4_2400.trefw / 8  # 8 ms
+
+
+@pytest.fixture(scope="session")
+def bench_trials() -> int:
+    """Monte-Carlo trial count for the security benches."""
+    return 200 if FULL_SCALE else 40

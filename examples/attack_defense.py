@@ -1,0 +1,81 @@
+"""Attack vs defense: watch Row Hammer flip bits, then stop it.
+
+Drives the full simulated memory system (banks, auto refresh, fault
+referee, memory controller) under three attacks -- single-sided,
+double-sided, and the PRoHIT killer pattern -- against four defenses:
+nothing, PARA, Graphene, and TWiCe.
+
+A scaled-down Row Hammer threshold keeps the run to a few seconds of
+wall time while exercising exactly the full-scale code paths.
+
+Run:  python examples/attack_defense.py
+"""
+
+from __future__ import annotations
+
+from repro.core import GrapheneConfig
+from repro.mitigations import (
+    graphene_factory,
+    no_mitigation_factory,
+    para_factory,
+    twice_factory,
+)
+from repro.sim import simulate
+from repro.workloads import (
+    double_sided_rows,
+    prohit_killer_rows,
+    s3_rows,
+    synthetic_events,
+)
+
+#: Scaled threshold: attacks complete in milliseconds of simulated time.
+TRH = 3_000
+DURATION_NS = 16e6  # 16 ms
+
+
+def attacks():
+    yield "single-sided hammer", lambda: s3_rows(target=500)
+    yield "double-sided hammer", lambda: double_sided_rows(victim=500)
+    yield "PRoHIT killer (Fig. 7a)", lambda: prohit_killer_rows(x=500)
+
+
+def defenses():
+    config = GrapheneConfig(hammer_threshold=TRH, reset_window_divisor=2)
+    yield "none", no_mitigation_factory()
+    # PARA's p re-derived for the scaled threshold would be ~0.024; use
+    # the paper's method result rounded up.
+    yield "para(p=0.026)", para_factory(probability=0.026)
+    yield "graphene", graphene_factory(config)
+    yield "twice", twice_factory(TRH)
+
+
+def main() -> None:
+    print(f"Row Hammer threshold (scaled): {TRH:,} ACTs; "
+          f"duration {DURATION_NS / 1e6:.0f} ms per run\n")
+    header = f"{'attack':28s} {'defense':16s} {'bit flips':>9s} " \
+             f"{'victim refreshes':>17s}"
+    print(header)
+    print("-" * len(header))
+    for attack_name, rows in attacks():
+        for defense_name, factory in defenses():
+            result = simulate(
+                synthetic_events(rows(), duration_ns=DURATION_NS),
+                factory,
+                scheme=defense_name,
+                workload=attack_name,
+                hammer_threshold=TRH,
+                duration_ns=DURATION_NS,
+            )
+            print(
+                f"{attack_name:28s} {defense_name:16s} "
+                f"{result.bit_flips:9d} "
+                f"{result.victim_refresh_directives:17d}"
+            )
+        print()
+    print("Deterministic schemes (graphene, twice) show zero flips by "
+          "construction; PARA usually survives at this p but carries no "
+          "guarantee; 'none' is always compromised.")
+
+
+if __name__ == "__main__":
+    main()

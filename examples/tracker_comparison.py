@@ -1,0 +1,90 @@
+"""Frequent-elements tracker bake-off (the paper's Section VI choice).
+
+Drops four tracking substrates into the same Graphene-style protection
+loop -- Misra-Gries (the paper's pick), Space-Saving, Lossy Counting,
+and a Count-Min sketch -- and compares them on the axes that drove the
+paper's decision:
+
+* protection: all four must keep the fault referee at zero flips
+  (their estimates upper-bound true counts);
+* false positives: spurious refreshes on benign high-entropy traffic;
+* storage: bits at equal guarantee;
+* the hardware story (narrated; the CAM-op argument is in docs/).
+
+Run:  python examples/tracker_comparison.py    (~30 s)
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import GrapheneConfig, tracker_table_bits
+from repro.core.tracker_engine import TrackerBackedEngine
+from repro.dram import HammerFaultModel
+
+TRH = 2_000
+ROWS = 65536
+KINDS = ("misra-gries", "space-saving", "lossy-counting", "count-min")
+
+
+def run_tracker(kind: str, config: GrapheneConfig) -> dict[str, object]:
+    # Attack leg: single-row hammer must be contained.
+    engine = TrackerBackedEngine(config, tracker=kind)
+    referee = HammerFaultModel(threshold=TRH, rows=ROWS)
+    for index in range(4 * TRH):
+        time_ns = index * 50.0
+        referee.on_activate(4242, time_ns)
+        for request in engine.on_activate(4242, time_ns):
+            referee.on_refresh_range(request.victim_rows)
+    attack_flips = referee.flip_count
+    attack_refreshes = engine.stats.victim_refresh_requests
+
+    # Benign leg: uniform random rows must not trigger (much).
+    engine = TrackerBackedEngine(config, tracker=kind)
+    rng = random.Random(9)
+    for index in range(60_000):
+        engine.on_activate(rng.randrange(ROWS), index * 50.0)
+    benign_refreshes = engine.stats.victim_refresh_requests
+
+    if kind == "misra-gries":
+        bits = config.table_bits_per_bank
+    else:
+        bits = tracker_table_bits(
+            engine.tracker, config.address_bits, config.count_bits
+        )
+    return {
+        "attack_flips": attack_flips,
+        "attack_refreshes": attack_refreshes,
+        "benign_refreshes": benign_refreshes,
+        "bits": bits,
+    }
+
+
+def main() -> None:
+    config = GrapheneConfig(
+        hammer_threshold=TRH, rows_per_bank=ROWS, reset_window_divisor=2
+    )
+    print(f"Substrate comparison at T_RH = {TRH:,} "
+          f"(T = {config.tracking_threshold}, "
+          f"N_entry = {config.num_entries}):\n")
+    print(f"{'tracker':16s} {'flips':>6s} {'attack NRRs':>12s} "
+          f"{'benign NRRs':>12s} {'state bits':>11s}")
+    print("-" * 62)
+    for kind in KINDS:
+        result = run_tracker(kind, config)
+        print(f"{kind:16s} {result['attack_flips']:6d} "
+              f"{result['attack_refreshes']:12d} "
+              f"{result['benign_refreshes']:12d} "
+              f"{result['bits']:11,d}")
+    print(
+        "\nAll four keep the guarantee (0 flips). Misra-Gries wins the "
+        "paper's trade: fewest state bits among the entry-based options "
+        "with zero benign false positives, and its replacement path is "
+        "an exact-match CAM search (against the spillover count) rather "
+        "than Space-Saving's find-the-minimum -- the hardware argument "
+        "of Section VI."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Reproduction of *Graphene: Strong yet Lightweight Row Hammer
+Protection* (MICRO 2020).
+
+Public API highlights:
+
+* :class:`repro.core.GrapheneConfig` / :class:`repro.core.GrapheneEngine`
+  -- the Misra-Gries-based Row Hammer prevention mechanism;
+* :mod:`repro.dram` -- the DDR4 substrate and Row Hammer fault model;
+* :mod:`repro.mitigations` -- Graphene plus all compared baselines
+  (PARA, PRoHIT, MRLoc, CBT, TWiCe, CRA) behind one interface;
+* :mod:`repro.workloads` -- trace generators (realistic + adversarial);
+* :mod:`repro.sim` -- the trace-driven memory-system simulator;
+* :mod:`repro.analysis` -- security/energy/performance analyses;
+* :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from .core import (
+    GrapheneConfig,
+    GrapheneEngine,
+    InstrumentedGrapheneEngine,
+    MisraGriesTable,
+    VictimRefreshRequest,
+)
+from .dram import (
+    DDR4_2400,
+    CouplingProfile,
+    DramGeometry,
+    DramTimings,
+    HammerFaultModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GrapheneConfig",
+    "GrapheneEngine",
+    "InstrumentedGrapheneEngine",
+    "MisraGriesTable",
+    "VictimRefreshRequest",
+    "CouplingProfile",
+    "DramGeometry",
+    "DramTimings",
+    "DDR4_2400",
+    "HammerFaultModel",
+    "__version__",
+]

@@ -1,0 +1,81 @@
+"""Analytic reproductions: security, worst case, scaling, non-adjacent."""
+
+from .non_adjacent import (
+    INVERSE_SQUARE_LIMIT,
+    NonAdjacentCost,
+    graphene_non_adjacent_costs,
+    para_distance_probabilities,
+)
+from .scaling import (
+    PAPER_THRESHOLD_SWEEP,
+    para_probability_for,
+    scheme_factories,
+    sweep_point,
+)
+from .formal import (
+    MiniConfig,
+    max_undetected_accumulation,
+    verify_theorem_exhaustively,
+)
+from .statistics import (
+    MeasurementSummary,
+    repeat_with_seeds,
+    summarize,
+    wilson_interval,
+)
+from .sensitivity import (
+    TECHNOLOGY_PRESETS,
+    TechnologyPreset,
+    configuration_for_preset,
+    row_count_independence,
+    sweep_parameter,
+)
+from .security import (
+    ProhitAttackResult,
+    derive_para_probability,
+    mrloc_hit_rate_under_pattern,
+    para_hazard_per_act,
+    para_system_year_failure,
+    para_window_failure_probability,
+    para_window_failure_probability_exact,
+    simulate_prohit_attack,
+)
+from .worst_case import (
+    ResetWindowPoint,
+    reset_window_tradeoff,
+    simulated_worst_case,
+)
+
+__all__ = [
+    "derive_para_probability",
+    "para_hazard_per_act",
+    "para_system_year_failure",
+    "para_window_failure_probability",
+    "para_window_failure_probability_exact",
+    "simulate_prohit_attack",
+    "ProhitAttackResult",
+    "mrloc_hit_rate_under_pattern",
+    "reset_window_tradeoff",
+    "simulated_worst_case",
+    "ResetWindowPoint",
+    "PAPER_THRESHOLD_SWEEP",
+    "para_probability_for",
+    "scheme_factories",
+    "sweep_point",
+    "graphene_non_adjacent_costs",
+    "para_distance_probabilities",
+    "NonAdjacentCost",
+    "INVERSE_SQUARE_LIMIT",
+    "TechnologyPreset",
+    "TECHNOLOGY_PRESETS",
+    "configuration_for_preset",
+    "sweep_parameter",
+    "row_count_independence",
+    "wilson_interval",
+    "summarize",
+    "MeasurementSummary",
+    "repeat_with_seeds",
+    "MiniConfig",
+    "verify_theorem_exhaustively",
+    "max_undetected_accumulation",
+]

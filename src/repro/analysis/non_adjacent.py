@@ -1,0 +1,137 @@
+"""Non-adjacent (+-n) Row Hammer cost analysis (Sections III-D, V-D).
+
+When an ACT disturbs victims up to ``n`` rows away, every scheme pays:
+
+* **Graphene / TWiCe** -- the tracking threshold divides by the
+  amplification factor ``A = 1 + mu_2 + ... + mu_n``, growing the table
+  by ``A`` (at most ~1.64x for the inverse-square model, ``pi^2/6``),
+  and every trigger refreshes ``2n`` rows instead of 2;
+* **CBT** -- the burst refreshes grow by the same ``2(n-1)`` rows each,
+  on top of its already-large bursts;
+* **PARA** -- one refresh probability per distance, inflating its
+  constant refresh stream by a factor ``A``.
+
+This module tabulates those costs across radii and coupling models so
+the Section V-D discussion can be reproduced quantitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.config import GrapheneConfig
+from ..dram.faults import CouplingProfile
+from ..dram.timing import DDR4_2400, DramTimings
+from .security import derive_para_probability
+
+__all__ = [
+    "INVERSE_SQUARE_LIMIT",
+    "NonAdjacentCost",
+    "graphene_non_adjacent_costs",
+    "para_distance_probabilities",
+]
+
+#: The Section III-D limit of the inverse-square amplification factor:
+#: sum over 1/k^2 = pi^2 / 6 ~= 1.64.
+INVERSE_SQUARE_LIMIT = math.pi**2 / 6
+
+
+@dataclass(frozen=True)
+class NonAdjacentCost:
+    """Graphene's configuration and overhead at one blast radius."""
+
+    blast_radius: int
+    coupling_model: str
+    amplification_factor: float
+    tracking_threshold: int
+    num_entries: int
+    table_bits_per_bank: int
+    victim_rows_per_refresh: int
+    #: Table growth relative to the +-1 configuration.
+    table_growth: float
+    #: Worst-case refresh-energy increase (fraction; Fig. 6-style bound).
+    worst_case_energy_increase: float
+
+
+def graphene_non_adjacent_costs(
+    hammer_threshold: int = 50_000,
+    max_radius: int = 4,
+    model: str = "inverse_square",
+    timings: DramTimings = DDR4_2400,
+    reset_window_divisor: int = 2,
+) -> list[NonAdjacentCost]:
+    """Graphene cost vs blast radius for a coupling model.
+
+    Args:
+        hammer_threshold: ``T_RH``.
+        max_radius: Largest ``n`` to tabulate.
+        model: "inverse_square" (``mu_i = 1/i^2``) or "uniform"
+            (``mu_i = 1``, the conservative bound).
+        timings: DRAM timing bundle.
+        reset_window_divisor: Graphene's ``k``.
+    """
+    if model == "inverse_square":
+        build = CouplingProfile.inverse_square
+    elif model == "uniform":
+        build = CouplingProfile.uniform
+    else:
+        raise ValueError(f"unknown coupling model {model!r}")
+    baseline_bits: int | None = None
+    costs = []
+    for radius in range(1, max_radius + 1):
+        config = GrapheneConfig(
+            hammer_threshold=hammer_threshold,
+            timings=timings,
+            reset_window_divisor=reset_window_divisor,
+            coupling=build(radius),
+        )
+        bits = config.table_bits_per_bank
+        if baseline_bits is None:
+            baseline_bits = bits
+        costs.append(
+            NonAdjacentCost(
+                blast_radius=radius,
+                coupling_model=model,
+                amplification_factor=config.amplification_factor,
+                tracking_threshold=config.tracking_threshold,
+                num_entries=config.num_entries,
+                table_bits_per_bank=bits,
+                victim_rows_per_refresh=config.victim_rows_per_refresh,
+                table_growth=bits / baseline_bits,
+                worst_case_energy_increase=(
+                    config.worst_case_refresh_energy_increase()
+                ),
+            )
+        )
+    return costs
+
+
+def para_distance_probabilities(
+    hammer_threshold: int,
+    blast_radius: int,
+    model: str = "inverse_square",
+    timings: DramTimings = DDR4_2400,
+) -> tuple[float, ...]:
+    """Per-distance PARA probabilities ``(p_1 ... p_n)`` (Section V-D).
+
+    A victim at distance ``i`` absorbs ``mu_i`` of the disturbance, so
+    it can only be flipped by ~``T_RH / mu_i`` ACTs; the near-complete
+    probability for that distance is derived against the inflated
+    threshold.  The total refresh stream grows by ~``A``.
+    """
+    if model == "inverse_square":
+        coupling = CouplingProfile.inverse_square(blast_radius)
+    elif model == "uniform":
+        coupling = CouplingProfile.uniform(blast_radius)
+    else:
+        raise ValueError(f"unknown coupling model {model!r}")
+    probabilities = []
+    for distance in range(1, blast_radius + 1):
+        effective_threshold = max(
+            8, int(hammer_threshold / coupling.mu(distance))
+        )
+        probabilities.append(
+            derive_para_probability(effective_threshold, timings=timings)
+        )
+    return tuple(probabilities)

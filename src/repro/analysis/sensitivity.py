@@ -1,0 +1,159 @@
+"""Parameter sensitivity of Graphene's configuration.
+
+The paper derives its numbers for one timing/technology point (DDR4-2400,
+64 ms tREFW, 50K threshold).  This module quantifies how the derived
+configuration moves when each input moves -- the questions a memory
+vendor adopting Graphene would ask:
+
+* technology presets: DDR3 (139K threshold, slower tRC), DDR4 (50K),
+  and a projected LPDDR4-class part (20K, per Kim et al. 2020);
+* refresh-window sensitivity: high-temperature operation halves tREFW
+  (32 ms), shrinking ``W`` and the table with it;
+* tRC sensitivity: a faster core timing raises the attacker's ACT
+  budget and the table size linearly;
+* bank-size sensitivity: address width moves bits/entry, row count
+  moves nothing else (Graphene is row-count-independent -- one of its
+  scalability advantages over CBT, whose burst size is ``rows/2^l``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import GrapheneConfig
+from ..dram.timing import DDR4_2400, DramTimings
+
+__all__ = [
+    "TechnologyPreset",
+    "TECHNOLOGY_PRESETS",
+    "configuration_for_preset",
+    "sweep_parameter",
+    "row_count_independence",
+]
+
+
+@dataclass(frozen=True)
+class TechnologyPreset:
+    """A named DRAM technology point."""
+
+    name: str
+    hammer_threshold: int
+    timings: DramTimings
+    rows_per_bank: int
+    notes: str = ""
+
+
+TECHNOLOGY_PRESETS: dict[str, TechnologyPreset] = {
+    "ddr3": TechnologyPreset(
+        name="ddr3",
+        hammer_threshold=139_000,
+        timings=DramTimings(trc=48.75, trfc=260.0),
+        rows_per_bank=32768,
+        notes="Kim et al. 2014: 139K threshold; DDR3-1600 timings",
+    ),
+    "ddr4": TechnologyPreset(
+        name="ddr4",
+        hammer_threshold=50_000,
+        timings=DDR4_2400,
+        rows_per_bank=65536,
+        notes="the paper's evaluation point (TRRespass, 2020)",
+    ),
+    "lpddr4": TechnologyPreset(
+        name="lpddr4",
+        hammer_threshold=20_000,
+        timings=DramTimings(trc=60.0, trfc=280.0),
+        rows_per_bank=65536,
+        notes="Kim et al. 2020: ~20K thresholds observed on LPDDR4",
+    ),
+    "future": TechnologyPreset(
+        name="future",
+        hammer_threshold=5_000,
+        timings=DDR4_2400,
+        rows_per_bank=131072,
+        notes="projected scaling point the paper's Section V-C motivates",
+    ),
+}
+
+
+def configuration_for_preset(
+    preset: TechnologyPreset | str, reset_window_divisor: int = 2
+) -> GrapheneConfig:
+    """Graphene configuration for a named technology preset."""
+    if isinstance(preset, str):
+        preset = TECHNOLOGY_PRESETS[preset]
+    return GrapheneConfig(
+        hammer_threshold=preset.hammer_threshold,
+        timings=preset.timings,
+        rows_per_bank=preset.rows_per_bank,
+        reset_window_divisor=reset_window_divisor,
+    )
+
+
+def sweep_parameter(
+    parameter: str,
+    values: list[float],
+    base: GrapheneConfig | None = None,
+) -> list[dict[str, object]]:
+    """Re-derive the configuration while sweeping one input.
+
+    Args:
+        parameter: "trc", "trefw", "hammer_threshold" or
+            "rows_per_bank".
+        values: Values to substitute.
+        base: Starting configuration (paper-optimized by default).
+
+    Returns:
+        One summary dict per value, with the swept value under
+        ``swept``.
+    """
+    if base is None:
+        base = GrapheneConfig.paper_optimized()
+    rows = []
+    for value in values:
+        if parameter in ("trc", "trefw"):
+            config = GrapheneConfig(
+                hammer_threshold=base.hammer_threshold,
+                timings=base.timings.scaled(**{parameter: value}),
+                rows_per_bank=base.rows_per_bank,
+                reset_window_divisor=base.reset_window_divisor,
+            )
+        elif parameter == "hammer_threshold":
+            config = GrapheneConfig(
+                hammer_threshold=int(value),
+                timings=base.timings,
+                rows_per_bank=base.rows_per_bank,
+                reset_window_divisor=base.reset_window_divisor,
+            )
+        elif parameter == "rows_per_bank":
+            config = GrapheneConfig(
+                hammer_threshold=base.hammer_threshold,
+                timings=base.timings,
+                rows_per_bank=int(value),
+                reset_window_divisor=base.reset_window_divisor,
+            )
+        else:
+            raise ValueError(f"unknown parameter {parameter!r}")
+        summary = config.summary()
+        summary["swept"] = value
+        rows.append(summary)
+    return rows
+
+
+def row_count_independence(
+    row_counts: list[int] | None = None,
+) -> dict[int, tuple[int, int]]:
+    """(N_entry, entry_bits) across bank sizes.
+
+    Demonstrates Graphene's scalability property: N_entry is a function
+    of timing and threshold only; doubling the rows adds exactly one
+    address bit per entry.
+    """
+    if row_counts is None:
+        row_counts = [16384, 32768, 65536, 131072, 262144]
+    out = {}
+    for rows in row_counts:
+        config = GrapheneConfig(
+            rows_per_bank=rows, reset_window_divisor=2
+        )
+        out[rows] = (config.num_entries, config.entry_bits)
+    return out

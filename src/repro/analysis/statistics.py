@@ -1,0 +1,152 @@
+"""Statistical utilities for Monte-Carlo and multi-seed experiments.
+
+The security experiments estimate small probabilities from finite
+trials (PRoHIT's flip rate) and the overhead experiments average over
+stochastic traces.  This module provides the interval arithmetic those
+reports should carry:
+
+* Wilson score intervals for binomial proportions (robust at 0/N and
+  small N, unlike the normal approximation);
+* mean +- t-interval summaries for repeated-seed measurements;
+* a repeat-runner that evaluates a measurement across seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = [
+    "wilson_interval",
+    "MeasurementSummary",
+    "summarize",
+    "repeat_with_seeds",
+]
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Args:
+        successes: Observed successes (0 <= successes <= trials).
+        trials: Number of Bernoulli trials (> 0).
+        confidence: Two-sided confidence level.
+
+    Returns:
+        (low, high) bounds on the underlying probability.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes outside [0, trials]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    # Normal quantile via Acklam-style rational approximation is
+    # overkill; the standard levels cover experimental use.
+    z_table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    z = z_table.get(round(confidence, 2))
+    if z is None:
+        # Fall back to a coarse inverse via bisection on erf.
+        z = _normal_quantile((1 + confidence) / 2)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, center - half), min(1.0, center + half)
+
+
+def _normal_quantile(q: float) -> float:
+    """Inverse standard-normal CDF by bisection on erf (slow, exact
+    enough for confidence bounds)."""
+    lo, hi = -10.0, 10.0
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if 0.5 * (1 + math.erf(mid / math.sqrt(2))) < q:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+#: Two-sided t critical values at 95% for small sample sizes; beyond
+#: the table the normal value is close enough.
+_T_95 = {
+    2: 12.706, 3: 4.303, 4: 3.182, 5: 2.776, 6: 2.571, 7: 2.447,
+    8: 2.365, 9: 2.306, 10: 2.262, 15: 2.145, 20: 2.093, 30: 2.045,
+}
+
+
+@dataclass(frozen=True)
+class MeasurementSummary:
+    """Mean with a 95% confidence half-width over repeated runs."""
+
+    mean: float
+    half_width_95: float
+    minimum: float
+    maximum: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width_95
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width_95
+
+    def overlaps(self, other: "MeasurementSummary") -> bool:
+        """True when the two 95% intervals intersect (differences not
+        statistically resolvable at this sample size)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.6g} +- {self.half_width_95:.2g} (n={self.samples})"
+
+
+def summarize(values: Sequence[float]) -> MeasurementSummary:
+    """Mean +- t-based 95% interval of a sample."""
+    if not values:
+        raise ValueError("need at least one value")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return MeasurementSummary(mean, 0.0, mean, mean, 1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    stderr = math.sqrt(variance / n)
+    t = _T_95.get(n)
+    if t is None:
+        keys = sorted(_T_95)
+        t = _T_95[max(k for k in keys if k <= n)] if n > keys[0] else _T_95[2]
+        if n > 30:
+            t = 1.960
+    return MeasurementSummary(
+        mean=mean,
+        half_width_95=t * stderr,
+        minimum=min(values),
+        maximum=max(values),
+        samples=n,
+    )
+
+
+def repeat_with_seeds(
+    measure: Callable[[int], float],
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+) -> MeasurementSummary:
+    """Evaluate ``measure(seed)`` across seeds and summarize.
+
+    Use for trace-stochastic metrics, e.g.::
+
+        summary = repeat_with_seeds(
+            lambda s: run_fig8_cell("mcf", "para", seed=s),
+        )
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return summarize([measure(seed) for seed in seeds])

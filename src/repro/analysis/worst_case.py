@@ -1,0 +1,97 @@
+"""Worst-case victim-refresh analysis (paper Fig. 6 and the 0.34% bound).
+
+Fig. 6 plots, for k = 1..10 (reset window = tREFW / k) on a single
+bank:
+
+* the number of table entries ``N_entry(k)`` -- which shrinks and then
+  saturates as k grows (the ``(k+1)/k`` factor converges to 1);
+* the worst-case number of additional (victim) refreshes relative to
+  the normal refreshes of one tREFW -- which keeps growing with k
+  because ``T`` shrinks linearly in ``k+1``.
+
+Both curves are pure functions of the configuration; this module also
+provides a *simulated* worst case (driving a real engine with the
+refresh-maximizing pattern) so the analytic bound can be validated
+against observed behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import GrapheneConfig
+from ..core.graphene import GrapheneEngine
+from ..dram.timing import DDR4_2400, DramTimings
+from ..workloads.synthetic import graphene_worst_case_rows, synthetic_events
+
+__all__ = ["ResetWindowPoint", "reset_window_tradeoff", "simulated_worst_case"]
+
+
+@dataclass(frozen=True)
+class ResetWindowPoint:
+    """One k value of the Fig. 6 trade-off curve."""
+
+    k: int
+    num_entries: int
+    tracking_threshold: int
+    #: Worst-case victim rows refreshed per bank per tREFW.
+    worst_case_rows_per_trefw: int
+    #: Same, relative to the normal refreshes of one tREFW (the Fig. 6
+    #: left axis; multiply by 100 for percent).
+    relative_additional_refreshes: float
+
+
+def reset_window_tradeoff(
+    hammer_threshold: int = 50_000,
+    k_values: range | list[int] = range(1, 11),
+    timings: DramTimings = DDR4_2400,
+    rows_per_bank: int = 65536,
+) -> list[ResetWindowPoint]:
+    """The Fig. 6 curves: table size and worst-case refreshes vs k."""
+    points = []
+    for k in k_values:
+        config = GrapheneConfig(
+            hammer_threshold=hammer_threshold,
+            timings=timings,
+            rows_per_bank=rows_per_bank,
+            reset_window_divisor=k,
+        )
+        worst_rows = config.max_victim_rows_refreshed_per_trefw()
+        points.append(
+            ResetWindowPoint(
+                k=k,
+                num_entries=config.num_entries,
+                tracking_threshold=config.tracking_threshold,
+                worst_case_rows_per_trefw=worst_rows,
+                relative_additional_refreshes=worst_rows / rows_per_bank,
+            )
+        )
+    return points
+
+
+def simulated_worst_case(
+    config: GrapheneConfig,
+    windows: float = 1.0,
+    seed: int = 0,
+) -> tuple[int, int]:
+    """Drive a real engine with the refresh-maximizing pattern.
+
+    Returns:
+        (victim_rows_refreshed, analytic_upper_bound) over ``windows``
+        tREFWs; the former must never exceed the latter (asserted in
+        tests), and approaches it from below because the pattern loses
+        a little ACT budget to spillover warm-up after each reset.
+    """
+    engine = GrapheneEngine(config)
+    duration_ns = windows * config.timings.trefw
+    events = synthetic_events(
+        graphene_worst_case_rows(config, seed=seed),
+        duration_ns=duration_ns,
+        timings=config.timings,
+    )
+    refreshed = 0
+    for event in events:
+        for request in engine.on_activate(event.row, event.time_ns):
+            refreshed += len(request.victim_rows)
+    bound = round(windows * config.max_victim_rows_refreshed_per_trefw())
+    return refreshed, bound

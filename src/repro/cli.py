@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` -- show available experiments, workloads and schemes;
+* ``experiment <name>`` -- regenerate one paper table/figure;
+* ``derive --trh N [--k K] [--radius N]`` -- print a Graphene
+  configuration for arbitrary parameters;
+* ``attack --pattern P --scheme S`` -- run one attack/defense pair on
+  the simulator and report flips/refreshes;
+* ``trace --workload W --out FILE`` -- generate and save an ACT trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.scaling import scheme_factories
+from .core.config import GrapheneConfig
+from .dram.faults import CouplingProfile
+from .experiments import EXPERIMENT_NAMES, load
+from .mitigations import no_mitigation_factory
+from .sim.simulator import simulate
+from .workloads.spec_like import REALISTIC_PROFILES, profile_events
+from .workloads.synthetic import SYNTHETIC_PATTERNS, synthetic_events
+from .workloads.trace import write_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Graphene: Strong yet Lightweight Row "
+            "Hammer Protection' (MICRO 2020)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list experiments/workloads/schemes")
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENT_NAMES))
+
+    derive = commands.add_parser(
+        "derive", help="derive a Graphene configuration"
+    )
+    derive.add_argument("--trh", type=int, default=50_000,
+                        help="Row Hammer threshold (default 50000)")
+    derive.add_argument("--k", type=int, default=2,
+                        help="reset-window divisor (default 2)")
+    derive.add_argument("--radius", type=int, default=1,
+                        help="blast radius n for +-n protection")
+    derive.add_argument("--rows", type=int, default=65536,
+                        help="rows per bank (default 65536)")
+
+    attack = commands.add_parser(
+        "attack", help="run an attack pattern against a defense"
+    )
+    attack.add_argument("--pattern", choices=sorted(SYNTHETIC_PATTERNS),
+                        default="S3")
+    attack.add_argument("--scheme",
+                        choices=["none", "para", "cbt", "twice", "graphene"],
+                        default="graphene")
+    attack.add_argument("--trh", type=int, default=3_000,
+                        help="Row Hammer threshold (scaled default 3000)")
+    attack.add_argument("--duration-ms", type=float, default=16.0)
+    attack.add_argument("--seed", type=int, default=42)
+
+    trace = commands.add_parser(
+        "trace", help="generate a workload ACT trace file"
+    )
+    trace.add_argument("--workload", choices=sorted(REALISTIC_PROFILES),
+                       default="mcf")
+    trace.add_argument("--duration-ms", type=float, default=4.0)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--out", required=True, help="output path")
+    return parser
+
+
+def _command_list() -> int:
+    print("experiments:")
+    for name in sorted(EXPERIMENT_NAMES):
+        print(f"  {name}")
+    print("\nrealistic workloads:")
+    for name, profile in REALISTIC_PROFILES.items():
+        print(f"  {name:12s} {profile.kind:16s} "
+              f"{profile.acts_per_second_per_bank / 1e6:4.1f}M ACT/s/bank")
+    print("\nadversarial patterns:", ", ".join(sorted(SYNTHETIC_PATTERNS)))
+    print("schemes: none, para, prohit, mrloc, cbt, twice, cra, graphene, "
+          "refresh-rate")
+    return 0
+
+
+def _command_derive(args: argparse.Namespace) -> int:
+    coupling = (
+        CouplingProfile.adjacent_only()
+        if args.radius == 1
+        else CouplingProfile.inverse_square(args.radius)
+    )
+    config = GrapheneConfig(
+        hammer_threshold=args.trh,
+        reset_window_divisor=args.k,
+        rows_per_bank=args.rows,
+        coupling=coupling,
+    )
+    for key, value in config.summary().items():
+        print(f"{key:32s} {value}")
+    print(f"{'worst_case_energy_increase':32s} "
+          f"{100 * config.worst_case_refresh_energy_increase():.3f}%")
+    return 0
+
+
+def _command_attack(args: argparse.Namespace) -> int:
+    duration_ns = args.duration_ms * 1e6
+    if args.scheme == "none":
+        factory = no_mitigation_factory()
+    else:
+        factory = scheme_factories(args.trh)[args.scheme]
+    rows = SYNTHETIC_PATTERNS[args.pattern](65536, args.seed)
+    result = simulate(
+        synthetic_events(rows, duration_ns=duration_ns),
+        factory,
+        scheme=args.scheme,
+        workload=args.pattern,
+        hammer_threshold=args.trh,
+        duration_ns=duration_ns,
+    )
+    print(f"pattern={args.pattern} scheme={args.scheme} "
+          f"T_RH={args.trh:,} duration={args.duration_ms:g}ms")
+    print(f"  ACTs issued:          {result.acts:,}")
+    print(f"  victim refreshes:     {result.victim_refresh_directives:,} "
+          f"({result.victim_rows_refreshed:,} rows)")
+    print(f"  refresh energy:       +{100 * result.refresh_energy_increase():.3f}%")
+    print(f"  bit flips:            {result.bit_flips}")
+    return 1 if result.bit_flips else 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    events = profile_events(
+        REALISTIC_PROFILES[args.workload],
+        duration_ns=args.duration_ms * 1e6,
+        seed=args.seed,
+    )
+    count = write_trace(events, args.out)
+    print(f"wrote {count:,} ACT events to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "experiment":
+        load(args.name).main()
+        return 0
+    if args.command == "derive":
+        return _command_derive(args)
+    if args.command == "attack":
+        return _command_attack(args)
+    if args.command == "trace":
+        return _command_trace(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

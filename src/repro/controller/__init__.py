@@ -1,0 +1,21 @@
+"""Memory-controller layer: mitigation hook + command scheduling."""
+
+from .batch_scheduler import (
+    BatchSchedulerResult,
+    MemRequest,
+    requests_from_profile,
+    run_batch_scheduler,
+)
+from .mc import ControllerCounters, MemoryController
+from .scheduler import LatencySummary, LatencyTracker
+
+__all__ = [
+    "MemoryController",
+    "ControllerCounters",
+    "LatencyTracker",
+    "LatencySummary",
+    "MemRequest",
+    "BatchSchedulerResult",
+    "run_batch_scheduler",
+    "requests_from_profile",
+]

@@ -1,0 +1,142 @@
+"""The memory controller: where mitigation engines live (Section IV-A).
+
+Graphene and the compared schemes are all deployed inside the memory
+controller: every ACT command is reported to the bank's mitigation
+engine, and any :class:`~repro.mitigations.base.RefreshDirective` the
+engine returns is executed immediately as an NRR command -- blocking
+the bank for ``tRC`` per refreshed row plus a ``tRP`` precharge, the
+paper's overhead accounting.  Regular REF commands (one per tREFI,
+handled by the device's refresh engine) are forwarded to engines with
+periodic behavior (TWiCe pruning, PRoHIT piggyback refreshes).
+
+ACTs arrive with trace timestamps; if the bank is still blocked
+(refresh, NRR, tRC), the command is delayed and the delay recorded --
+that queueing is the entire performance-overhead mechanism of the
+paper's evaluation (Section V-B methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..dram.device import DramDevice
+from ..dram.faults import BitFlip
+from ..mitigations.base import MitigationEngine, MitigationFactory, RefreshDirective
+from ..workloads.trace import ActEvent
+from .scheduler import LatencySummary, LatencyTracker
+
+__all__ = ["ControllerCounters", "MemoryController"]
+
+
+@dataclass
+class ControllerCounters:
+    """MC-level tallies accumulated over a run."""
+
+    acts_issued: int = 0
+    nrr_commands: int = 0
+    nrr_rows: int = 0
+    ref_ticks_forwarded: int = 0
+    bit_flips: int = 0
+
+
+class MemoryController:
+    """Binds a DRAM device to per-bank mitigation engines.
+
+    Args:
+        device: The DRAM device model (banks + refresh + fault referee).
+        factory: Builds one mitigation engine per bank.
+        keep_directive_log: Retain every executed directive (memory cost
+            proportional to directive count; enable for fine-grained
+            analyses, off by default for long runs).
+    """
+
+    def __init__(
+        self,
+        device: DramDevice,
+        factory: MitigationFactory,
+        keep_directive_log: bool = False,
+    ) -> None:
+        self.device = device
+        rows = device.geometry.rows_per_bank
+        self.engines: list[MitigationEngine] = [
+            factory(bank, rows) for bank in range(device.geometry.total_banks)
+        ]
+        self.latency = LatencyTracker()
+        self.counters = ControllerCounters()
+        self.bit_flips: list[BitFlip] = []
+        self.directive_log: list[RefreshDirective] | None = (
+            [] if keep_directive_log else None
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, events: Iterable[ActEvent]) -> None:
+        """Drive the full system from a time-sorted ACT stream."""
+        for event in events:
+            self.step(event)
+
+    def step(self, event: ActEvent) -> list[RefreshDirective]:
+        """Process one ACT end to end; returns directives it caused."""
+        bank_model = self.device.bank(event.bank)
+        engine = self.engines[event.bank]
+
+        # 1. Schedule the ACT at the first legal time; the wait (bank
+        #    blocked by refresh/NRR/tRC) is the performance overhead.
+        issue_ns = bank_model.earliest_activate(event.time_ns)
+        self.latency.record(issue_ns - event.time_ns)
+        flips = bank_model.activate(event.row, issue_ns)
+        if flips:
+            self.bit_flips.extend(flips)
+            self.counters.bit_flips += len(flips)
+        self.counters.acts_issued += 1
+
+        directives: list[RefreshDirective] = []
+
+        # 2. Forward any regular REF commands that elapsed, so periodic
+        #    schemes (TWiCe, PRoHIT) can act on their tREFI tick.
+        for ref_event in bank_model.drain_refresh_events():
+            self.counters.ref_ticks_forwarded += 1
+            directives.extend(engine.on_refresh_command(ref_event.time_ns))
+
+        # 3. Report the ACT to the mitigation engine.
+        directives.extend(engine.on_activate(event.row, issue_ns))
+
+        # 4. Execute every directive as an NRR, immediately.
+        for directive in directives:
+            self._execute_directive(bank_model, directive, issue_ns)
+        return directives
+
+    def _execute_directive(self, bank_model, directive, now_ns: float) -> None:
+        rows = list(directive.victim_rows)
+        if not rows:
+            return
+        bank_model.bank.nearby_row_refresh(len(rows), now_ns)
+        if bank_model.faults is not None:
+            bank_model.faults.on_refresh_range(rows)
+        self.counters.nrr_commands += 1
+        self.counters.nrr_rows += len(rows)
+        if self.directive_log is not None:
+            self.directive_log.append(directive)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def latency_summary(self) -> LatencySummary:
+        return self.latency.summary()
+
+    def engine_stats(self):
+        """Per-bank mitigation statistics."""
+        return [engine.stats for engine in self.engines]
+
+    def total_victim_rows_refreshed(self) -> int:
+        return sum(engine.stats.rows_refreshed for engine in self.engines)
+
+    def describe(self) -> str:
+        scheme = self.engines[0].describe() if self.engines else "none"
+        return (
+            f"MemoryController(banks={len(self.engines)}, scheme={scheme})"
+        )

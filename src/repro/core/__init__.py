@@ -1,0 +1,76 @@
+"""Graphene itself: the paper's primary contribution.
+
+* :class:`MisraGriesTable` -- the frequent-elements tracker (Section III-A);
+* :class:`GrapheneConfig` -- all parameter derivations (Sections III-B/D, IV-C);
+* :class:`GrapheneEngine` -- per-bank prevention engine (Section III-B);
+* :class:`HardwareGrapheneTable` -- CAM-level model with overflow bits
+  (Section IV-B);
+* :class:`InstrumentedGrapheneEngine` -- executable proof obligations
+  (Section III-C);
+* area and energy models reproducing Tables IV and V.
+"""
+
+from .area import (
+    CbtAreaModel,
+    GrapheneAreaModel,
+    PAPER_TABLE_IV_BITS_PER_BANK,
+    TableArea,
+    TwiceAreaModel,
+    cbt_counters_for_threshold,
+    table_size_series,
+)
+from .config import PAPER_TRH_DDR3, PAPER_TRH_DDR4, GrapheneConfig
+from .energy_model import EnergyReport, GrapheneEnergyModel
+from .graphene import GrapheneEngine, GrapheneStats, VictimRefreshRequest
+from .guarantees import GuaranteeViolation, InstrumentedGrapheneEngine
+from .hardware_table import (
+    CamOpCounts,
+    HardwareGrapheneTable,
+    TableUpdateOutcome,
+)
+from .misra_gries import MisraGriesTable
+from .rank_table import (
+    RankLevelEngine,
+    RankTableConfig,
+    compare_rank_vs_per_bank,
+)
+from .tracker_engine import TrackerBackedEngine, build_tracker
+from .trackers import (
+    CountMinSketch,
+    LossyCountingTable,
+    SpaceSavingTable,
+    tracker_table_bits,
+)
+
+__all__ = [
+    "MisraGriesTable",
+    "GrapheneConfig",
+    "PAPER_TRH_DDR4",
+    "PAPER_TRH_DDR3",
+    "GrapheneEngine",
+    "GrapheneStats",
+    "VictimRefreshRequest",
+    "InstrumentedGrapheneEngine",
+    "GuaranteeViolation",
+    "HardwareGrapheneTable",
+    "TableUpdateOutcome",
+    "CamOpCounts",
+    "GrapheneAreaModel",
+    "TwiceAreaModel",
+    "CbtAreaModel",
+    "TableArea",
+    "PAPER_TABLE_IV_BITS_PER_BANK",
+    "cbt_counters_for_threshold",
+    "table_size_series",
+    "GrapheneEnergyModel",
+    "EnergyReport",
+    "TrackerBackedEngine",
+    "build_tracker",
+    "SpaceSavingTable",
+    "LossyCountingTable",
+    "CountMinSketch",
+    "tracker_table_bits",
+    "RankTableConfig",
+    "RankLevelEngine",
+    "compare_rank_vs_per_bank",
+]

@@ -1,0 +1,122 @@
+"""Graphene hardware-module energy model (paper Table V).
+
+The paper synthesizes the Graphene RTL in TSMC 40 nm and reports, for
+the k=2 / ``T_RH`` = 50K table (81 entries x 31 bits = 2,511 bits):
+
+* dynamic energy per ACT (one table update): 3.69e-3 nJ -- 0.032% of a
+  DRAM ACT+PRE pair (11.49 nJ);
+* static (leakage) energy per tREFW: 4.03e3 nJ -- 0.373% of a bank's
+  regular refresh energy over the same period (1.08e6 nJ).
+
+We carry those measured values as anchor constants and scale them with
+table size for other configurations (CAM search/update energy and
+leakage are, to first order, proportional to the number of table bits).
+The point the numbers make -- Graphene's own energy is three orders of
+magnitude below the DRAM operations it shadows -- is preserved across
+the whole Fig. 9 sweep.
+
+Note: the paper's prose quotes 2.11e3 nJ static while its Table V lists
+4.03e3 nJ; only the latter is consistent with the stated 0.373% ratio,
+so this model uses 4.03e3 nJ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dram.energy import PAPER_DRAM_ENERGY, DramEnergyModel
+from .config import GrapheneConfig
+
+__all__ = ["GrapheneEnergyModel", "EnergyReport"]
+
+#: Table size (bits/bank) of the configuration the paper synthesized.
+_ANCHOR_TABLE_BITS = 2511
+#: Measured dynamic energy per table update at the anchor size (nJ).
+_ANCHOR_DYNAMIC_NJ = 3.69e-3
+#: Measured static energy per tREFW at the anchor size (nJ).
+_ANCHOR_STATIC_NJ = 4.03e3
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting of one bank's Graphene module over a period."""
+
+    dynamic_nj: float
+    static_nj: float
+    dram_act_pre_nj: float
+    dram_refresh_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_nj + self.static_nj
+
+    @property
+    def dynamic_fraction_of_act(self) -> float:
+        """Per-ACT table-update energy over per-ACT DRAM energy."""
+        if self.dram_act_pre_nj == 0:
+            return 0.0
+        return self.dynamic_nj / self.dram_act_pre_nj
+
+    @property
+    def static_fraction_of_refresh(self) -> float:
+        """Module leakage over DRAM refresh energy for the period."""
+        if self.dram_refresh_nj == 0:
+            return 0.0
+        return self.static_nj / self.dram_refresh_nj
+
+
+@dataclass(frozen=True)
+class GrapheneEnergyModel:
+    """Energy of the Graphene tracking hardware for one bank.
+
+    Args:
+        config: Graphene configuration; its table size scales the
+            anchor-calibrated constants.
+        dram: DRAM-side energy constants for ratio reporting.
+    """
+
+    config: GrapheneConfig = field(
+        default_factory=GrapheneConfig.paper_optimized
+    )
+    dram: DramEnergyModel = PAPER_DRAM_ENERGY
+
+    @property
+    def _size_scale(self) -> float:
+        return self.config.table_bits_per_bank / _ANCHOR_TABLE_BITS
+
+    @property
+    def dynamic_energy_per_act_nj(self) -> float:
+        """Energy of one table update (Fig. 5 sequence)."""
+        return _ANCHOR_DYNAMIC_NJ * self._size_scale
+
+    @property
+    def static_energy_per_window_nj(self) -> float:
+        """Leakage of the table over one tREFW."""
+        return _ANCHOR_STATIC_NJ * self._size_scale
+
+    def report(self, activations: int, windows: float = 1.0) -> EnergyReport:
+        """Energy of the module across a measured period.
+
+        Args:
+            activations: ACTs (table updates) during the period.
+            windows: Period length in tREFW units.
+        """
+        if activations < 0:
+            raise ValueError("activations must be non-negative")
+        if windows <= 0:
+            raise ValueError("windows must be positive")
+        return EnergyReport(
+            dynamic_nj=activations * self.dynamic_energy_per_act_nj,
+            static_nj=windows * self.static_energy_per_window_nj,
+            dram_act_pre_nj=self.dram.activation_energy_nj(activations),
+            dram_refresh_nj=self.dram.normal_refresh_energy_nj(windows),
+        )
+
+    def table_v_rows(self) -> dict[str, float]:
+        """The four Table V cells, in nJ."""
+        return {
+            "graphene_dynamic_per_act_nj": self.dynamic_energy_per_act_nj,
+            "graphene_static_per_trefw_nj": self.static_energy_per_window_nj,
+            "dram_act_pre_nj": self.dram.act_pre_nj,
+            "dram_refresh_per_bank_trefw_nj": self.dram.refresh_per_window_nj,
+        }

@@ -1,0 +1,171 @@
+"""Executable protection-guarantee proofs (paper Section III-C).
+
+The paper proves three statements about Graphene:
+
+* **Lemma 1** -- every tracked row's estimated count is >= its actual
+  ACT count within the current reset window;
+* **Lemma 2** -- the spillover count never exceeds ``W / (N_entry+1)``;
+* **Theorem** -- no row's actual count can grow by ``T`` without a
+  victim-row refresh being triggered for it; equivalently, at any
+  moment ``actual(row) < T * (refreshes(row) + 1)``.
+
+:class:`InstrumentedGrapheneEngine` wraps a :class:`GrapheneEngine`
+with exact per-row actual counts and verifies all three statements
+after every single ACT, so property-based tests can feed arbitrary
+streams (adversarial, random, replay) through it and fail on the first
+violated invariant.  This is the repository's mechanized analogue of
+the paper's pencil-and-paper proof.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .config import GrapheneConfig
+from .graphene import GrapheneEngine, VictimRefreshRequest
+
+__all__ = ["GuaranteeViolation", "InstrumentedGrapheneEngine"]
+
+
+class GuaranteeViolation(AssertionError):
+    """A protection invariant (Lemma 1/2 or the Theorem) was violated."""
+
+
+@dataclass
+class _WindowLedger:
+    """Ground-truth bookkeeping for one reset window."""
+
+    actual_counts: Counter
+    refresh_triggers: Counter
+
+    @classmethod
+    def fresh(cls) -> "_WindowLedger":
+        return cls(actual_counts=Counter(), refresh_triggers=Counter())
+
+
+class InstrumentedGrapheneEngine:
+    """Graphene engine + exact ground truth + per-ACT invariant checks.
+
+    Args:
+        config: Graphene configuration (typically scaled down so tests
+            can cross thresholds quickly).
+        bank: Bank label forwarded to the inner engine.
+        check_every: Run the (relatively expensive) full table invariant
+            check every N ACTs; the cheap per-row checks always run.
+    """
+
+    def __init__(
+        self, config: GrapheneConfig, bank: int = 0, check_every: int = 1
+    ) -> None:
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self.engine = GrapheneEngine(config, bank=bank)
+        self.config = config
+        self.check_every = check_every
+        self._ledger = _WindowLedger.fresh()
+        self._acts_seen = 0
+
+    # ------------------------------------------------------------------
+    # Stream processing with verification
+    # ------------------------------------------------------------------
+
+    def on_activate(self, row: int, time_ns: float) -> list[VictimRefreshRequest]:
+        """Forward an ACT to the engine, then verify every invariant."""
+        window_before = self.engine.current_window
+        requests = self.engine.on_activate(row, time_ns)
+        if self.engine.current_window != window_before:
+            # The engine lazily reset its table for a new window; the
+            # ground truth must reset with it.
+            self._ledger = _WindowLedger.fresh()
+        self._ledger.actual_counts[row] += 1
+        for request in requests:
+            self._ledger.refresh_triggers[request.aggressor_row] += 1
+        self._acts_seen += 1
+
+        self._check_theorem(row)
+        self._check_lemma1(row)
+        if self._acts_seen % self.check_every == 0:
+            self._check_lemma2()
+            self.engine.table.check_invariants()
+        return requests
+
+    def run_stream(self, stream) -> list[VictimRefreshRequest]:
+        """Feed ``(time_ns, row)`` pairs through; return all requests."""
+        requests: list[VictimRefreshRequest] = []
+        for time_ns, row in stream:
+            requests.extend(self.on_activate(row, time_ns))
+        return requests
+
+    # ------------------------------------------------------------------
+    # The three proof obligations
+    # ------------------------------------------------------------------
+
+    def _check_lemma1(self, row: int) -> None:
+        """Tracked estimated count >= actual count, for the touched row.
+
+        (Checking only the row just touched is sufficient: counts of
+        untouched rows did not change, except for a possible eviction --
+        and an evicted row is no longer "tracked", so Lemma 1 holds for
+        it vacuously.)
+        """
+        estimated = self.engine.table.estimated_count(row)
+        if row in self.engine.table:
+            actual = self._ledger.actual_counts[row]
+            if estimated < actual:
+                raise GuaranteeViolation(
+                    f"Lemma 1 violated for row {row}: estimated={estimated} "
+                    f"< actual={actual}"
+                )
+
+    def _check_lemma2(self) -> None:
+        """spillover <= observations / (N_entry + 1)."""
+        table = self.engine.table
+        bound = table.observations / (table.capacity + 1)
+        if table.spillover > bound:
+            raise GuaranteeViolation(
+                f"Lemma 2 violated: spillover={table.spillover} > "
+                f"W/(N+1)={bound:.3f}"
+            )
+
+    def _check_theorem(self, row: int) -> None:
+        """actual(row) < T * (triggers(row) + 1) within the window.
+
+        This is the Section III-C Theorem: the actual count cannot have
+        increased by ``T`` since the last victim refresh (or window
+        start) without triggering a new one.
+        """
+        actual = self._ledger.actual_counts[row]
+        triggers = self._ledger.refresh_triggers[row]
+        threshold = self.engine.threshold
+        if actual >= threshold * (triggers + 1):
+            raise GuaranteeViolation(
+                f"Theorem violated for row {row}: actual={actual} reached "
+                f"{triggers + 1} x T (T={threshold}) with only {triggers} "
+                "victim refreshes triggered"
+            )
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def actual_counts(self) -> Counter:
+        """Ground-truth ACT counts for the current reset window."""
+        return self._ledger.actual_counts
+
+    @property
+    def refresh_triggers(self) -> Counter:
+        """Victim-refresh trigger counts for the current reset window."""
+        return self._ledger.refresh_triggers
+
+    def tracking_error(self, row: int) -> int:
+        """Over-approximation slack: estimated - actual for ``row``.
+
+        Non-negative for tracked rows by Lemma 1; bounded by the
+        spillover count (the count "inherited" at insertion).
+        """
+        return (
+            self.engine.table.estimated_count(row)
+            - self._ledger.actual_counts[row]
+        )

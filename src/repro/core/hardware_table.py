@@ -1,0 +1,249 @@
+"""CAM-level hardware model of Graphene's table (paper Section IV-B).
+
+:class:`HardwareGrapheneTable` mirrors the structure of Fig. 4 -- an
+Address CAM, a Count CAM, per-entry overflow bits, and a spillover
+count register -- and executes the pseudo-code of Fig. 5 for every ACT,
+counting the CAM operations (searches, reads, writes) each update costs
+so the energy model can price them.
+
+The key hardware trick modeled here is the **overflow bit**: instead of
+letting counts grow to ``W`` (21 bits), the stored count wraps to zero
+each time it reaches ``T``, with a sticky overflow bit marking the
+entry.  This works because an entry that ever reached ``T`` can never
+be evicted within the window (its true count permanently exceeds the
+spillover count -- Lemma 2), so losing the high-order count information
+is safe.  The count field then needs only ``ceil(log2(T+1))`` bits
+(14 + 1 overflow instead of 21 for the paper's configuration).
+
+An overflowed entry's *stored* count is its true count modulo ``T``,
+which could numerically collide with the spillover count; the hardware
+masks overflowed entries out of the replacement search, and so does
+this model.
+
+Behavioral equivalence with the logical
+:class:`~repro.core.misra_gries.MisraGriesTable` (same tracked set,
+same trigger times) is asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CamOpCounts", "TableUpdateOutcome", "HardwareGrapheneTable"]
+
+
+@dataclass
+class CamOpCounts:
+    """Tally of primitive CAM/SRAM operations, for the energy model."""
+
+    address_searches: int = 0
+    count_searches: int = 0
+    count_reads: int = 0
+    address_writes: int = 0
+    count_writes: int = 0
+    spillover_increments: int = 0
+
+    def total(self) -> int:
+        return (
+            self.address_searches
+            + self.count_searches
+            + self.count_reads
+            + self.address_writes
+            + self.count_writes
+            + self.spillover_increments
+        )
+
+
+@dataclass(frozen=True)
+class TableUpdateOutcome:
+    """Result of one ``process_activation`` (one ACT)."""
+
+    #: "hit", "replace", or "spill" -- which Fig. 5 path was taken.
+    path: str
+    #: True if the entry's (true) estimated count reached a multiple of
+    #: T with this update, i.e. victim refreshes must be issued.
+    triggered: bool
+    #: The entry slot that was updated (None on the spill path).
+    slot: int | None
+    #: The entry's true estimated count after the update (None on spill).
+    estimated_count: int | None
+
+
+class _Entry:
+    """One table slot: address + wrapped count + sticky overflow state."""
+
+    __slots__ = ("address", "count", "overflow", "wraps")
+
+    def __init__(self) -> None:
+        self.address: int | None = None
+        self.count = 0
+        #: The sticky overflow bit of Section IV-B.
+        self.overflow = False
+        #: How many times the count wrapped at T.  The hardware does not
+        #: store this (it acts on the wrap *events*); the model keeps it
+        #: so true estimated counts can be reconstructed for checks.
+        self.wraps = 0
+
+    def true_count(self, threshold: int) -> int:
+        return self.wraps * threshold + self.count
+
+
+class HardwareGrapheneTable:
+    """Fixed-size CAM pair + spillover register, per Fig. 4/Fig. 5.
+
+    Args:
+        num_entries: ``N_entry`` slots.
+        threshold: ``T``; counts wrap at this value, setting overflow.
+        count_bits: Width of the count field; must satisfy
+            ``2**count_bits > threshold`` (the Section IV-B sizing).
+    """
+
+    def __init__(self, num_entries: int, threshold: int, count_bits: int) -> None:
+        if num_entries < 1:
+            raise ValueError("num_entries must be >= 1")
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if 2**count_bits <= threshold:
+            raise ValueError(
+                f"count field of {count_bits} bits cannot represent T={threshold}"
+            )
+        self.num_entries = num_entries
+        self.threshold = threshold
+        self.count_bits = count_bits
+        self._entries = [_Entry() for _ in range(num_entries)]
+        #: addr -> slot index, standing in for the Address CAM match line.
+        self._addr_index: dict[int, int] = {}
+        self.spillover = 0
+        self.ops = CamOpCounts()
+
+    # ------------------------------------------------------------------
+    # Fig. 5 pseudo-code
+    # ------------------------------------------------------------------
+
+    def process_activation(self, address: int) -> TableUpdateOutcome:
+        """Run the Fig. 5 update for one activated row address."""
+        # Line 3: single Address-CAM search.
+        self.ops.address_searches += 1
+        slot = self._addr_index.get(address)
+        if slot is not None:
+            # Lines 4-6: row address hit -> read, increment, write back.
+            self.ops.count_reads += 1
+            self.ops.count_writes += 1
+            triggered = self._increment(slot)
+            return TableUpdateOutcome(
+                path="hit",
+                triggered=triggered,
+                slot=slot,
+                estimated_count=self._entries[slot].true_count(self.threshold),
+            )
+
+        # Lines 8-9: row address miss -> Count-CAM search for an entry
+        # whose count equals the spillover count.  Overflowed entries are
+        # masked out: their stored count is modulo T and must not match.
+        self.ops.count_searches += 1
+        victim_slot = self._find_replaceable()
+        if victim_slot is not None:
+            # Lines 10-13: replace the entry; address and count CAMs are
+            # written simultaneously (the paper's critical path remark).
+            entry = self._entries[victim_slot]
+            if entry.address is not None:
+                del self._addr_index[entry.address]
+            entry.address = address
+            self._addr_index[address] = victim_slot
+            self.ops.address_writes += 1
+            self.ops.count_writes += 1
+            triggered = self._increment(victim_slot)
+            return TableUpdateOutcome(
+                path="replace",
+                triggered=triggered,
+                slot=victim_slot,
+                estimated_count=entry.true_count(self.threshold),
+            )
+
+        # Lines 15-16: no replacement -> spillover count increments.
+        self.spillover += 1
+        self.ops.spillover_increments += 1
+        return TableUpdateOutcome(
+            path="spill", triggered=False, slot=None, estimated_count=None
+        )
+
+    def _find_replaceable(self) -> int | None:
+        """Entry whose effective count equals the spillover count.
+
+        An unoccupied slot has count 0 and matches a spillover of 0,
+        which is how the table fills up initially.  Overflowed entries
+        never match (their true count exceeds any possible spillover).
+        Among multiple matches the smallest-address entry wins (empty
+        slots first), the same deterministic tie-break the logical
+        model uses, keeping the two bit-identical.
+        """
+        best: int | None = None
+        best_address: int | None = None
+        for index, entry in enumerate(self._entries):
+            if entry.overflow or entry.count != self.spillover:
+                continue
+            if entry.address is None:
+                return index  # empty slot: always preferred
+            if best_address is None or entry.address < best_address:
+                best, best_address = index, entry.address
+        return best
+
+    def _increment(self, slot: int) -> bool:
+        """Bump a slot's count, wrapping at T; True if T was reached."""
+        entry = self._entries[slot]
+        if entry.address is None:
+            raise RuntimeError("incrementing an unoccupied slot")
+        new_count = entry.count + 1
+        if new_count >= self.threshold:
+            # Reached a multiple of T: set/keep the overflow bit, wrap
+            # the stored count to zero (Section IV-B), report a trigger.
+            entry.overflow = True
+            entry.wraps += 1
+            entry.count = 0
+            return True
+        entry.count = new_count
+        assert entry.count < 2**self.count_bits
+        return False
+
+    # ------------------------------------------------------------------
+    # Maintenance and queries
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Window reset: clear all entries, overflow bits and spillover."""
+        for entry in self._entries:
+            entry.address = None
+            entry.count = 0
+            entry.overflow = False
+            entry.wraps = 0
+        self._addr_index.clear()
+        self.spillover = 0
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._addr_index
+
+    def estimated_count(self, address: int) -> int:
+        """True estimated count of a tracked address (0 if untracked)."""
+        slot = self._addr_index.get(address)
+        if slot is None:
+            return 0
+        return self._entries[slot].true_count(self.threshold)
+
+    def tracked(self) -> dict[int, int]:
+        """Tracked address -> true estimated count."""
+        return {
+            addr: self._entries[slot].true_count(self.threshold)
+            for addr, slot in self._addr_index.items()
+        }
+
+    def occupancy(self) -> int:
+        """Number of occupied slots."""
+        return len(self._addr_index)
+
+    def overflowed_addresses(self) -> list[int]:
+        """Addresses whose overflow bit is set (confirmed aggressors)."""
+        return [
+            addr
+            for addr, slot in self._addr_index.items()
+            if self._entries[slot].overflow
+        ]

@@ -1,0 +1,176 @@
+"""Rank-level shared-table ablation (extension beyond the paper).
+
+The paper provisions one Graphene table *per bank*: 16 tables per rank,
+each sized against the per-bank ACT budget ``W_bank = tREFW(1 -
+tRFC/tREFI)/tRC``.  But DDR4 also caps the *rank-level* ACT rate --
+at most four ACTs per tFAW window across all banks -- and
+``4/tFAW << 16/tRC``.  A single table shared by the whole rank
+therefore needs entries for only
+
+    N_shared > W_rank / T - 1,   W_rank = tREFW' (1 - tRFC/tREFI) 4/tFAW
+
+which is ~6x the per-bank ``W`` rather than 16x: the shared table is
+roughly **2.6x smaller in total bits** than sixteen per-bank tables at
+the paper's parameters.
+
+The trade-offs (quantified by :func:`compare_rank_vs_per_bank` and the
+ablation bench):
+
+* (+) fewer total bits and one control block instead of sixteen;
+* (-) the CAM must absorb the full rank ACT rate (one update per
+  ~7.5 ns rather than per 45 ns) -- a much harder timing budget than
+  the paper's "hidden within tRC" argument;
+* (-) keys widen by 4 bits (bank id joins the row address);
+* (=) the protection guarantee is unchanged -- the proof only needs
+  the stream budget ``W`` to bound the spillover count, and rows are
+  still tracked individually (per (bank, row) key).
+
+:class:`RankLevelEngine` implements it; the guarantee is exercised in
+the test suite with 16 banks hammered concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..dram.timing import DDR4_2400, DramTimings
+from .config import GrapheneConfig
+from .misra_gries import MisraGriesTable
+
+__all__ = ["RankTableConfig", "RankLevelEngine", "compare_rank_vs_per_bank"]
+
+
+@dataclass(frozen=True)
+class RankTableConfig:
+    """Derived parameters of the rank-level shared table."""
+
+    hammer_threshold: int = 50_000
+    timings: DramTimings = DDR4_2400
+    banks_per_rank: int = 16
+    rows_per_bank: int = 65536
+    reset_window_divisor: int = 2
+
+    @property
+    def k(self) -> int:
+        return self.reset_window_divisor
+
+    @property
+    def reset_window_ns(self) -> float:
+        return self.timings.trefw / self.k
+
+    @property
+    def tracking_threshold(self) -> int:
+        """Same ``T`` as the per-bank design: the per-row math is
+        unchanged (a row's victims still absorb T_RH/2 double-sided
+        over k+1 windows)."""
+        return int(self.hammer_threshold / (2 * (self.k + 1)))
+
+    @property
+    def max_activations_per_window(self) -> int:
+        """``W_rank``: the rank ACT budget per reset window (tFAW cap)."""
+        return self.timings.max_rank_activations_in(self.reset_window_ns)
+
+    @property
+    def num_entries(self) -> int:
+        ratio = self.max_activations_per_window / self.tracking_threshold
+        minimum = math.floor(ratio - 1) + 1
+        if minimum <= ratio - 1:
+            minimum += 1
+        return max(1, minimum)
+
+    @property
+    def key_bits(self) -> int:
+        """Bank id + row address per CAM key."""
+        bank_bits = max(1, math.ceil(math.log2(self.banks_per_rank)))
+        row_bits = max(1, math.ceil(math.log2(self.rows_per_bank)))
+        return bank_bits + row_bits
+
+    @property
+    def entry_bits(self) -> int:
+        count_bits = max(
+            1, math.ceil(math.log2(self.tracking_threshold + 1))
+        )
+        return self.key_bits + count_bits + 1  # + overflow bit
+
+    @property
+    def table_bits_per_rank(self) -> int:
+        return self.num_entries * self.entry_bits
+
+    @property
+    def update_interval_ns(self) -> float:
+        """Worst-case time between consecutive table updates -- the
+        hardware budget the shared CAM must meet."""
+        return 1.0 / self.timings.rank_activation_rate_per_ns
+
+
+class RankLevelEngine:
+    """One shared Misra-Gries table protecting a whole rank.
+
+    Keys are ``(bank, row)`` pairs; everything else follows the
+    per-bank engine's protection loop.
+    """
+
+    def __init__(self, config: RankTableConfig) -> None:
+        self.config = config
+        self.table = MisraGriesTable(config.num_entries)
+        self.threshold = config.tracking_threshold
+        self._window_length_ns = config.reset_window_ns
+        self._current_window = 0
+        self.victim_refresh_requests = 0
+        self.activations = 0
+
+    def on_activate(
+        self, bank: int, row: int, time_ns: float
+    ) -> list[tuple[int, int]]:
+        """Returns (bank, victim_row) pairs to refresh (usually [])."""
+        if not 0 <= bank < self.config.banks_per_rank:
+            raise IndexError(f"bank {bank} out of range")
+        if not 0 <= row < self.config.rows_per_bank:
+            raise IndexError(f"row {row} out of range")
+        window = int(time_ns // self._window_length_ns)
+        if window != self._current_window:
+            if window < self._current_window:
+                raise ValueError("time moved backwards")
+            self.table.reset()
+            self._current_window = window
+        self.activations += 1
+        count = self.table.observe((bank, row))
+        if count is None or count % self.threshold != 0:
+            return []
+        self.victim_refresh_requests += 1
+        return [
+            (bank, victim)
+            for victim in (row - 1, row + 1)
+            if 0 <= victim < self.config.rows_per_bank
+        ]
+
+
+def compare_rank_vs_per_bank(
+    hammer_threshold: int = 50_000,
+    timings: DramTimings = DDR4_2400,
+    banks_per_rank: int = 16,
+    reset_window_divisor: int = 2,
+) -> dict[str, float]:
+    """Head-to-head bit/timing comparison of the two provisioning styles."""
+    per_bank = GrapheneConfig(
+        hammer_threshold=hammer_threshold,
+        timings=timings,
+        reset_window_divisor=reset_window_divisor,
+    )
+    shared = RankTableConfig(
+        hammer_threshold=hammer_threshold,
+        timings=timings,
+        banks_per_rank=banks_per_rank,
+        reset_window_divisor=reset_window_divisor,
+    )
+    per_bank_total = per_bank.table_bits_per_bank * banks_per_rank
+    return {
+        "per_bank_entries_total": per_bank.num_entries * banks_per_rank,
+        "per_bank_bits_total": per_bank_total,
+        "shared_entries": shared.num_entries,
+        "shared_bits": shared.table_bits_per_rank,
+        "bit_savings_factor": per_bank_total / shared.table_bits_per_rank,
+        "per_bank_update_interval_ns": timings.trc,
+        "shared_update_interval_ns": shared.update_interval_ns,
+    }

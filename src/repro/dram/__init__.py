@@ -1,0 +1,52 @@
+"""DDR4 DRAM substrate: timing, geometry, banks, refresh, faults, energy.
+
+This subpackage is the simulated hardware the paper's evaluation runs
+on.  It is self-contained (no dependency on the mitigation schemes) so
+that the fault model can act as an impartial referee.
+"""
+
+from .bank import Bank, BankStats
+from .commands import Command, CommandKind
+from .device import DramBankModel, DramDevice
+from .energy import PAPER_DRAM_ENERGY, DramEnergyModel
+from .faults import BitFlip, CouplingProfile, HammerFaultModel
+from .geometry import PAPER_SYSTEM_GEOMETRY, BankAddress, DramGeometry
+from .refresh import AutoRefreshEngine, RefreshEvent
+from .data import CorruptionEvent, RowDataStore
+from .ecc import EccOutcome, EccResult, SecdedCode
+from .power import PowerBreakdown, StandbyPower, bank_power
+from .remap import RemappedBankModel, RowRemapper
+from .timing import DDR4_2400, NS_PER_MS, NS_PER_US, DramTimings
+
+__all__ = [
+    "Bank",
+    "BankStats",
+    "Command",
+    "CommandKind",
+    "DramBankModel",
+    "DramDevice",
+    "DramEnergyModel",
+    "PAPER_DRAM_ENERGY",
+    "BitFlip",
+    "CouplingProfile",
+    "HammerFaultModel",
+    "BankAddress",
+    "DramGeometry",
+    "PAPER_SYSTEM_GEOMETRY",
+    "AutoRefreshEngine",
+    "RefreshEvent",
+    "RowRemapper",
+    "RemappedBankModel",
+    "RowDataStore",
+    "CorruptionEvent",
+    "SecdedCode",
+    "EccOutcome",
+    "EccResult",
+    "PowerBreakdown",
+    "StandbyPower",
+    "bank_power",
+    "DDR4_2400",
+    "DramTimings",
+    "NS_PER_MS",
+    "NS_PER_US",
+]

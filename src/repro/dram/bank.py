@@ -1,0 +1,171 @@
+"""Per-bank DRAM state machine with timing enforcement.
+
+The bank tracks the open row, the earliest time each command class may
+be issued, and occupancy statistics.  Victim-row refreshes (NRR) follow
+the paper's overhead accounting (Section V-B "Methodology"): an NRR that
+refreshes ``v`` victim rows blocks the bank for ``v * tRC`` plus a
+``tRP`` penalty for the precharge of the bank in question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .timing import DramTimings
+
+__all__ = ["BankStats", "Bank"]
+
+
+@dataclass
+class BankStats:
+    """Running counters of everything a bank did."""
+
+    activations: int = 0
+    precharges: int = 0
+    reads: int = 0
+    writes: int = 0
+    auto_refreshes: int = 0
+    #: Number of NRR commands received.
+    nrr_commands: int = 0
+    #: Number of individual rows refreshed by NRR commands.
+    nrr_rows_refreshed: int = 0
+    #: Total time (ns) the bank was blocked executing NRR refreshes.
+    nrr_busy_ns: float = 0.0
+    #: Total time (ns) the bank was blocked executing auto-refresh.
+    refresh_busy_ns: float = 0.0
+    row_buffer_hits: int = 0
+    row_buffer_misses: int = 0
+
+    def merged_with(self, other: "BankStats") -> "BankStats":
+        """Element-wise sum, for aggregating across banks."""
+        return BankStats(
+            activations=self.activations + other.activations,
+            precharges=self.precharges + other.precharges,
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+            auto_refreshes=self.auto_refreshes + other.auto_refreshes,
+            nrr_commands=self.nrr_commands + other.nrr_commands,
+            nrr_rows_refreshed=self.nrr_rows_refreshed + other.nrr_rows_refreshed,
+            nrr_busy_ns=self.nrr_busy_ns + other.nrr_busy_ns,
+            refresh_busy_ns=self.refresh_busy_ns + other.refresh_busy_ns,
+            row_buffer_hits=self.row_buffer_hits + other.row_buffer_hits,
+            row_buffer_misses=self.row_buffer_misses + other.row_buffer_misses,
+        )
+
+
+class Bank:
+    """One DRAM bank: open-row tracking plus timing bookkeeping.
+
+    The simulator is event-driven rather than cycle-stepped: callers ask
+    :meth:`earliest_activate` (etc.) for the first legal issue time and
+    then commit the command.  Timing violations raise, which keeps
+    scheduler bugs loud in tests.
+
+    Args:
+        bank_id: Flat bank index (labelling only).
+        rows: Number of rows (row operands validated against it).
+        timings: DRAM timing bundle to enforce.
+    """
+
+    def __init__(self, bank_id: int, rows: int, timings: DramTimings) -> None:
+        if rows <= 0:
+            raise ValueError("rows must be positive")
+        self.bank_id = bank_id
+        self.rows = rows
+        self.timings = timings
+        self.open_row: int | None = None
+        #: Earliest time the next ACT may be issued (tRC from last ACT,
+        #: and not before outstanding refresh work completes).
+        self._next_act_ns: float = 0.0
+        #: Time at which the bank becomes idle (refresh/NRR completion).
+        self._busy_until_ns: float = 0.0
+        self._last_act_ns: float = float("-inf")
+        self.stats = BankStats()
+
+    # ------------------------------------------------------------------
+    # Timing queries
+    # ------------------------------------------------------------------
+
+    def earliest_activate(self, now_ns: float) -> float:
+        """First legal issue time for an ACT at or after ``now_ns``."""
+        return max(now_ns, self._next_act_ns, self._busy_until_ns)
+
+    def busy_until(self) -> float:
+        """Completion time of outstanding refresh work (0 if idle)."""
+        return self._busy_until_ns
+
+    # ------------------------------------------------------------------
+    # Command execution
+    # ------------------------------------------------------------------
+
+    def activate(self, row: int, now_ns: float) -> float:
+        """Issue ACT at ``now_ns``; returns the time data can be accessed.
+
+        Raises:
+            ValueError: if ``now_ns`` violates tRC or an ongoing refresh.
+            IndexError: if ``row`` is out of range.
+        """
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+        legal = self.earliest_activate(now_ns)
+        if now_ns + 1e-9 < legal:
+            raise ValueError(
+                f"ACT at {now_ns}ns violates timing; earliest legal is {legal}ns"
+            )
+        self.open_row = row
+        self._last_act_ns = now_ns
+        self._next_act_ns = now_ns + self.timings.trc
+        self.stats.activations += 1
+        self.stats.row_buffer_misses += 1
+        return now_ns + self.timings.trcd
+
+    def access(self, row: int, now_ns: float, is_write: bool = False) -> bool:
+        """Record a column access; returns True on a row-buffer hit.
+
+        The caller is responsible for issuing :meth:`activate` first on a
+        miss; this method only updates hit/miss statistics and read/write
+        counters for the energy model.
+        """
+        hit = self.open_row == row
+        if hit:
+            self.stats.row_buffer_hits += 1
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        return hit
+
+    def precharge(self, now_ns: float) -> float:
+        """Close the open row; returns when the bank is precharged."""
+        self.open_row = None
+        self.stats.precharges += 1
+        ready = now_ns + self.timings.trp
+        self._next_act_ns = max(self._next_act_ns, ready)
+        return ready
+
+    def auto_refresh(self, now_ns: float) -> float:
+        """Execute one REF command; bank blocked for tRFC."""
+        done = max(now_ns, self._busy_until_ns) + self.timings.trfc
+        self._busy_until_ns = done
+        self.open_row = None
+        self.stats.auto_refreshes += 1
+        self.stats.refresh_busy_ns += self.timings.trfc
+        return done
+
+    def nearby_row_refresh(self, victim_rows: int, now_ns: float) -> float:
+        """Execute an NRR refreshing ``victim_rows`` rows.
+
+        Blocks the bank for ``victim_rows * tRC + tRP`` per the paper's
+        accounting, and closes the open row (the device precharges the
+        bank to perform the internal refreshes).
+        """
+        if victim_rows <= 0:
+            raise ValueError("victim_rows must be positive")
+        cost = victim_rows * self.timings.trc + self.timings.trp
+        done = max(now_ns, self._busy_until_ns) + cost
+        self._busy_until_ns = done
+        self.open_row = None
+        self.stats.nrr_commands += 1
+        self.stats.nrr_rows_refreshed += victim_rows
+        self.stats.nrr_busy_ns += cost
+        return done

@@ -1,0 +1,67 @@
+"""DRAM command vocabulary.
+
+The simulator speaks the standard DDR4 command set plus the paper's one
+protocol extension: **Nearby Row Refresh (NRR)** (Section IV-A).  NRR
+names an *aggressor* row; the device refreshes the potentially disturbed
+neighbor rows itself, which keeps the aggressor-to-victim mapping (and
+any internal row remapping) inside the DRAM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["CommandKind", "Command"]
+
+
+class CommandKind(enum.Enum):
+    """The command types the bank state machine understands."""
+
+    ACTIVATE = "ACT"
+    PRECHARGE = "PRE"
+    READ = "RD"
+    WRITE = "WR"
+    REFRESH = "REF"
+    #: Nearby Row Refresh -- the Graphene protocol extension.  The
+    #: operand row is the *aggressor*; the device refreshes its
+    #: neighbors out to the configured blast radius.
+    NEARBY_ROW_REFRESH = "NRR"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Command:
+    """One command as issued by the memory controller to a bank.
+
+    Attributes:
+        kind: The command type.
+        bank: Flat bank index the command targets (REF targets a rank but
+            the simulator tracks refresh per bank for accounting).
+        row: Row operand; required for ACT and NRR, ignored otherwise.
+        time_ns: Issue time in nanoseconds.
+        meta: Free-form annotations (e.g. which mitigation emitted an NRR).
+    """
+
+    kind: CommandKind
+    bank: int
+    time_ns: float
+    row: int | None = None
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        needs_row = self.kind in (
+            CommandKind.ACTIVATE,
+            CommandKind.NEARBY_ROW_REFRESH,
+        )
+        if needs_row and self.row is None:
+            raise ValueError(f"{self.kind} requires a row operand")
+        if self.time_ns < 0:
+            raise ValueError(f"negative command time {self.time_ns}")
+
+    def describe(self) -> str:
+        """Human-readable one-liner, used by trace dumps."""
+        row = f" row=0x{self.row:05x}" if self.row is not None else ""
+        return f"@{self.time_ns:12.1f}ns bank={self.bank:3d} {self.kind.value}{row}"

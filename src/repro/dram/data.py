@@ -1,0 +1,148 @@
+"""Stored-data modeling: from abstract bit flips to corrupted words.
+
+The fault referee (:mod:`repro.dram.faults`) decides *that* a victim
+row flips; this layer decides *what that does to data*: which word and
+bit are corrupted, and whether an ECC layer catches it.  It backs the
+end-to-end exploit demonstrations (attacker flips a bit in a victim's
+page) and the ECC discussion from the paper's related work (Cojocar et
+al. showed multi-flip Row Hammer defeats SECDED ECC; a Row Hammer
+*prevention* scheme like Graphene is needed precisely because ECC is
+not a sufficient defense).
+
+The store is sparse: only written rows hold data, and a row's content
+is a numpy array of 64-bit words.  Flips target word/bit positions
+drawn deterministically from the flip event, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .faults import BitFlip
+
+__all__ = ["RowDataStore", "CorruptionEvent"]
+
+
+class CorruptionEvent:
+    """Record of one data corruption caused by a Row Hammer flip."""
+
+    __slots__ = ("row", "word_index", "bit_index", "before", "after",
+                 "time_ns")
+
+    def __init__(self, row: int, word_index: int, bit_index: int,
+                 before: int, after: int, time_ns: float) -> None:
+        self.row = row
+        self.word_index = word_index
+        self.bit_index = bit_index
+        self.before = before
+        self.after = after
+        self.time_ns = time_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CorruptionEvent(row={self.row}, word={self.word_index}, "
+            f"bit={self.bit_index})"
+        )
+
+
+class RowDataStore:
+    """Sparse per-row data with Row Hammer corruption application.
+
+    Args:
+        rows: Rows in the bank.
+        words_per_row: 64-bit words per row (8 KB rows -> 1024 words).
+    """
+
+    def __init__(self, rows: int, words_per_row: int = 1024) -> None:
+        if rows < 1 or words_per_row < 1:
+            raise ValueError("rows and words_per_row must be >= 1")
+        self.rows = rows
+        self.words_per_row = words_per_row
+        self._data: dict[int, np.ndarray] = {}
+        self.corruptions: list[CorruptionEvent] = []
+
+    # ------------------------------------------------------------------
+    # Normal access
+    # ------------------------------------------------------------------
+
+    def write_row(self, row: int, words: np.ndarray | list[int]) -> None:
+        """Store a full row image."""
+        self._check_row(row)
+        array = np.asarray(words, dtype=np.uint64)
+        if array.shape != (self.words_per_row,):
+            raise ValueError(
+                f"row image must have {self.words_per_row} words, got "
+                f"{array.shape}"
+            )
+        self._data[row] = array.copy()
+
+    def fill_row(self, row: int, pattern: int = 0x5555_5555_5555_5555) -> None:
+        """Store a constant test pattern (rowhammer-test style)."""
+        self._check_row(row)
+        self._data[row] = np.full(
+            self.words_per_row, pattern, dtype=np.uint64
+        )
+
+    def read_word(self, row: int, word_index: int) -> int:
+        self._check_row(row)
+        if not 0 <= word_index < self.words_per_row:
+            raise IndexError(f"word {word_index} out of range")
+        array = self._data.get(row)
+        if array is None:
+            raise KeyError(f"row {row} holds no data")
+        return int(array[word_index])
+
+    def row_image(self, row: int) -> np.ndarray:
+        self._check_row(row)
+        array = self._data.get(row)
+        if array is None:
+            raise KeyError(f"row {row} holds no data")
+        return array.copy()
+
+    def holds_data(self, row: int) -> bool:
+        return row in self._data
+
+    # ------------------------------------------------------------------
+    # Corruption
+    # ------------------------------------------------------------------
+
+    def apply_flip(self, flip: BitFlip) -> CorruptionEvent | None:
+        """Apply a referee bit flip to stored data (if the row is used).
+
+        The corrupted word/bit are derived deterministically from the
+        flip's coordinates so identical runs corrupt identical bits.
+        """
+        array = self._data.get(flip.row)
+        if array is None:
+            return None
+        # Deterministic across processes (hash() is salted per run).
+        mix = (flip.row * 2_654_435_761 + int(flip.time_ns) * 40_503) & 0xFFFFFFFF
+        word_index = mix % self.words_per_row
+        bit_index = (mix // 97) % 64
+        before = int(array[word_index])
+        after = before ^ (1 << bit_index)
+        array[word_index] = np.uint64(after)
+        event = CorruptionEvent(
+            row=flip.row,
+            word_index=word_index,
+            bit_index=bit_index,
+            before=before,
+            after=after,
+            time_ns=flip.time_ns,
+        )
+        self.corruptions.append(event)
+        return event
+
+    def apply_flips(self, flips: list[BitFlip]) -> list[CorruptionEvent]:
+        return [e for f in flips if (e := self.apply_flip(f)) is not None]
+
+    def verify_pattern(
+        self, row: int, pattern: int = 0x5555_5555_5555_5555
+    ) -> list[int]:
+        """Word indices whose content deviates from the fill pattern."""
+        image = self.row_image(row)
+        return np.nonzero(image != np.uint64(pattern))[0].tolist()
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")

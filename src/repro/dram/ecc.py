@@ -1,0 +1,196 @@
+"""SECDED ECC over 64-bit words (the related-work ECC discussion).
+
+Server memory protects each 64-bit word with an (72, 64) Hamming
+SECDED code: any single bit error is corrected, any double bit error is
+detected (uncorrectable), and three-or-more errors can *miscorrect*
+silently.  Cojocar et al. (S&P 2019, cited by the paper) showed Row
+Hammer produces enough multi-flips per word to defeat SECDED -- which
+is why the paper's position is that Row Hammer must be *prevented*, not
+just detected.
+
+This is a real encoder/decoder (Hsiao-style construction: 8 check bits
+over 64 data bits, parity-of-everything as the extended bit), not a
+probability model, so multi-flip scenarios can be exercised concretely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EccOutcome", "EccResult", "SecdedCode"]
+
+
+class EccOutcome(enum.Enum):
+    """Decoder verdicts."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DETECTED_UNCORRECTABLE = "detected-uncorrectable"
+    #: >= 3 flips aliasing to a valid-looking single-bit syndrome: the
+    #: decoder "corrects" the wrong bit and corrupts data silently.
+    MISCORRECTED = "miscorrected"
+
+
+@dataclass(frozen=True)
+class EccResult:
+    """One decode: the data returned and how it was obtained."""
+
+    data: int
+    outcome: EccOutcome
+    corrected_bit: int | None = None
+
+
+class SecdedCode:
+    """(72, 64) SECDED: 64 data bits + 8 check bits.
+
+    Check bits 0..6 are Hamming parities over data-bit subsets chosen by
+    the standard position construction; check bit 7 is overall parity
+    (the "extended" bit that separates single from double errors).
+    """
+
+    DATA_BITS = 64
+    CHECK_BITS = 8
+    CODE_BITS = DATA_BITS + CHECK_BITS
+
+    def __init__(self) -> None:
+        # Position-based Hamming layout: codeword positions 1..72 with
+        # powers of two as check positions; map the remaining positions
+        # to data bits in order.
+        self._data_positions: list[int] = []
+        position = 1
+        while len(self._data_positions) < self.DATA_BITS:
+            if position & (position - 1) != 0:  # not a power of two
+                self._data_positions.append(position)
+            position += 1
+        #: For each of the 7 Hamming checks, the data-bit indices it covers.
+        self._check_masks: list[int] = []
+        for check in range(7):
+            mask = 0
+            for data_index, pos in enumerate(self._data_positions):
+                if pos & (1 << check):
+                    mask |= 1 << data_index
+            self._check_masks.append(mask)
+        #: Syndrome (codeword position) -> data bit index.
+        self._position_to_data_index = {
+            pos: index for index, pos in enumerate(self._data_positions)
+        }
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _parity(value: int) -> int:
+        return bin(value).count("1") & 1
+
+    def encode(self, data: int) -> int:
+        """Return the 72-bit codeword for a 64-bit data word.
+
+        Layout: bits [0, 64) data, bits [64, 71) Hamming checks,
+        bit 71 overall parity.
+        """
+        if not 0 <= data < (1 << self.DATA_BITS):
+            raise ValueError("data must be a 64-bit unsigned value")
+        codeword = data
+        for check, mask in enumerate(self._check_masks):
+            codeword |= self._parity(data & mask) << (self.DATA_BITS + check)
+        overall = self._parity(codeword)
+        codeword |= overall << (self.CODE_BITS - 1)
+        return codeword
+
+    def decode(self, codeword: int) -> EccResult:
+        """Decode a possibly corrupted 72-bit codeword."""
+        if not 0 <= codeword < (1 << self.CODE_BITS):
+            raise ValueError("codeword must be a 72-bit unsigned value")
+        data = codeword & ((1 << self.DATA_BITS) - 1)
+        syndrome = 0
+        for check, mask in enumerate(self._check_masks):
+            stored = (codeword >> (self.DATA_BITS + check)) & 1
+            if self._parity(data & mask) != stored:
+                syndrome |= 1 << check
+        overall_error = self._parity(codeword) != 0
+
+        if syndrome == 0 and not overall_error:
+            return EccResult(data=data, outcome=EccOutcome.CLEAN)
+        if syndrome == 0 and overall_error:
+            # The overall parity bit itself flipped; data is intact.
+            return EccResult(
+                data=data, outcome=EccOutcome.CORRECTED,
+                corrected_bit=self.CODE_BITS - 1,
+            )
+        if not overall_error:
+            # Even number of flips with nonzero syndrome: detected.
+            return EccResult(
+                data=data, outcome=EccOutcome.DETECTED_UNCORRECTABLE
+            )
+        # Odd flip count with a syndrome: the decoder assumes a single
+        # bit error at the position the syndrome names.  With exactly
+        # one flip this is right; with >= 3 flips the syndrome may name
+        # an innocent bit -> silent miscorrection (exposed by
+        # :meth:`transmit`, which compares against ground truth).
+        if syndrome in self._position_to_data_index:
+            data_index = self._position_to_data_index[syndrome]
+            corrected = data ^ (1 << data_index)
+            return EccResult(
+                data=corrected, outcome=EccOutcome.CORRECTED,
+                corrected_bit=data_index,
+            )
+        if (syndrome & (syndrome - 1)) == 0:
+            # Syndrome names a check-bit position: a check bit flipped;
+            # the data itself is intact.
+            return EccResult(data=data, outcome=EccOutcome.CORRECTED,
+                             corrected_bit=None)
+        # Syndrome names no valid position: >= 3 flips, detected.
+        return EccResult(
+            data=data, outcome=EccOutcome.DETECTED_UNCORRECTABLE
+        )
+
+    # ------------------------------------------------------------------
+    # Experiment helpers
+    # ------------------------------------------------------------------
+
+    def transmit(self, data: int, flip_bits: list[int]) -> EccResult:
+        """Encode, flip the given codeword bit positions, decode.
+
+        Classifies the outcome against the ground truth, upgrading a
+        "corrected" verdict to MISCORRECTED when the returned data does
+        not match what was stored -- the silent-failure case multi-flip
+        Row Hammer exploits.
+        """
+        codeword = self.encode(data)
+        for bit in flip_bits:
+            if not 0 <= bit < self.CODE_BITS:
+                raise ValueError(f"bit {bit} outside the 72-bit codeword")
+            codeword ^= 1 << bit
+        result = self.decode(codeword)
+        if (
+            result.outcome in (EccOutcome.CLEAN, EccOutcome.CORRECTED)
+            and result.data != data
+        ):
+            return EccResult(
+                data=result.data,
+                outcome=EccOutcome.MISCORRECTED,
+                corrected_bit=result.corrected_bit,
+            )
+        return result
+
+    def miscorrection_rate(
+        self, flips: int, trials: int = 2_000, seed: int = 0
+    ) -> dict[str, float]:
+        """Monte-Carlo outcome distribution for ``flips`` random flips."""
+        rng = np.random.default_rng(seed)
+        counts = {outcome: 0 for outcome in EccOutcome}
+        for _ in range(trials):
+            data = int(rng.integers(0, 1 << 63, dtype=np.int64))
+            positions = rng.choice(
+                self.CODE_BITS, size=flips, replace=False
+            ).tolist()
+            result = self.transmit(data, positions)
+            counts[result.outcome] += 1
+        return {
+            outcome.value: count / trials
+            for outcome, count in counts.items()
+        }

@@ -1,0 +1,99 @@
+"""DRAM-side energy model.
+
+Constants follow Table V of the paper (sourced from the Micron DDR4
+system-power calculator):
+
+* one ACT + PRE pair costs 11.49 nJ;
+* the regular refreshes of one bank over one tREFW cost 1.08e6 nJ.
+
+The evaluation's energy metric (Figures 8 and 9) is the *increase of
+refresh energy*: extra victim-row refreshes relative to the regular
+refresh energy over the same period.  Because every refreshed row costs
+the same, this equals ``extra_rows_refreshed / rows_refreshed_normally``
+-- which is how :meth:`DramEnergyModel.refresh_energy_increase` computes
+it, with the absolute-energy helpers available for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DramEnergyModel", "PAPER_DRAM_ENERGY"]
+
+
+@dataclass(frozen=True)
+class DramEnergyModel:
+    """Energy constants for one DRAM bank (all energies in nJ).
+
+    Attributes:
+        act_pre_nj: Energy of a single ACT + PRE pair.
+        refresh_per_window_nj: Energy of the regular refreshes of one
+            bank over one tREFW.
+        rows_per_bank: Row count, used to derive per-row refresh energy.
+        read_nj: Energy of one column read burst.
+        write_nj: Energy of one column write burst.
+    """
+
+    act_pre_nj: float = 11.49
+    refresh_per_window_nj: float = 1.08e6
+    rows_per_bank: int = 65536
+    read_nj: float = 4.74
+    write_nj: float = 5.24
+
+    def __post_init__(self) -> None:
+        if self.act_pre_nj <= 0 or self.refresh_per_window_nj <= 0:
+            raise ValueError("energies must be positive")
+        if self.rows_per_bank <= 0:
+            raise ValueError("rows_per_bank must be positive")
+
+    @property
+    def refresh_per_row_nj(self) -> float:
+        """Energy to refresh a single row (~16.5 nJ at the defaults)."""
+        return self.refresh_per_window_nj / self.rows_per_bank
+
+    def activation_energy_nj(self, activations: int) -> float:
+        """Energy of ``activations`` ACT+PRE pairs."""
+        if activations < 0:
+            raise ValueError("activations must be non-negative")
+        return activations * self.act_pre_nj
+
+    def access_energy_nj(self, reads: int, writes: int) -> float:
+        """Energy of column accesses (excludes ACT/PRE)."""
+        if reads < 0 or writes < 0:
+            raise ValueError("access counts must be non-negative")
+        return reads * self.read_nj + writes * self.write_nj
+
+    def victim_refresh_energy_nj(self, rows_refreshed: int) -> float:
+        """Energy of ``rows_refreshed`` victim-row refreshes."""
+        if rows_refreshed < 0:
+            raise ValueError("rows_refreshed must be non-negative")
+        return rows_refreshed * self.refresh_per_row_nj
+
+    def normal_refresh_energy_nj(self, windows: float) -> float:
+        """Regular refresh energy of one bank over ``windows`` tREFWs."""
+        if windows < 0:
+            raise ValueError("windows must be non-negative")
+        return windows * self.refresh_per_window_nj
+
+    def refresh_energy_increase(
+        self, extra_rows_refreshed: int, windows: float
+    ) -> float:
+        """Fractional increase of refresh energy (the Fig. 8/9 metric).
+
+        Args:
+            extra_rows_refreshed: Victim rows refreshed beyond the
+                regular schedule during the measured period.
+            windows: Measured period expressed in refresh windows.
+
+        Returns:
+            ``extra refresh energy / normal refresh energy`` over the
+            period; multiply by 100 for the paper's percentages.
+        """
+        if windows <= 0:
+            raise ValueError("windows must be positive")
+        extra = self.victim_refresh_energy_nj(extra_rows_refreshed)
+        return extra / self.normal_refresh_energy_nj(windows)
+
+
+#: Constants as reported in Table V.
+PAPER_DRAM_ENERGY = DramEnergyModel()

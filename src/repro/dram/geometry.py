@@ -1,0 +1,127 @@
+"""DRAM organization: channels, ranks, banks, rows, and address mapping.
+
+The paper's evaluation system (Table III) is a 4-channel DDR4-2400 setup
+with one rank per channel and 16 banks per rank, 128 GB total.  Graphene
+maintains one counter table *per bank*, so bank-level geometry is the
+unit the rest of this package cares about; row counts per bank determine
+address field widths in the area model (Section IV-B: 64K rows -> 16
+address bits per CAM entry).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["DramGeometry", "BankAddress", "PAPER_SYSTEM_GEOMETRY"]
+
+
+@dataclass(frozen=True, order=True)
+class BankAddress:
+    """Fully qualified bank coordinates within the memory system."""
+
+    channel: int
+    rank: int
+    bank: int
+
+    def flat_index(self, geometry: "DramGeometry") -> int:
+        """Dense index of this bank in ``range(geometry.total_banks)``."""
+        return (
+            self.channel * geometry.ranks_per_channel + self.rank
+        ) * geometry.banks_per_rank + self.bank
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Static shape of the simulated memory system.
+
+    Attributes:
+        channels: Number of independent memory channels.
+        ranks_per_channel: Ranks per channel (paper: 1).
+        banks_per_rank: Banks per rank (DDR4: 16).
+        rows_per_bank: Rows per bank (paper's area math uses 64K).
+        columns_per_row: Column (cache-line) slots per row; only used by
+            the row-buffer-locality model in the performance simulator.
+    """
+
+    channels: int = 4
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 16
+    rows_per_bank: int = 65536
+    columns_per_row: int = 128
+
+    def __post_init__(self) -> None:
+        for name in (
+            "channels",
+            "ranks_per_channel",
+            "banks_per_rank",
+            "rows_per_bank",
+            "columns_per_row",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ValueError(f"{name} must be a positive int, got {value!r}")
+
+    @property
+    def total_ranks(self) -> int:
+        return self.channels * self.ranks_per_channel
+
+    @property
+    def total_banks(self) -> int:
+        return self.total_ranks * self.banks_per_rank
+
+    @property
+    def row_address_bits(self) -> int:
+        """Bits needed to name one row in a bank (16 for 64K rows)."""
+        return max(1, math.ceil(math.log2(self.rows_per_bank)))
+
+    def iter_banks(self) -> Iterator[BankAddress]:
+        """Yield every bank address in the system in flat order."""
+        for channel in range(self.channels):
+            for rank in range(self.ranks_per_channel):
+                for bank in range(self.banks_per_rank):
+                    yield BankAddress(channel, rank, bank)
+
+    def bank_from_flat(self, index: int) -> BankAddress:
+        """Inverse of :meth:`BankAddress.flat_index`."""
+        if not 0 <= index < self.total_banks:
+            raise IndexError(
+                f"bank index {index} out of range [0, {self.total_banks})"
+            )
+        bank = index % self.banks_per_rank
+        index //= self.banks_per_rank
+        rank = index % self.ranks_per_channel
+        channel = index // self.ranks_per_channel
+        return BankAddress(channel, rank, bank)
+
+    def validate_row(self, row: int) -> int:
+        """Check that ``row`` is a legal row index and return it."""
+        if not 0 <= row < self.rows_per_bank:
+            raise IndexError(
+                f"row {row} out of range [0, {self.rows_per_bank})"
+            )
+        return row
+
+    def neighbors(self, row: int, distance: int = 1) -> list[int]:
+        """Rows within ``distance`` of ``row`` (excluding ``row`` itself).
+
+        These are the potential Row Hammer victims of an aggressor at
+        ``row`` under the non-adjacent (+-n) model of Section III-D; rows
+        that would fall off either edge of the bank are clipped.
+        """
+        if distance < 1:
+            raise ValueError(f"distance must be >= 1, got {distance}")
+        self.validate_row(row)
+        result = []
+        for offset in range(-distance, distance + 1):
+            if offset == 0:
+                continue
+            candidate = row + offset
+            if 0 <= candidate < self.rows_per_bank:
+                result.append(candidate)
+        return result
+
+
+#: Geometry of the paper's evaluated system (Table III).
+PAPER_SYSTEM_GEOMETRY = DramGeometry()

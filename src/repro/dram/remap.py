@@ -1,0 +1,161 @@
+"""Internal row-address remapping (paper Section II-C).
+
+DRAM devices may remap logical row addresses to different physical
+locations (post-repair redundancy, vendor scrambling).  Physical
+adjacency -- which is what Row Hammer disturbance follows -- then no
+longer matches logical adjacency.  The paper raises this against CBT:
+its "refresh the counter's row range + 2" trick assumes the 2^l rows
+under one counter are physically contiguous; under remapping it would
+have to refresh 2x the range to cover all possible victims.
+
+Graphene (and the NRR command) are immune by construction: NRR names
+the *aggressor* and the device -- which knows its own mapping --
+refreshes the physical neighbors.
+
+:class:`RowRemapper` models the device-internal map; the fault model
+and auto-refresh operate in physical space while the controller-side
+schemes see only logical addresses.  :func:`remapped_bank_model` builds
+a bank whose interface is logical but whose disturbance referee is
+physical, for end-to-end experiments (see
+``benchmarks/bench_remapping.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .device import DramBankModel
+from .faults import BitFlip, CouplingProfile
+from .timing import DDR4_2400, DramTimings
+
+__all__ = ["RowRemapper", "RemappedBankModel"]
+
+
+class RowRemapper:
+    """Bijective logical->physical row map.
+
+    Args:
+        rows: Row count.
+        swap_fraction: Fraction of rows participating in pairwise swaps
+            (models sparse post-repair remapping; 0 = identity map,
+            1 = a full permutation of paired rows).
+        seed: RNG seed for the swap selection.
+    """
+
+    def __init__(
+        self, rows: int, swap_fraction: float = 0.05, seed: int = 0
+    ) -> None:
+        if rows < 2:
+            raise ValueError("rows must be >= 2")
+        if not 0.0 <= swap_fraction <= 1.0:
+            raise ValueError("swap_fraction outside [0, 1]")
+        self.rows = rows
+        self.swap_fraction = swap_fraction
+        self._to_physical = list(range(rows))
+        rng = random.Random(seed)
+        swap_count = int(rows * swap_fraction) // 2
+        candidates = rng.sample(range(rows), 2 * swap_count)
+        for left, right in zip(candidates[::2], candidates[1::2]):
+            self._to_physical[left], self._to_physical[right] = (
+                self._to_physical[right],
+                self._to_physical[left],
+            )
+        self._to_logical = [0] * rows
+        for logical, physical in enumerate(self._to_physical):
+            self._to_logical[physical] = logical
+
+    def physical(self, logical_row: int) -> int:
+        return self._to_physical[logical_row]
+
+    def logical(self, physical_row: int) -> int:
+        return self._to_logical[physical_row]
+
+    def remapped_rows(self) -> list[int]:
+        """Logical rows whose physical location differs."""
+        return [
+            logical
+            for logical, physical in enumerate(self._to_physical)
+            if logical != physical
+        ]
+
+    def breaks_logical_adjacency(self, logical_row: int) -> bool:
+        """True if this row's physical neighbors differ from the
+        physical locations of its logical neighbors."""
+        physical = self.physical(logical_row)
+        for offset in (-1, 1):
+            neighbor_physical = physical + offset
+            if not 0 <= neighbor_physical < self.rows:
+                continue
+            if abs(self.logical(neighbor_physical) - logical_row) != 1:
+                return True
+        return False
+
+
+class RemappedBankModel:
+    """A bank with an internal remap: logical interface, physical faults.
+
+    The controller issues commands in *logical* space.  ACT disturbance
+    lands on *physical* neighbors.  Two refresh semantics are exposed:
+
+    * :meth:`nrr_logical` -- what a scheme that believes in logical
+      adjacency achieves: it refreshes the physical locations of the
+      *logical* neighborhood (potentially the wrong rows);
+    * :meth:`nrr_device` -- the paper's NRR: the device refreshes the
+      *physical* neighborhood of the aggressor (always the right rows).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        hammer_threshold: float,
+        remapper: RowRemapper,
+        timings: DramTimings = DDR4_2400,
+        coupling: CouplingProfile | None = None,
+    ) -> None:
+        if remapper.rows != rows:
+            raise ValueError("remapper row count mismatch")
+        self.remapper = remapper
+        self._bank = DramBankModel(
+            bank_id=0,
+            rows=rows,
+            timings=timings,
+            hammer_threshold=hammer_threshold,
+            coupling=coupling,
+        )
+
+    def activate(self, logical_row: int, time_ns: float) -> list[BitFlip]:
+        """ACT a logical row; disturbance hits physical neighbors."""
+        return self._bank.activate(
+            self.remapper.physical(logical_row), time_ns
+        )
+
+    def earliest_activate(self, now_ns: float) -> float:
+        return self._bank.earliest_activate(now_ns)
+
+    def nrr_logical(
+        self, logical_victims: Sequence[int], now_ns: float
+    ) -> None:
+        """Refresh the physical rows backing a *logical* victim list --
+        what a controller-side scheme assuming logical adjacency does."""
+        physical = [self.remapper.physical(v) for v in logical_victims]
+        self._bank.bank.nearby_row_refresh(len(physical), now_ns)
+        if self._bank.faults is not None:
+            self._bank.faults.on_refresh_range(physical)
+
+    def nrr_device(self, logical_aggressor: int, now_ns: float) -> None:
+        """The paper's NRR: device-side refresh of the aggressor's
+        *physical* neighborhood (correct under any mapping)."""
+        self._bank.nearby_row_refresh(
+            self.remapper.physical(logical_aggressor), now_ns
+        )
+
+    @property
+    def bit_flips(self) -> list[BitFlip]:
+        return self._bank.bit_flips
+
+    def flipped_logical_rows(self) -> list[int]:
+        """Flipped rows translated back to logical addresses."""
+        return sorted(
+            self.remapper.logical(flip.row) for flip in self.bit_flips
+        )

@@ -1,0 +1,175 @@
+"""DDR4 timing parameters and derived quantities.
+
+The paper (Table I) anchors its analysis on three JEDEC DDR4 parameters:
+
+============  ===========================================  =========
+Parameter     Definition                                   Value
+============  ===========================================  =========
+``tREFI``     Refresh interval                             7.8 us
+``tRFC``      Refresh command time                         350 ns
+``tRC``       ACT-to-ACT interval (same bank)              45 ns
+============  ===========================================  =========
+
+plus the vendor-specific refresh window ``tREFW`` assumed to be 64 ms.
+Table III adds the access timings used by the performance simulation
+(tRCD, tRP, tCL = 13.3 ns for DDR4-2400).
+
+All times in this package are expressed in **nanoseconds** as floats.
+Derived quantities used throughout the paper's parameter math (Section
+III-B) are exposed as properties, most importantly
+:attr:`DramTimings.max_activations_per_refresh_window` -- the ``W`` of
+Inequality 1, computed as ``tREFW * (1 - tRFC/tREFI) / tRC``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["DramTimings", "DDR4_2400", "NS_PER_MS", "NS_PER_US"]
+
+NS_PER_US = 1_000.0
+NS_PER_MS = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """Bundle of DRAM timing parameters (all values in nanoseconds).
+
+    The defaults reproduce Table I / Table III of the paper (DDR4-2400
+    with a 64 ms refresh window).
+
+    Attributes:
+        trefi: Average interval between two refresh commands.
+        trfc: Time a rank is blocked while executing one refresh command.
+        trc: Minimum interval between two ACT commands to the same bank.
+        trefw: Refresh window -- every row is refreshed once per ``trefw``.
+        trcd: ACT-to-column-command delay.
+        trp: Precharge time.
+        tcl: CAS latency.
+        tbus: Data burst occupancy of the data bus for one access.
+    """
+
+    trefi: float = 7.8 * NS_PER_US
+    trfc: float = 350.0
+    trc: float = 45.0
+    trefw: float = 64.0 * NS_PER_MS
+    trcd: float = 13.3
+    trp: float = 13.3
+    tcl: float = 13.3
+    tbus: float = 3.33  # BL8 at DDR4-2400: 8 beats / 2.4 GT/s
+    trrd: float = 3.3   # ACT-to-ACT, different banks (tRRD_S)
+    tfaw: float = 30.0  # four-activate window (rank-level ACT cap)
+
+    def __post_init__(self) -> None:
+        for name in ("trefi", "trfc", "trc", "trefw", "trcd", "trp", "tcl"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        if self.trfc >= self.trefi:
+            raise ValueError(
+                "tRFC must be smaller than tREFI; otherwise the bank would "
+                f"spend all its time refreshing (tRFC={self.trfc}, "
+                f"tREFI={self.trefi})"
+            )
+        if self.trefi >= self.trefw:
+            raise ValueError("tREFI must be smaller than tREFW")
+
+    # ------------------------------------------------------------------
+    # Derived quantities used by the paper's parameter derivations.
+    # ------------------------------------------------------------------
+
+    @property
+    def refresh_duty_factor(self) -> float:
+        """Fraction of time a bank is available (not blocked by refresh).
+
+        Equals ``1 - tRFC/tREFI``; the complement is spent executing
+        refresh commands.
+        """
+        return 1.0 - self.trfc / self.trefi
+
+    @property
+    def refreshes_per_window(self) -> int:
+        """Number of refresh commands issued within one refresh window."""
+        return int(self.trefw // self.trefi)
+
+    @property
+    def max_activations_per_refresh_window(self) -> int:
+        """``W``: the maximum number of ACTs a bank can receive per tREFW.
+
+        This is the paper's ``W = tREFW * (1 - tRFC/tREFI) / tRC``
+        (Section III-B, "Configuring N_entry"), evaluating to ~1,360K for
+        the default DDR4 parameters.
+        """
+        return int(self.trefw * self.refresh_duty_factor / self.trc)
+
+    def max_activations_in(self, window_ns: float) -> int:
+        """Maximum number of ACTs a bank can receive in ``window_ns``.
+
+        Used for the adjustable reset window of Section IV-C where the
+        window is ``tREFW / k``.
+        """
+        if window_ns <= 0:
+            raise ValueError(f"window must be positive, got {window_ns!r}")
+        return int(window_ns * self.refresh_duty_factor / self.trc)
+
+    @property
+    def activation_rate_per_ns(self) -> float:
+        """Sustained maximum ACT rate of one bank (ACTs per nanosecond)."""
+        return self.refresh_duty_factor / self.trc
+
+    @property
+    def rank_activation_rate_per_ns(self) -> float:
+        """Sustained maximum ACT rate of a whole rank.
+
+        Bounded by the four-activate window (4 ACTs per tFAW) and by
+        tRRD; for standard DDR4 parts tFAW is the binding constraint.
+        """
+        per_faw = 4.0 / self.tfaw
+        per_trrd = 1.0 / self.trrd
+        return self.refresh_duty_factor * min(per_faw, per_trrd)
+
+    def max_rank_activations_in(self, window_ns: float) -> int:
+        """Maximum ACTs an entire rank can receive in ``window_ns``.
+
+        The rank-level analogue of :meth:`max_activations_in`, used by
+        the shared-table ablation (one tracker per rank instead of one
+        per bank).
+        """
+        if window_ns <= 0:
+            raise ValueError(f"window must be positive, got {window_ns!r}")
+        return int(window_ns * self.rank_activation_rate_per_ns)
+
+    def scaled(self, **overrides: float) -> "DramTimings":
+        """Return a copy with selected parameters replaced.
+
+        Convenience for sensitivity studies, e.g.
+        ``DDR4_2400.scaled(trefw=32 * NS_PER_MS)``.
+        """
+        return replace(self, **overrides)
+
+    def row_read_latency(self) -> float:
+        """Latency of a row-miss read: ACT + CAS (tRCD + tCL)."""
+        return self.trcd + self.tcl
+
+    def row_cycle_floor(self, accesses_per_row: float) -> float:
+        """Effective per-access bank occupancy given a row-buffer run length.
+
+        A row that serves ``accesses_per_row`` column accesses occupies the
+        bank for at least ``max(tRC, tRCD + accesses * tBUS + tRP)``;
+        this helper returns that occupancy divided by the access count.
+        """
+        if accesses_per_row <= 0:
+            raise ValueError("accesses_per_row must be positive")
+        occupancy = max(
+            self.trc, self.trcd + accesses_per_row * self.tbus + self.trp
+        )
+        return occupancy / accesses_per_row
+
+    def align_to_trefi(self, time_ns: float) -> float:
+        """Next refresh-command boundary at or after ``time_ns``."""
+        return math.ceil(time_ns / self.trefi) * self.trefi
+
+
+#: The default timing set used across the paper's evaluation.
+DDR4_2400 = DramTimings()

@@ -1,0 +1,44 @@
+"""One module per paper table/figure; each has ``run()`` and ``main()``.
+
+Run any experiment from the command line::
+
+    python -m repro.experiments.table2
+    python -m repro.experiments.fig8
+
+or programmatically via :func:`load` / :data:`EXPERIMENT_NAMES`.
+(Submodules are loaded lazily so ``python -m`` execution stays clean.)
+"""
+
+from importlib import import_module
+
+#: Experiment id -> module path (each module exposes run() and main()).
+EXPERIMENT_NAMES = {
+    "table1": "repro.experiments.table1",
+    "table2": "repro.experiments.table2",
+    "table3": "repro.experiments.table3",
+    "table4": "repro.experiments.table4",
+    "table5": "repro.experiments.table5",
+    "fig3": "repro.experiments.fig3",
+    "fig6": "repro.experiments.fig6",
+    "fig7": "repro.experiments.fig7_security",
+    "fig8": "repro.experiments.fig8",
+    "fig9": "repro.experiments.fig9",
+    "non_adjacent": "repro.experiments.non_adjacent",
+    "weighted_speedup": "repro.experiments.weighted_speedup",
+    "capability_matrix": "repro.experiments.capability_matrix",
+}
+
+
+def load(name: str):
+    """Import and return the experiment module for ``name``."""
+    try:
+        path = EXPERIMENT_NAMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from "
+            f"{sorted(EXPERIMENT_NAMES)}"
+        ) from None
+    return import_module(path)
+
+
+__all__ = ["EXPERIMENT_NAMES", "load"]

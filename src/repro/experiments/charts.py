@@ -1,0 +1,120 @@
+"""Terminal charts: render figure data without a plotting stack.
+
+The evaluation figures are bar/line charts; offline environments have
+no matplotlib, so experiment ``main()``s can attach these pure-text
+renderings.  They are intentionally simple -- labeled horizontal bars
+with a shared scale, and multi-series "line" charts as aligned columns
+of scaled glyphs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "series_chart"]
+
+_BLOCK = "#"
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 50,
+    unit: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Horizontal bar chart of label -> value.
+
+    Args:
+        data: Ordered mapping of labels to non-negative values.
+        width: Maximum bar width in characters.
+        unit: Suffix printed after each value.
+        log_scale: Scale bars by log10(1 + value) -- for series spanning
+            orders of magnitude (e.g. table sizes).
+    """
+    if not data:
+        return "(no data)"
+    if any(value < 0 for value in data.values()):
+        raise ValueError("bar_chart values must be non-negative")
+    transform = (lambda v: math.log10(1 + v)) if log_scale else (lambda v: v)
+    peak = max(transform(v) for v in data.values()) or 1.0
+    label_width = max(len(label) for label in data)
+    lines = []
+    for label, value in data.items():
+        bar = _BLOCK * max(
+            0, round(width * transform(value) / peak)
+        )
+        if value > 0 and not bar:
+            bar = _BLOCK  # visible sliver for tiny nonzero values
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Bars grouped by outer label (workload -> scheme -> value)."""
+    if not groups:
+        return "(no data)"
+    peak = max(
+        (value for inner in groups.values() for value in inner.values()),
+        default=1.0,
+    ) or 1.0
+    inner_width = max(
+        len(name) for inner in groups.values() for name in inner
+    )
+    lines = []
+    for group, inner in groups.items():
+        lines.append(f"{group}:")
+        for name, value in inner.items():
+            if value < 0:
+                raise ValueError("grouped_bar_chart values must be >= 0")
+            bar = _BLOCK * max(0, round(width * value / peak))
+            if value > 0 and not bar:
+                bar = _BLOCK
+            lines.append(
+                f"  {name.ljust(inner_width)} |{bar} {value:g}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def series_chart(
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    unit: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Multi-series chart: one row per (x, series) pair, aligned.
+
+    Suited to the Fig. 9 sweeps: x is the threshold axis, each series a
+    scheme.
+    """
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_labels)} x labels"
+            )
+    transform = (lambda v: math.log10(1 + v)) if log_scale else (lambda v: v)
+    peak = max(
+        (transform(v) for values in series.values() for v in values),
+        default=1.0,
+    ) or 1.0
+    x_width = max(len(x) for x in x_labels) if x_labels else 0
+    name_width = max(len(n) for n in series) if series else 0
+    lines = []
+    for index, x in enumerate(x_labels):
+        for name, values in series.items():
+            value = values[index]
+            bar = _BLOCK * max(0, round(width * transform(value) / peak))
+            if value > 0 and not bar:
+                bar = _BLOCK
+            prefix = x.ljust(x_width) if name == next(iter(series)) else " " * x_width
+            lines.append(
+                f"{prefix}  {name.ljust(name_width)} |{bar} {value:g}{unit}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

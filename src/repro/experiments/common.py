@@ -1,0 +1,156 @@
+"""Shared utilities for the per-table/per-figure experiment modules.
+
+Every experiment module exposes:
+
+* ``run(...) -> dict`` -- produce the table/figure data as plain
+  structures (no printing), with parameters that allow scaled-down
+  executions for tests and benchmarks;
+* ``main() -> None`` -- run at presentation scale and print the rows
+  the paper reports (invoked by ``python -m repro.experiments.<name>``).
+
+This module supplies the tiny text-table renderer they share and the
+standard (workload x scheme) sweep harness used by Figs. 8 and 9.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..dram.timing import DDR4_2400, DramTimings
+from ..mitigations.base import MitigationFactory
+from ..mitigations import no_mitigation_factory
+from ..sim.metrics import SimulationResult
+from ..sim.performance import performance_overhead
+from ..sim.simulator import simulate
+from ..workloads.spec_like import REALISTIC_PROFILES, profile_events
+from ..workloads.synthetic import SYNTHETIC_PATTERNS, synthetic_events
+
+__all__ = [
+    "format_table",
+    "percent",
+    "run_workload_matrix",
+    "realistic_trace",
+    "synthetic_trace",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned plain-text table (monospace reports)."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    separator = "  ".join("-" * w for w in widths)
+    body = "\n".join(line(row) for row in materialized)
+    return f"{line(list(headers))}\n{separator}\n{body}"
+
+
+def percent(value: float, digits: int = 3) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def realistic_trace(
+    workload: str,
+    duration_ns: float,
+    seed: int = 42,
+    timings: DramTimings = DDR4_2400,
+    rows_per_bank: int = 65536,
+):
+    """ACT stream for one named realistic workload profile."""
+    return profile_events(
+        REALISTIC_PROFILES[workload],
+        duration_ns,
+        rows_per_bank=rows_per_bank,
+        seed=seed,
+        timings=timings,
+    )
+
+
+def synthetic_trace(
+    pattern: str,
+    duration_ns: float,
+    seed: int = 42,
+    timings: DramTimings = DDR4_2400,
+    rows_per_bank: int = 65536,
+):
+    """ACT stream for one named S1-S4 adversarial pattern."""
+    rows = SYNTHETIC_PATTERNS[pattern](rows_per_bank, seed)
+    return synthetic_events(rows, duration_ns=duration_ns, timings=timings)
+
+
+def run_workload_matrix(
+    workloads: Mapping[str, str],
+    factories: Mapping[str, MitigationFactory],
+    duration_ns: float,
+    seed: int = 42,
+    timings: DramTimings = DDR4_2400,
+    rows_per_bank: int = 65536,
+    hammer_threshold: float = 50_000,
+    track_faults: bool = False,
+) -> dict[str, dict[str, object]]:
+    """Run every (workload, scheme) pair plus the unprotected baseline.
+
+    Args:
+        workloads: ``{label: kind}`` where kind is "realistic" or
+            "synthetic" (selects the trace source for the label).
+        factories: ``{scheme label: factory}``.
+        duration_ns: Trace length per run.
+        seed: Shared trace seed -- every scheme sees the same stream.
+        track_faults: Enable the fault referee (slower; used by the
+            protection-guarantee experiments).
+
+    Returns:
+        ``{workload: {scheme: SimulationResult, ..., "perf": {scheme:
+        overhead}}}`` -- results plus per-scheme performance overheads
+        versus the baseline.
+    """
+
+    def trace(label: str, kind: str):
+        if kind == "realistic":
+            return realistic_trace(
+                label, duration_ns, seed, timings, rows_per_bank
+            )
+        if kind == "synthetic":
+            return synthetic_trace(
+                label, duration_ns, seed, timings, rows_per_bank
+            )
+        raise ValueError(f"unknown workload kind {kind!r}")
+
+    matrix: dict[str, dict[str, object]] = {}
+    for label, kind in workloads.items():
+        baseline = simulate(
+            trace(label, kind),
+            no_mitigation_factory(),
+            scheme="none",
+            workload=label,
+            rows_per_bank=rows_per_bank,
+            timings=timings,
+            hammer_threshold=hammer_threshold,
+            track_faults=track_faults,
+            duration_ns=duration_ns,
+        )
+        entry: dict[str, object] = {"none": baseline}
+        overheads: dict[str, float] = {}
+        for scheme, factory in factories.items():
+            result = simulate(
+                trace(label, kind),
+                factory,
+                scheme=scheme,
+                workload=label,
+                rows_per_bank=rows_per_bank,
+                timings=timings,
+                hammer_threshold=hammer_threshold,
+                track_faults=track_faults,
+                duration_ns=duration_ns,
+            )
+            entry[scheme] = result
+            overheads[scheme] = performance_overhead(result, baseline)
+        entry["perf"] = overheads
+        matrix[label] = entry
+    return matrix

@@ -1,0 +1,107 @@
+"""Fig. 3: the two-window accumulation worst case.
+
+The figure's argument: a row can accumulate up to ``T - 1`` ACTs in a
+reset window without triggering victim refreshes; straddling a table
+reset, an aggressor therefore gets up to ``2(T - 1)`` undetected ACTs
+between two regular refreshes of its victim.  With two aggressors
+hammering one victim double-sided, the victim absorbs ``4(T - 1)``
+ACTs -- which the ``T < T_RH/4 + 1`` derivation keeps strictly below
+``T_RH``.
+
+This experiment *executes* that worst case at full scale: two
+aggressors each issue exactly ``T - 1`` ACTs immediately before the
+window reset and ``T - 1`` immediately after, against a real engine
+and the fault referee (with the victim's last regular refresh assumed
+at the worst possible moment, i.e. never during the attack).  It
+verifies: zero victim refreshes are triggered (the attacker stayed
+under the radar), the victim's accumulated disturbance is exactly
+``4(T - 1)``, and the remaining margin to ``T_RH`` is positive -- and
+tiny (4 ACTs at the paper's parameters), showing the bound is tight.
+"""
+
+from __future__ import annotations
+
+from ..core.config import GrapheneConfig
+from ..core.graphene import GrapheneEngine
+from ..dram.faults import HammerFaultModel
+from ..dram.timing import DDR4_2400, DramTimings
+
+__all__ = ["run", "main"]
+
+
+def run(
+    hammer_threshold: int = 50_000,
+    timings: DramTimings = DDR4_2400,
+    rows_per_bank: int = 65536,
+) -> dict[str, object]:
+    """Execute the straddling double-sided worst case.
+
+    Returns the per-phase ACT counts, triggered refreshes, the victim's
+    final disturbance and the margin to the Row Hammer threshold.
+    """
+    config = GrapheneConfig(
+        hammer_threshold=hammer_threshold,
+        timings=timings,
+        rows_per_bank=rows_per_bank,
+        reset_window_divisor=1,
+    )
+    engine = GrapheneEngine(config)
+    referee = HammerFaultModel(
+        threshold=hammer_threshold, rows=rows_per_bank
+    )
+    threshold = config.tracking_threshold
+    victim = rows_per_bank // 2
+    aggressors = (victim - 1, victim + 1)
+    acts_per_phase = threshold - 1  # per aggressor, per window
+
+    boundary_ns = config.reset_window_ns
+    interval = timings.trc
+    phase_span = 2 * acts_per_phase * interval
+
+    refreshes = 0
+
+    def hammer(start_ns: float) -> float:
+        nonlocal refreshes
+        time_ns = start_ns
+        for index in range(acts_per_phase):
+            for aggressor in aggressors:
+                refreshes += len(engine.on_activate(aggressor, time_ns))
+                referee.on_activate(aggressor, time_ns)
+                time_ns += interval
+        return time_ns
+
+    # Phase 1 ends just before the table reset...
+    hammer(boundary_ns - phase_span - interval)
+    # ...phase 2 begins right after it.
+    hammer(boundary_ns + interval)
+
+    disturbance = referee.disturbance_of(victim)
+    return {
+        "T": threshold,
+        "acts_per_aggressor": 2 * acts_per_phase,
+        "total_aggressor_acts": 4 * acts_per_phase,
+        "victim_refreshes_triggered": refreshes,
+        "victim_disturbance": disturbance,
+        "hammer_threshold": hammer_threshold,
+        "margin_acts": hammer_threshold - disturbance,
+        "bit_flips": referee.flip_count,
+        "window_resets": engine.stats.window_resets,
+    }
+
+
+def main() -> None:
+    data = run()
+    print("Fig. 3: two-window straddling worst case (double-sided)")
+    print(f"  T = {data['T']:,}; each aggressor issued "
+          f"2(T-1) = {data['acts_per_aggressor']:,} ACTs across the reset")
+    print(f"  victim refreshes triggered: "
+          f"{data['victim_refreshes_triggered']} (attack stayed below T)")
+    print(f"  victim disturbance: {data['victim_disturbance']:,.0f} "
+          f"of T_RH = {data['hammer_threshold']:,} "
+          f"(margin: {data['margin_acts']:,.0f} ACTs)")
+    print(f"  bit flips: {data['bit_flips']} (guarantee holds; the bound "
+          "is tight -- the margin is just 4 ACTs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+"""Fig. 9: scalability across Row Hammer thresholds (Section V-C).
+
+Four panels across ``T_RH`` in {50K, 25K, 12.5K, 6.25K, 3.125K, 1.56K}:
+
+* **(a)** table size per rank (16 banks) -- pure area models;
+* **(b)** average refresh-energy overhead on normal workloads;
+* **(c)** average refresh-energy overhead on adversarial patterns;
+* **(d)** average performance overhead on normal workloads.
+
+Every scheme is reconfigured per threshold exactly as the paper does
+(PARA's p re-derived, CBT's counters doubled per halving, TWiCe and
+Graphene tables resized).  Simulation panels use representative
+workload subsets by default (full sweeps are a matter of passing the
+complete lists; metrics are averaged across the subset like the
+paper's averages).
+"""
+
+from __future__ import annotations
+
+from ..analysis.scaling import PAPER_THRESHOLD_SWEEP, scheme_factories
+from ..core.area import table_size_series
+from ..dram.timing import DDR4_2400, DramTimings
+from .common import format_table, percent, run_workload_matrix
+
+__all__ = ["run", "main", "SCHEME_ORDER"]
+
+SCHEME_ORDER = ("para", "cbt", "twice", "graphene")
+
+#: Representative subsets for the simulation panels: the heaviest
+#: pointer-chaser, the most locality-skewed, and a lighter workload.
+DEFAULT_NORMAL = ("mcf", "MICA", "omnetpp")
+DEFAULT_ADVERSARIAL = ("S3", "S1-10")
+
+
+def run(
+    thresholds: tuple[int, ...] = PAPER_THRESHOLD_SWEEP,
+    duration_ns: float | None = None,
+    normal: tuple[str, ...] = DEFAULT_NORMAL,
+    adversarial: tuple[str, ...] = DEFAULT_ADVERSARIAL,
+    seed: int = 42,
+    timings: DramTimings = DDR4_2400,
+) -> dict[str, object]:
+    """Produce all four Fig. 9 panels.
+
+    Args:
+        thresholds: The T_RH sweep (paper: 50K .. 1.56K).
+        duration_ns: Per-run trace length (default one tREFW).
+        normal / adversarial: Workload subsets averaged per panel.
+    """
+    if duration_ns is None:
+        duration_ns = timings.trefw
+
+    area = table_size_series(list(thresholds), timings)
+
+    energy_normal: dict[int, dict[str, float]] = {}
+    energy_adversarial: dict[int, dict[str, float]] = {}
+    perf_normal: dict[int, dict[str, float]] = {}
+
+    for trh in thresholds:
+        factories = scheme_factories(trh, timings=timings)
+        workloads = {name: "realistic" for name in normal}
+        workloads.update({name: "synthetic" for name in adversarial})
+        matrix = run_workload_matrix(
+            workloads,
+            factories,
+            duration_ns=duration_ns,
+            seed=seed,
+            timings=timings,
+            hammer_threshold=trh,
+        )
+        energy_normal[trh] = {
+            scheme: sum(
+                matrix[w][scheme].refresh_energy_increase() for w in normal
+            ) / len(normal)
+            for scheme in SCHEME_ORDER
+        }
+        energy_adversarial[trh] = {
+            scheme: sum(
+                matrix[w][scheme].refresh_energy_increase()
+                for w in adversarial
+            ) / len(adversarial)
+            for scheme in SCHEME_ORDER
+        }
+        perf_normal[trh] = {
+            scheme: sum(matrix[w]["perf"][scheme] for w in normal)
+            / len(normal)
+            for scheme in SCHEME_ORDER
+        }
+
+    return {
+        "thresholds": thresholds,
+        "area": area,
+        "energy_normal": energy_normal,
+        "energy_adversarial": energy_adversarial,
+        "perf_normal": perf_normal,
+    }
+
+
+def main() -> None:
+    data = run()
+    thresholds = data["thresholds"]
+
+    print("Fig. 9(a): table size per rank (16 banks), bits")
+    rows = []
+    for trh in thresholds:
+        rows.append(
+            [f"{trh:,}"]
+            + [
+                f"{data['area'][scheme][trh].per_rank():,}"
+                for scheme in ("CBT", "TWiCe", "Graphene")
+            ]
+        )
+    print(format_table(["T_RH", "CBT", "TWiCe", "Graphene"], rows))
+
+    for key, title in (
+        ("energy_normal", "Fig. 9(b): avg refresh-energy overhead, "
+                          "normal workloads"),
+        ("energy_adversarial", "Fig. 9(c): avg refresh-energy overhead, "
+                               "adversarial patterns"),
+        ("perf_normal", "Fig. 9(d): avg performance overhead, "
+                        "normal workloads"),
+    ):
+        print(f"\n{title}")
+        rows = [
+            [f"{trh:,}"]
+            + [percent(data[key][trh][scheme], 3) for scheme in SCHEME_ORDER]
+            for trh in thresholds
+        ]
+        print(format_table(
+            ["T_RH"] + [s.upper() for s in SCHEME_ORDER], rows
+        ))
+
+    from .charts import series_chart
+
+    print("\nFig. 9(a) as a chart (bits per rank, log scale):")
+    print(series_chart(
+        [f"{trh:,}" for trh in thresholds],
+        {
+            scheme: [
+                float(data["area"][scheme][trh].per_rank())
+                for trh in thresholds
+            ]
+            for scheme in ("Graphene", "CBT", "TWiCe")
+        },
+        log_scale=True,
+    ))
+
+    print(
+        "\nPaper shape: all table sizes grow ~linearly in 1/T_RH with "
+        "TWiCe an order of magnitude above Graphene; PARA's overheads "
+        "grow steeply as T_RH falls; Graphene/TWiCe stay ~0 on normal "
+        "workloads at every threshold and scale linearly on adversarial "
+        "patterns; CBT stays notable throughout."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Table I: DDR4 refresh parameters.
+
+Regenerates the definition/value rows the rest of the evaluation is
+anchored on, plus the derived quantities the paper computes from them
+(the per-window ACT budget ``W`` and the refresh duty factor).
+"""
+
+from __future__ import annotations
+
+from ..dram.timing import DDR4_2400, DramTimings
+from .common import format_table
+
+__all__ = ["run", "main"]
+
+
+def run(timings: DramTimings = DDR4_2400) -> dict[str, object]:
+    """Produce the Table I rows and the derived quantities."""
+    return {
+        "rows": [
+            ("tREFI", "Refresh interval", f"{timings.trefi / 1000:.1f} us"),
+            ("tRFC", "Refresh command time", f"{timings.trfc:.0f} ns"),
+            ("tRC", "ACT to ACT interval", f"{timings.trc:.0f} ns"),
+            ("tREFW", "Refresh window (vendor-specific)",
+             f"{timings.trefw / 1e6:.0f} ms"),
+        ],
+        "derived": {
+            "refresh_duty_factor": timings.refresh_duty_factor,
+            "refreshes_per_window": timings.refreshes_per_window,
+            "W_max_acts_per_window": (
+                timings.max_activations_per_refresh_window
+            ),
+        },
+    }
+
+
+def main() -> None:
+    data = run()
+    print("Table I: refresh parameters (DDR4 JEDEC / paper defaults)")
+    print(format_table(["Term", "Definition", "Value"], data["rows"]))
+    derived = data["derived"]
+    print(
+        f"\nDerived: duty factor = {derived['refresh_duty_factor']:.4f}, "
+        f"REFs per tREFW = {derived['refreshes_per_window']}, "
+        f"W = {derived['W_max_acts_per_window']:,} ACTs "
+        "(paper: ~1,360K)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Table IV: tracking-table size and memory type per scheme.
+
+The paper's per-bank numbers at ``T_RH`` = 50K:
+
+==========  ========================  ===========
+Scheme      Table size (bits/bank)    Memory type
+==========  ========================  ===========
+CBT-128     3,824                     SRAM
+TWiCe       20,484 CAM + 15,932 SRAM  CAM + SRAM
+Graphene    2,511                     CAM
+==========  ========================  ===========
+
+Graphene's 2,511 bits are derived exactly; CBT/TWiCe come from the
+structural models calibrated to these anchors (see
+:mod:`repro.core.area`).  The headline ratio -- Graphene ~15x fewer
+table bits than TWiCe -- is computed from the models.
+"""
+
+from __future__ import annotations
+
+from ..core.area import (
+    CbtAreaModel,
+    GrapheneAreaModel,
+    PAPER_TABLE_IV_BITS_PER_BANK,
+    TableArea,
+    TwiceAreaModel,
+)
+from .common import format_table
+
+__all__ = ["run", "main"]
+
+
+def run(hammer_threshold: int = 50_000) -> dict[str, TableArea]:
+    """Compute each scheme's per-bank table footprint."""
+    return {
+        "CBT-128": CbtAreaModel(hammer_threshold=hammer_threshold).area(),
+        "TWiCe": TwiceAreaModel(hammer_threshold=hammer_threshold).area(),
+        "Graphene": GrapheneAreaModel.for_threshold(hammer_threshold).area(),
+    }
+
+
+def main() -> None:
+    areas = run()
+    print("Table IV: tracking-table size per bank (T_RH = 50K)")
+    rows = []
+    for name, area in areas.items():
+        paper = PAPER_TABLE_IV_BITS_PER_BANK[name]
+        paper_total = paper["cam"] + paper["sram"]
+        memory = (
+            "CAM + SRAM"
+            if area.cam_bits and area.sram_bits
+            else ("CAM" if area.cam_bits else "SRAM")
+        )
+        rows.append(
+            (
+                name,
+                f"{area.total_bits:,}",
+                f"{paper_total:,}",
+                memory,
+                f"{area.entries:,}",
+            )
+        )
+    print(
+        format_table(
+            ["Scheme", "Bits/bank (measured)", "Bits/bank (paper)",
+             "Memory type", "Entries"],
+            rows,
+        )
+    )
+    ratio = areas["TWiCe"].total_bits / areas["Graphene"].total_bits
+    print(
+        f"\nTWiCe / Graphene table-bit ratio: {ratio:.1f}x "
+        "(paper: 'about 15x fewer table bits')"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""All Row Hammer mitigation schemes behind one interface.
+
+Counter-based, deterministic-guarantee schemes:
+
+* :class:`GrapheneMitigation` -- the paper's contribution;
+* :class:`TWiCe` -- time-window counters (state of the art compared);
+* :class:`CBT` -- counter-based tree;
+* :class:`CRA` -- DRAM-resident counters with a counter cache.
+
+Probabilistic schemes:
+
+* :class:`PARA` -- stateless neighbor refresh;
+* :class:`PRoHIT` -- hot/cold history tables;
+* :class:`MRLoc` -- locality-weighted history queue.
+
+Plus :class:`NoMitigation` as the unprotected control.  Use the
+``*_factory`` helpers to hand per-bank engine construction to the
+simulator.
+"""
+
+from .base import (
+    MitigationEngine,
+    MitigationFactory,
+    MitigationStats,
+    RefreshDirective,
+)
+from .cbt import CBT, cbt_factory
+from .cra import CRA, cra_factory
+from .graphene import GrapheneMitigation, graphene_factory
+from .mrloc import MRLoc, mrloc_factory
+from .none import NoMitigation
+from .oracle import OracleMitigation, oracle_factory
+from .para import PAPER_PARA_P, PAPER_PARA_P_SERIES, PARA, para_factory
+from .prohit import PRoHIT, prohit_factory
+from .refresh_rate import (
+    IncreasedRefreshRate,
+    increased_refresh_rate_factory,
+    protection_of_rate_increase,
+)
+from .twice import TWiCe, twice_factory
+
+__all__ = [
+    "MitigationEngine",
+    "MitigationFactory",
+    "MitigationStats",
+    "RefreshDirective",
+    "GrapheneMitigation",
+    "graphene_factory",
+    "PARA",
+    "para_factory",
+    "PAPER_PARA_P",
+    "PAPER_PARA_P_SERIES",
+    "PRoHIT",
+    "prohit_factory",
+    "MRLoc",
+    "mrloc_factory",
+    "CBT",
+    "cbt_factory",
+    "TWiCe",
+    "twice_factory",
+    "CRA",
+    "cra_factory",
+    "NoMitigation",
+    "IncreasedRefreshRate",
+    "increased_refresh_rate_factory",
+    "protection_of_rate_increase",
+    "OracleMitigation",
+    "oracle_factory",
+]
+
+
+def no_mitigation_factory() -> MitigationFactory:
+    """Factory for the unprotected baseline."""
+
+    def build(bank: int, rows: int) -> NoMitigation:
+        return NoMitigation(bank, rows)
+
+    return build

@@ -1,0 +1,148 @@
+"""Common interface for all Row Hammer mitigation schemes.
+
+Every scheme the paper compares (Graphene, PARA, PRoHIT, MRLoc, CBT,
+TWiCe, plus the related-work CRA and a null baseline) is modeled as a
+per-bank :class:`MitigationEngine`.  The memory controller reports
+every ACT to the engine and receives :class:`RefreshDirective` objects
+naming rows that must be victim-refreshed immediately; schemes with
+periodic behavior (TWiCe pruning, PRoHIT's piggybacked refreshes) also
+get a callback on every regular REF command.
+
+Keeping a single interface is what lets one simulator harness produce
+all of Figures 8 and 9 by swapping factories.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = [
+    "RefreshDirective",
+    "MitigationStats",
+    "MitigationEngine",
+    "MitigationFactory",
+]
+
+
+@dataclass(frozen=True)
+class RefreshDirective:
+    """An order to victim-refresh specific rows, right now.
+
+    Attributes:
+        bank: Flat bank index.
+        victim_rows: Rows to refresh.  May be a ``range`` for schemes
+            that refresh contiguous regions (CBT), or a tuple for
+            neighborhood refreshes; only ``len`` and iteration are used.
+        time_ns: When the triggering event occurred.
+        aggressor_row: The suspected aggressor, when the scheme knows it
+            (None for CBT's region refreshes).
+        reason: Free-form label ("threshold", "probabilistic", ...).
+    """
+
+    bank: int
+    victim_rows: Sequence[int]
+    time_ns: float
+    aggressor_row: int | None = None
+    reason: str = "threshold"
+
+    @property
+    def row_count(self) -> int:
+        return len(self.victim_rows)
+
+
+@dataclass
+class MitigationStats:
+    """Counters every engine maintains, the basis of all overhead plots."""
+
+    activations: int = 0
+    refresh_directives: int = 0
+    rows_refreshed: int = 0
+    #: Largest single directive, to expose burstiness (CBT's weakness).
+    largest_directive_rows: int = 0
+
+    def record(self, directives: Sequence[RefreshDirective]) -> None:
+        for directive in directives:
+            self.refresh_directives += 1
+            self.rows_refreshed += directive.row_count
+            if directive.row_count > self.largest_directive_rows:
+                self.largest_directive_rows = directive.row_count
+
+
+class MitigationEngine(abc.ABC):
+    """Per-bank Row Hammer mitigation scheme.
+
+    Subclasses implement :meth:`_process_activation`; the public
+    :meth:`on_activate` wraps it with shared statistics bookkeeping.
+    """
+
+    #: Human-readable scheme name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, bank: int, rows: int) -> None:
+        if rows < 2:
+            raise ValueError("a bank needs at least 2 rows to have victims")
+        self.bank = bank
+        self.rows = rows
+        self.stats = MitigationStats()
+
+    # ------------------------------------------------------------------
+    # Event entry points (called by the memory controller)
+    # ------------------------------------------------------------------
+
+    def on_activate(self, row: int, time_ns: float) -> list[RefreshDirective]:
+        """Report one ACT; returns victim-refresh directives."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+        self.stats.activations += 1
+        directives = self._process_activation(row, time_ns)
+        self.stats.record(directives)
+        return directives
+
+    def on_refresh_command(self, time_ns: float) -> list[RefreshDirective]:
+        """Hook invoked at every regular REF command (default: no-op)."""
+        directives = self._process_refresh_command(time_ns)
+        self.stats.record(directives)
+        return directives
+
+    # ------------------------------------------------------------------
+    # Subclass responsibilities
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _process_activation(
+        self, row: int, time_ns: float
+    ) -> list[RefreshDirective]:
+        """Scheme-specific reaction to one ACT."""
+
+    def _process_refresh_command(
+        self, time_ns: float
+    ) -> list[RefreshDirective]:
+        """Scheme-specific reaction to a REF command (default none)."""
+        return []
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def neighbors_of(self, row: int, radius: int = 1) -> tuple[int, ...]:
+        """Rows within ``radius`` of ``row``, clipped at bank edges."""
+        return tuple(
+            victim
+            for distance in range(1, radius + 1)
+            for victim in (row - distance, row + distance)
+            if 0 <= victim < self.rows
+        )
+
+    def table_bits(self) -> int:
+        """Tracking-state footprint in bits (0 for stateless schemes)."""
+        return 0
+
+    def describe(self) -> str:
+        """One-line configuration summary for experiment logs."""
+        return f"{self.name}(bank={self.bank})"
+
+
+#: A factory builds one engine per bank: ``factory(bank_id, rows)``.
+MitigationFactory = Callable[[int, int], MitigationEngine]

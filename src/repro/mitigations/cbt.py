@@ -1,0 +1,243 @@
+"""CBT: Counter-Based Tree (Seyedzadeh et al., CAL 2017 / ISCA 2018).
+
+CBT shares a small pool of counters across all rows of a bank through
+a dynamically split binary tree:
+
+* the tree starts as a single root counter covering every row;
+* when a counter covering more than one row reaches its level's *split
+  threshold* (lower thresholds at shallower levels), and a free counter
+  exists, it splits into two children each covering half its range --
+  both children **inherit the parent's count**, which keeps the
+  estimate conservative (a row's true ACT count can never exceed its
+  covering counter);
+* when any counter reaches the *action threshold* (derived from the
+  Row Hammer threshold: ``T_RH / 4``, the same two-sided/two-window
+  argument Graphene uses), CBT refreshes the counter's whole covered
+  range plus one row on each side and resets the counter;
+* all counters collapse back to the root at every refresh window.
+
+The burst refresh of ``rows/2^level + 2`` rows is CBT's weakness: the
+paper (Section II-C) notes both the performance hit of the burst and
+that the "+2" variant assumes physically contiguous rows inside the
+device.  Both the contiguous (``+2``) and remapped (``x2``) refresh
+cost models are selectable to reproduce that discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from ..dram.timing import DDR4_2400, DramTimings
+from .base import MitigationEngine, MitigationFactory, RefreshDirective
+
+__all__ = ["CBT", "cbt_factory"]
+
+
+@dataclass
+class _Counter:
+    """One tree node: a counter covering ``size`` rows from ``start``."""
+
+    start: int
+    size: int
+    level: int
+    count: int
+
+
+class CBT(MitigationEngine):
+    """Counter-based tree protection for one bank.
+
+    Args:
+        bank: Flat bank index.
+        rows: Rows in the bank (must be a power of two for clean halving;
+            other sizes work, ranges just split unevenly).
+        hammer_threshold: ``T_RH``.
+        num_counters: Counter pool size (CBT-128 ... CBT-4096).
+        num_levels: Maximum tree depth (paper: 10 levels for CBT-128,
+            +1 per counter doubling).
+        timings: Supplies tREFW for the window reset.
+        assume_contiguous: When True, a trigger refreshes ``size + 2``
+            rows (the paper's ``N/2^l + 2``); when False, models the
+            internally-remapped case where ``size * 2`` rows must be
+            refreshed to cover all possible victims.
+    """
+
+    name = "cbt"
+
+    def __init__(
+        self,
+        bank: int,
+        rows: int,
+        hammer_threshold: int,
+        num_counters: int = 128,
+        num_levels: int = 10,
+        timings: DramTimings = DDR4_2400,
+        assume_contiguous: bool = True,
+    ) -> None:
+        super().__init__(bank, rows)
+        if hammer_threshold < 8:
+            raise ValueError("hammer_threshold too small")
+        if num_counters < 1:
+            raise ValueError("num_counters must be >= 1")
+        if num_levels < 1:
+            raise ValueError("num_levels must be >= 1")
+        self.hammer_threshold = hammer_threshold
+        self.num_counters = num_counters
+        self.num_levels = num_levels
+        self.timings = timings
+        self.assume_contiguous = assume_contiguous
+        #: Action threshold: trigger refreshes when any counter hits it.
+        self.action_threshold = max(1, hammer_threshold // 4)
+        self._window_length_ns = timings.trefw
+        self._current_window = 0
+        #: Leaves sorted by ``start``; together they tile [0, rows).
+        self._leaves: list[_Counter] = [_Counter(0, rows, 0, 0)]
+        self.splits = 0
+        self.window_resets = 0
+
+    # ------------------------------------------------------------------
+    # Thresholds
+    # ------------------------------------------------------------------
+
+    def split_threshold(self, level: int) -> int:
+        """Split threshold for ``level`` -- a linear ramp up to the
+        action threshold at the deepest level, so shallow (coarse)
+        counters split early and fine counters only act.
+        """
+        if level >= self.num_levels - 1:
+            return self.action_threshold
+        ramp = (level + 1) / self.num_levels
+        return max(1, int(self.action_threshold * ramp))
+
+    # ------------------------------------------------------------------
+    # ACT processing
+    # ------------------------------------------------------------------
+
+    def _process_activation(
+        self, row: int, time_ns: float
+    ) -> list[RefreshDirective]:
+        self._maybe_reset(time_ns)
+        index = self._leaf_index(row)
+        node = self._leaves[index]
+        node.count += 1
+
+        if node.count >= self.action_threshold:
+            return [self._trigger(index, time_ns)]
+
+        # Split while the node is coarse, hot, and counters remain.
+        while (
+            node.size > 1
+            and node.level < self.num_levels - 1
+            and len(self._leaves) < self.num_counters
+            and node.count >= self.split_threshold(node.level)
+        ):
+            node = self._split(index, row)
+            index = self._leaf_index(row)
+        return []
+
+    def _trigger(self, index: int, time_ns: float) -> RefreshDirective:
+        """Counter hit the action threshold: burst-refresh its range."""
+        node = self._leaves[index]
+        node.count = 0
+        if self.assume_contiguous:
+            first = max(0, node.start - 1)
+            last = min(self.rows, node.start + node.size + 1)
+            victims: range = range(first, last)
+        else:
+            # Remapped case: the device may scatter the 2^l-row group, so
+            # up to 2x the group size of potential victims must refresh.
+            span = min(self.rows, node.size * 2)
+            first = max(0, min(node.start, self.rows - span))
+            victims = range(first, first + span)
+        return RefreshDirective(
+            bank=self.bank,
+            victim_rows=victims,
+            time_ns=time_ns,
+            aggressor_row=None,
+            reason=f"cbt-level-{node.level}",
+        )
+
+    def _split(self, index: int, row: int) -> _Counter:
+        """Split leaf ``index`` in half; both children inherit the count."""
+        node = self._leaves[index]
+        left_size = node.size // 2
+        left = _Counter(node.start, left_size, node.level + 1, node.count)
+        right = _Counter(
+            node.start + left_size,
+            node.size - left_size,
+            node.level + 1,
+            node.count,
+        )
+        self._leaves[index : index + 1] = [left, right]
+        self.splits += 1
+        return left if row < right.start else right
+
+    # ------------------------------------------------------------------
+    # Window reset and lookup
+    # ------------------------------------------------------------------
+
+    def _maybe_reset(self, time_ns: float) -> None:
+        window = int(time_ns // self._window_length_ns)
+        if window != self._current_window:
+            self._leaves = [_Counter(0, self.rows, 0, 0)]
+            self._current_window = window
+            self.window_resets += 1
+
+    def _leaf_index(self, row: int) -> int:
+        starts = [leaf.start for leaf in self._leaves]
+        index = bisect_right(starts, row) - 1
+        leaf = self._leaves[index]
+        assert leaf.start <= row < leaf.start + leaf.size
+        return index
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def counters_in_use(self) -> int:
+        return len(self._leaves)
+
+    def leaf_snapshot(self) -> list[tuple[int, int, int, int]]:
+        """(start, size, level, count) per live counter."""
+        return [
+            (leaf.start, leaf.size, leaf.level, leaf.count)
+            for leaf in self._leaves
+        ]
+
+    def table_bits(self) -> int:
+        """Structural SRAM footprint (see :mod:`repro.core.area`)."""
+        count_bits = math.ceil(math.log2(self.action_threshold * 2 + 1))
+        level_bits = max(1, math.ceil(math.log2(self.num_levels + 1)))
+        prefix_bits = max(1, self.num_levels - 1)
+        return self.num_counters * (count_bits + level_bits + prefix_bits + 1)
+
+    def describe(self) -> str:
+        return (
+            f"cbt(counters={self.num_counters}, levels={self.num_levels}, "
+            f"T_act={self.action_threshold})"
+        )
+
+
+def cbt_factory(
+    hammer_threshold: int,
+    num_counters: int = 128,
+    num_levels: int = 10,
+    timings: DramTimings = DDR4_2400,
+    assume_contiguous: bool = True,
+) -> MitigationFactory:
+    """Factory building one :class:`CBT` per bank."""
+
+    def build(bank: int, rows: int) -> CBT:
+        return CBT(
+            bank,
+            rows,
+            hammer_threshold=hammer_threshold,
+            num_counters=num_counters,
+            num_levels=num_levels,
+            timings=timings,
+            assume_contiguous=assume_contiguous,
+        )
+
+    return build

@@ -1,0 +1,159 @@
+"""CRA: Counter-based Row Activation (Kim, Nair & Qureshi, CAL 2015).
+
+CRA keeps one exact counter *per DRAM row*, stored in a reserved region
+of DRAM itself, with a small on-chip *counter cache* absorbing the
+common case.  Every ACT must increment the activated row's counter:
+
+* **cache hit** -- increment in place;
+* **cache miss** -- evict the LRU cached counter (write it back to the
+  DRAM-resident table) and fetch the needed one: two extra DRAM
+  accesses on the program's critical path.
+
+A counter crossing the per-aggressor threshold (``T_RH / 4``) triggers
+a victim refresh and resets.  Counters reset every refresh window.
+
+The paper's Section II-C critique -- CRA "performs poorly for an access
+pattern with little locality" -- falls out directly: low-locality ACT
+streams miss the counter cache constantly, and each miss costs DRAM
+bandwidth.  The engine reports ``cache_misses`` so the performance
+model can charge that cost.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+
+from ..dram.timing import DDR4_2400, DramTimings
+from .base import MitigationEngine, MitigationFactory, RefreshDirective
+
+__all__ = ["CRA", "cra_factory"]
+
+
+class CRA(MitigationEngine):
+    """Per-row counters in DRAM with an on-chip LRU counter cache.
+
+    Args:
+        bank: Flat bank index.
+        rows: Rows in the bank.
+        hammer_threshold: ``T_RH``.
+        cache_entries: On-chip counter cache capacity.
+        timings: Supplies tREFW for the window reset.
+    """
+
+    name = "cra"
+
+    def __init__(
+        self,
+        bank: int,
+        rows: int,
+        hammer_threshold: int,
+        cache_entries: int = 512,
+        timings: DramTimings = DDR4_2400,
+    ) -> None:
+        super().__init__(bank, rows)
+        if hammer_threshold < 8:
+            raise ValueError("hammer_threshold too small")
+        if cache_entries < 1:
+            raise ValueError("cache_entries must be >= 1")
+        self.hammer_threshold = hammer_threshold
+        self.cache_entries = cache_entries
+        self.timings = timings
+        self.act_threshold = max(1, hammer_threshold // 4)
+        #: The DRAM-resident counter table (row -> count); rows absent
+        #: from the dict hold an implicit zero.
+        self._backing: dict[int, int] = {}
+        #: On-chip cache: row -> count, LRU order (oldest first).
+        self._cache: OrderedDict[int, int] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.writebacks = 0
+        self._window_length_ns = timings.trefw
+        self._current_window = 0
+
+    # ------------------------------------------------------------------
+    # ACT processing
+    # ------------------------------------------------------------------
+
+    def _process_activation(
+        self, row: int, time_ns: float
+    ) -> list[RefreshDirective]:
+        self._maybe_reset(time_ns)
+        count = self._lookup(row) + 1
+        self._cache[row] = count
+        self._cache.move_to_end(row)
+        if count < self.act_threshold:
+            return []
+        self._cache[row] = 0
+        return [
+            RefreshDirective(
+                bank=self.bank,
+                victim_rows=self.neighbors_of(row),
+                time_ns=time_ns,
+                aggressor_row=row,
+                reason="cra-threshold",
+            )
+        ]
+
+    def _lookup(self, row: int) -> int:
+        """Fetch the row's counter through the cache, evicting on miss."""
+        if row in self._cache:
+            self.cache_hits += 1
+            return self._cache[row]
+        self.cache_misses += 1
+        if len(self._cache) >= self.cache_entries:
+            victim_row, victim_count = self._cache.popitem(last=False)
+            self._backing[victim_row] = victim_count
+            self.writebacks += 1
+        count = self._backing.pop(row, 0)
+        self._cache[row] = count
+        return count
+
+    def _maybe_reset(self, time_ns: float) -> None:
+        window = int(time_ns // self._window_length_ns)
+        if window != self._current_window:
+            self._backing.clear()
+            self._cache.clear()
+            self._current_window = window
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_misses / total if total else 0.0
+
+    def extra_dram_accesses(self) -> int:
+        """DRAM accesses caused by counter-cache misses (fetch + wb)."""
+        return self.cache_misses + self.writebacks
+
+    def table_bits(self) -> int:
+        """On-chip cost only: the counter cache (the DRAM table is free
+        capacity-wise but costs bandwidth, reported separately)."""
+        address_bits = max(1, math.ceil(math.log2(self.rows)))
+        count_bits = max(4, math.ceil(math.log2(self.act_threshold + 1)))
+        return self.cache_entries * (address_bits + count_bits)
+
+    def describe(self) -> str:
+        return f"cra(cache={self.cache_entries}, T_act={self.act_threshold})"
+
+
+def cra_factory(
+    hammer_threshold: int,
+    cache_entries: int = 512,
+    timings: DramTimings = DDR4_2400,
+) -> MitigationFactory:
+    """Factory building one :class:`CRA` per bank."""
+
+    def build(bank: int, rows: int) -> CRA:
+        return CRA(
+            bank,
+            rows,
+            hammer_threshold=hammer_threshold,
+            cache_entries=cache_entries,
+            timings=timings,
+        )
+
+    return build

@@ -1,0 +1,66 @@
+"""Graphene wrapped in the common mitigation interface.
+
+The core engine lives in :mod:`repro.core.graphene`; this adapter maps
+its :class:`~repro.core.graphene.VictimRefreshRequest` objects onto the
+scheme-agnostic :class:`~repro.mitigations.base.RefreshDirective` so
+the shared simulator harness can drive Graphene exactly like every
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.config import GrapheneConfig
+from ..core.graphene import GrapheneEngine
+from .base import MitigationEngine, MitigationFactory, RefreshDirective
+
+__all__ = ["GrapheneMitigation", "graphene_factory"]
+
+
+class GrapheneMitigation(MitigationEngine):
+    """Per-bank Graphene protection behind the common interface."""
+
+    name = "graphene"
+
+    def __init__(self, bank: int, rows: int, config: GrapheneConfig) -> None:
+        super().__init__(bank, rows)
+        if config.rows_per_bank != rows:
+            # Keep the caller's geometry authoritative; re-derive bit
+            # widths for the actual row count.
+            config = replace(config, rows_per_bank=rows)
+        self.config = config
+        self.engine = GrapheneEngine(config, bank=bank)
+
+    def _process_activation(
+        self, row: int, time_ns: float
+    ) -> list[RefreshDirective]:
+        return [
+            RefreshDirective(
+                bank=self.bank,
+                victim_rows=request.victim_rows,
+                time_ns=request.time_ns,
+                aggressor_row=request.aggressor_row,
+                reason=f"T x {request.threshold_multiple}",
+            )
+            for request in self.engine.on_activate(row, time_ns)
+        ]
+
+    def table_bits(self) -> int:
+        return self.config.table_bits_per_bank
+
+    def describe(self) -> str:
+        return (
+            f"graphene(T={self.config.tracking_threshold}, "
+            f"N={self.config.num_entries}, k={self.config.k}, "
+            f"radius={self.config.blast_radius})"
+        )
+
+
+def graphene_factory(config: GrapheneConfig) -> MitigationFactory:
+    """Factory building one :class:`GrapheneMitigation` per bank."""
+
+    def build(bank: int, rows: int) -> GrapheneMitigation:
+        return GrapheneMitigation(bank, rows, config)
+
+    return build

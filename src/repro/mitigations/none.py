@@ -1,0 +1,23 @@
+"""The unprotected baseline: no tracking, no victim refreshes.
+
+Used as the reference point for performance/energy overheads and as the
+control in protection-guarantee experiments (it *should* exhibit bit
+flips under attack patterns, validating the fault model's referee role).
+"""
+
+from __future__ import annotations
+
+from .base import MitigationEngine, RefreshDirective
+
+__all__ = ["NoMitigation"]
+
+
+class NoMitigation(MitigationEngine):
+    """Does nothing; every attack succeeds."""
+
+    name = "none"
+
+    def _process_activation(
+        self, row: int, time_ns: float
+    ) -> list[RefreshDirective]:
+        return []

@@ -1,0 +1,113 @@
+"""Oracle mitigation: the information-theoretic refresh lower bound.
+
+An ablation reference, not a buildable scheme: the oracle sees the
+fault model's ground truth (per-victim accumulated disturbance) and
+refreshes a victim at the last possible moment -- when one more
+mu-weighted ACT would flip it.  No real mechanism can refresh less and
+stay safe, so the gap between a scheme's refresh count and the
+oracle's is exactly the price of *not knowing* the true counts.
+
+Graphene's worst-case gap has a crisp closed form: the oracle spends
+one refresh per ``T_RH - 1`` disturbance on a victim, Graphene one
+NRR (two rows) per ``T`` aggressor ACTs -- a factor of about
+``2 * (T_RH - 1) / T ~= 4(k+1)/2`` ... i.e. ~12x at k=2, the cost of
+double-sided/multi-window conservatism plus estimate slack.  The
+ablation bench measures the actual gap on attack patterns.
+"""
+
+from __future__ import annotations
+
+from ..dram.faults import CouplingProfile
+from .base import MitigationEngine, MitigationFactory, RefreshDirective
+
+__all__ = ["OracleMitigation", "oracle_factory"]
+
+
+class OracleMitigation(MitigationEngine):
+    """Ground-truth-driven, latest-possible victim refreshes.
+
+    Maintains its own exact disturbance accumulators (mirroring the
+    fault referee's math) and refreshes any victim whose accumulator
+    reaches ``hammer_threshold - margin``.
+
+    Args:
+        bank: Flat bank index.
+        rows: Rows in the bank.
+        hammer_threshold: ``T_RH``.
+        coupling: Must match the fault model's profile.
+        margin: Safety slack in mu-weighted ACTs (1 = truly last
+            moment; the referee flips *at* the threshold).
+    """
+
+    name = "oracle"
+
+    def __init__(
+        self,
+        bank: int,
+        rows: int,
+        hammer_threshold: float,
+        coupling: CouplingProfile | None = None,
+        margin: float = 1.0,
+    ) -> None:
+        super().__init__(bank, rows)
+        if hammer_threshold <= margin:
+            raise ValueError("hammer_threshold must exceed the margin")
+        self.hammer_threshold = float(hammer_threshold)
+        self.coupling = coupling or CouplingProfile.adjacent_only()
+        self.margin = margin
+        self._disturbance: dict[int, float] = {}
+
+    def _process_activation(
+        self, row: int, time_ns: float
+    ) -> list[RefreshDirective]:
+        doomed: list[int] = []
+        for distance in range(1, self.coupling.blast_radius + 1):
+            mu = self.coupling.mu(distance)
+            for victim in (row - distance, row + distance):
+                if not 0 <= victim < self.rows:
+                    continue
+                total = self._disturbance.get(victim, 0.0) + mu
+                if total >= self.hammer_threshold - self.margin:
+                    doomed.append(victim)
+                    self._disturbance[victim] = 0.0
+                else:
+                    self._disturbance[victim] = total
+        if not doomed:
+            return []
+        return [
+            RefreshDirective(
+                bank=self.bank,
+                victim_rows=tuple(doomed),
+                time_ns=time_ns,
+                aggressor_row=row,
+                reason="oracle",
+            )
+        ]
+
+    def on_auto_refresh(self, rows) -> None:
+        """Mirror regular refreshes (keeps the oracle's books exact)."""
+        for row in rows:
+            self._disturbance.pop(row, None)
+
+    def describe(self) -> str:
+        return (
+            f"oracle(T_RH={self.hammer_threshold:g}, margin={self.margin:g})"
+        )
+
+
+def oracle_factory(
+    hammer_threshold: float,
+    coupling: CouplingProfile | None = None,
+    margin: float = 1.0,
+) -> MitigationFactory:
+    """Factory building one :class:`OracleMitigation` per bank."""
+
+    def build(bank: int, rows: int) -> OracleMitigation:
+        return OracleMitigation(
+            bank, rows,
+            hammer_threshold=hammer_threshold,
+            coupling=coupling,
+            margin=margin,
+        )
+
+    return build

@@ -1,0 +1,133 @@
+"""PARA: Probabilistic Adjacent Row Activation refresh (Kim et al., 2014).
+
+On every ACT, with probability ``p`` the memory controller refreshes a
+neighbor of the activated row, each side chosen with probability
+``p/2`` -- the convention the paper's security recurrence (footnote 2)
+assumes, where each victim is refreshed per-ACT with probability
+``p/2``.
+
+PARA keeps no state, so its hardware cost is near zero; the price is a
+constant stream of extra refreshes proportional to the ACT rate
+(Fig. 8: PARA's energy overhead exists even with no attack) and no
+deterministic guarantee (Section V-A sizes ``p`` for "near-complete"
+protection: 0.00145 at ``T_RH`` = 50K for < 1% failure odds per year on
+a 64-bank system).
+
+Non-adjacent extension (Section V-D): one probability ``p_i`` per
+distance ``i``; each ACT rolls independently per distance, refreshing
+one of the two rows at that distance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from .base import MitigationEngine, MitigationFactory, RefreshDirective
+
+__all__ = ["PARA", "para_factory", "PAPER_PARA_P", "PAPER_PARA_P_SERIES"]
+
+#: The near-complete-protection probability at T_RH = 50K (Section V-A).
+PAPER_PARA_P = 0.00145
+
+#: Section V-C's p values across the Row Hammer threshold sweep.
+PAPER_PARA_P_SERIES: dict[int, float] = {
+    50_000: 0.00145,
+    25_000: 0.00295,
+    12_500: 0.00602,
+    6_250: 0.01224,
+    3_125: 0.02485,
+    1_562: 0.05034,
+}
+
+
+class PARA(MitigationEngine):
+    """Stateless probabilistic neighbor refresh.
+
+    Args:
+        bank: Flat bank index.
+        rows: Rows in the bank.
+        probability: Per-ACT refresh probability ``p`` (distance 1).
+        distance_probabilities: Optional per-distance probabilities
+            ``(p_1, p_2, ..., p_n)`` for non-adjacent protection;
+            overrides ``probability`` when given.
+        seed: RNG seed; a per-bank default keeps runs reproducible while
+            decorrelating banks.
+    """
+
+    name = "para"
+
+    def __init__(
+        self,
+        bank: int,
+        rows: int,
+        probability: float = PAPER_PARA_P,
+        distance_probabilities: Sequence[float] | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(bank, rows)
+        if distance_probabilities is None:
+            distance_probabilities = (probability,)
+        for p in distance_probabilities:
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"probability {p} outside [0, 1]")
+        self.distance_probabilities = tuple(distance_probabilities)
+        self._rng = random.Random(0xBA5E + bank if seed is None else seed)
+
+    @property
+    def probability(self) -> float:
+        """The distance-1 refresh probability."""
+        return self.distance_probabilities[0]
+
+    def _process_activation(
+        self, row: int, time_ns: float
+    ) -> list[RefreshDirective]:
+        directives: list[RefreshDirective] = []
+        for index, p in enumerate(self.distance_probabilities):
+            if p == 0.0 or self._rng.random() >= p:
+                continue
+            distance = index + 1
+            # Pick one side uniformly: each victim sees p/2 per ACT.
+            side = distance if self._rng.random() < 0.5 else -distance
+            victim = row + side
+            if not 0 <= victim < self.rows:
+                victim = row - side  # reflect at the bank edge
+                if not 0 <= victim < self.rows:
+                    continue
+            directives.append(
+                RefreshDirective(
+                    bank=self.bank,
+                    victim_rows=(victim,),
+                    time_ns=time_ns,
+                    aggressor_row=row,
+                    reason="probabilistic",
+                )
+            )
+        return directives
+
+    def expected_refreshes(self, activations: int) -> float:
+        """Expected victim refreshes over ``activations`` ACTs."""
+        return activations * sum(self.distance_probabilities)
+
+    def describe(self) -> str:
+        ps = ",".join(f"{p:g}" for p in self.distance_probabilities)
+        return f"para(p={ps})"
+
+
+def para_factory(
+    probability: float = PAPER_PARA_P,
+    distance_probabilities: Sequence[float] | None = None,
+    seed: int | None = None,
+) -> MitigationFactory:
+    """Factory building one :class:`PARA` per bank."""
+
+    def build(bank: int, rows: int) -> PARA:
+        return PARA(
+            bank,
+            rows,
+            probability=probability,
+            distance_probabilities=distance_probabilities,
+            seed=None if seed is None else seed + bank,
+        )
+
+    return build

@@ -1,0 +1,202 @@
+"""PRoHIT: probabilistic history tables (Son et al., DAC 2017).
+
+PRoHIT extends PARA with two small history tables -- *hot* and *cold*
+-- that bias refreshes toward frequently victimized rows:
+
+* on every ACT, each adjacent (victim) row is *sampled* into the
+  tables with a small insertion probability ``q``:
+
+  - a sampled victim already in the hot table moves up one rank;
+  - a sampled victim in the cold table is promoted to the hot table's
+    lowest rank (demoting the previous occupant into the cold table);
+  - an unseen sampled victim enters the cold table, evicting the entry
+    at the tail (FIFO among cold entries);
+
+* on every regular REF command, the top-ranked hot entry (if any) is
+  victim-refreshed and removed.
+
+The bias toward *frequency* is exactly what the Fig. 7(a) pattern of
+the paper exploits: rows x-5 / x+5 are hammered persistently but less
+often than the decoy victims x+-1 / x+-3, so they rarely reach the top
+of the hot table and can accumulate disturbance past the Row Hammer
+threshold.  Section V-A reports a 0.25% bit-flip chance per tREFW when
+PRoHIT's refresh budget is calibrated to PARA-0.00145's; the
+reproduction of that experiment lives in
+:mod:`repro.analysis.security`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import MitigationEngine, MitigationFactory, RefreshDirective
+
+__all__ = ["PRoHIT", "prohit_factory"]
+
+
+class PRoHIT(MitigationEngine):
+    """Hot/cold history tables with probabilistic sampling.
+
+    Args:
+        bank: Flat bank index.
+        rows: Rows in the bank.
+        insert_probability: ``q`` -- chance a victim of the current ACT
+            is sampled into the tables.
+        hot_size: Entries in the ranked hot table (paper Fig. 7 uses a
+            7-entry total configuration: 4 hot + 3 cold).
+        cold_size: Entries in the cold table.
+        seed: RNG seed (per-bank default).
+    """
+
+    name = "prohit"
+
+    def __init__(
+        self,
+        bank: int,
+        rows: int,
+        insert_probability: float = 0.005,
+        hot_size: int = 4,
+        cold_size: int = 3,
+        promotion_probability: float = 1.0,
+        refresh_period: int = 1,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(bank, rows)
+        if not 0.0 <= insert_probability <= 1.0:
+            raise ValueError("insert_probability outside [0, 1]")
+        if not 0.0 <= promotion_probability <= 1.0:
+            raise ValueError("promotion_probability outside [0, 1]")
+        if refresh_period < 1:
+            raise ValueError("refresh_period must be >= 1")
+        if hot_size < 1 or cold_size < 1:
+            raise ValueError("table sizes must be >= 1")
+        self.insert_probability = insert_probability
+        self.promotion_probability = promotion_probability
+        self.refresh_period = refresh_period
+        self._ref_commands_seen = 0
+        self.hot_size = hot_size
+        self.cold_size = cold_size
+        #: Hot table, index 0 = top rank (next to be refreshed).
+        self._hot: list[int] = []
+        #: Cold table, index 0 = most recently inserted.
+        self._cold: list[int] = []
+        self._rng = random.Random(0x9807 + bank if seed is None else seed)
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+
+    def _process_activation(
+        self, row: int, time_ns: float
+    ) -> list[RefreshDirective]:
+        for victim in self.neighbors_of(row):
+            if self._rng.random() >= self.insert_probability:
+                continue
+            self._sample_victim(victim)
+        return []
+
+    def _sample_victim(self, victim: int) -> None:
+        if victim in self._hot:
+            # Move up one rank toward the refresh slot.
+            index = self._hot.index(victim)
+            if index > 0:
+                self._hot[index - 1], self._hot[index] = (
+                    self._hot[index],
+                    self._hot[index - 1],
+                )
+            return
+        if victim in self._cold:
+            # Promote into the hot table's lowest rank (the promotion
+            # itself is probabilistic in the original design).
+            if (
+                self.promotion_probability < 1.0
+                and self._rng.random() >= self.promotion_probability
+            ):
+                return
+            self._cold.remove(victim)
+            if len(self._hot) >= self.hot_size:
+                demoted = self._hot.pop()
+                self._cold.insert(0, demoted)
+            self._hot.append(victim)
+            self._trim_cold()
+            return
+        # Unseen victim: enter the cold table (FIFO eviction at tail).
+        self._cold.insert(0, victim)
+        self._trim_cold()
+
+    def _trim_cold(self) -> None:
+        while len(self._cold) > self.cold_size:
+            self._cold.pop()
+
+    # ------------------------------------------------------------------
+    # Piggybacked refresh at every REF command
+    # ------------------------------------------------------------------
+
+    def _process_refresh_command(
+        self, time_ns: float
+    ) -> list[RefreshDirective]:
+        self._ref_commands_seen += 1
+        if self._ref_commands_seen % self.refresh_period != 0:
+            return []
+        if not self._hot:
+            return []
+        target = self._hot.pop(0)
+        return [
+            RefreshDirective(
+                bank=self.bank,
+                victim_rows=(target,),
+                time_ns=time_ns,
+                aggressor_row=None,
+                reason="hot-table",
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def hot_table(self) -> tuple[int, ...]:
+        return tuple(self._hot)
+
+    @property
+    def cold_table(self) -> tuple[int, ...]:
+        return tuple(self._cold)
+
+    def table_bits(self) -> int:
+        """Row address bits per entry across both tables."""
+        import math
+
+        address_bits = max(1, math.ceil(math.log2(self.rows)))
+        return (self.hot_size + self.cold_size) * address_bits
+
+    def describe(self) -> str:
+        return (
+            f"prohit(q={self.insert_probability:g}, hot={self.hot_size}, "
+            f"cold={self.cold_size})"
+        )
+
+
+def prohit_factory(
+    insert_probability: float = 0.005,
+    hot_size: int = 4,
+    cold_size: int = 3,
+    promotion_probability: float = 1.0,
+    refresh_period: int = 1,
+    seed: int | None = None,
+) -> MitigationFactory:
+    """Factory building one :class:`PRoHIT` per bank."""
+
+    def build(bank: int, rows: int) -> PRoHIT:
+        return PRoHIT(
+            bank,
+            rows,
+            insert_probability=insert_probability,
+            hot_size=hot_size,
+            cold_size=cold_size,
+            promotion_probability=promotion_probability,
+            refresh_period=refresh_period,
+            seed=None if seed is None else seed + bank,
+        )
+
+    return build

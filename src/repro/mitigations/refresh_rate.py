@@ -1,0 +1,123 @@
+"""Increased-refresh-rate mitigation (paper Sections II-B and VI).
+
+After the first Row Hammer disclosures, BIOS/UEFI vendors shipped
+patches that simply raise the DRAM refresh rate (shrinking the
+effective refresh window by 2x or 4x).  The paper dismisses this as "a
+temporary fix": it provides **no guarantee** (an attacker still fits
+``W/k`` ACTs inside the shortened window -- far above the DDR4
+thresholds) while paying a *permanent* energy and performance tax on
+every workload, attack or not.
+
+This engine models the approach so the trade-off can be measured: it
+issues extra distributed refreshes equivalent to running auto-refresh
+``multiplier``x faster.  Use :func:`protection_of_rate_increase` for
+the analytic side: the maximum ACT count an aggressor can still
+accumulate, versus the threshold.
+"""
+
+from __future__ import annotations
+
+from ..dram.timing import DDR4_2400, DramTimings
+from .base import MitigationEngine, MitigationFactory, RefreshDirective
+
+__all__ = [
+    "IncreasedRefreshRate",
+    "increased_refresh_rate_factory",
+    "protection_of_rate_increase",
+]
+
+
+def protection_of_rate_increase(
+    multiplier: int,
+    hammer_threshold: int,
+    timings: DramTimings = DDR4_2400,
+) -> dict[str, float]:
+    """Does a k-times refresh rate stop Row Hammer?  (Usually no.)
+
+    Returns the worst-case ACT count an aggressor pair can land on one
+    victim within the shortened window and the protection verdict.
+    """
+    if multiplier < 1:
+        raise ValueError("multiplier must be >= 1")
+    window = timings.trefw / multiplier
+    max_acts = timings.max_activations_in(window)
+    # Double-sided: both neighbors hammering one victim.
+    worst_case_disturbance = max_acts * 2
+    return {
+        "multiplier": multiplier,
+        "effective_window_ms": window / 1e6,
+        "max_acts_per_aggressor": max_acts,
+        "worst_case_disturbance": worst_case_disturbance,
+        "protected": worst_case_disturbance < hammer_threshold,
+        "extra_refresh_energy_fraction": float(multiplier - 1),
+    }
+
+
+class IncreasedRefreshRate(MitigationEngine):
+    """Extra distributed refreshes at (multiplier - 1)x the base rate.
+
+    Piggybacks on the REF callback: at every regular REF command it
+    refreshes ``(multiplier - 1) * rows_per_ref`` additional rows,
+    walking the row space like the regular schedule but offset by half
+    the bank so the effective per-row period is ``tREFW / multiplier``.
+    """
+
+    name = "refresh-rate"
+
+    def __init__(
+        self,
+        bank: int,
+        rows: int,
+        multiplier: int = 2,
+        timings: DramTimings = DDR4_2400,
+    ) -> None:
+        super().__init__(bank, rows)
+        if multiplier < 2:
+            raise ValueError(
+                "multiplier must be >= 2 (1 is the regular schedule)"
+            )
+        self.multiplier = multiplier
+        self.timings = timings
+        commands_per_window = timings.refreshes_per_window
+        self.rows_per_tick = (multiplier - 1) * max(
+            1, -(-rows // commands_per_window)
+        )
+        self._pointer = rows // 2  # offset from the regular walker
+
+    def _process_activation(
+        self, row: int, time_ns: float
+    ) -> list[RefreshDirective]:
+        return []
+
+    def _process_refresh_command(
+        self, time_ns: float
+    ) -> list[RefreshDirective]:
+        first = self._pointer
+        count = min(self.rows_per_tick, self.rows - first)
+        victims = range(first, first + count)
+        self._pointer = (first + count) % self.rows
+        return [
+            RefreshDirective(
+                bank=self.bank,
+                victim_rows=victims,
+                time_ns=time_ns,
+                aggressor_row=None,
+                reason=f"rate-x{self.multiplier}",
+            )
+        ]
+
+    def describe(self) -> str:
+        return f"refresh-rate(x{self.multiplier})"
+
+
+def increased_refresh_rate_factory(
+    multiplier: int = 2, timings: DramTimings = DDR4_2400
+) -> MitigationFactory:
+    """Factory building one :class:`IncreasedRefreshRate` per bank."""
+
+    def build(bank: int, rows: int) -> IncreasedRefreshRate:
+        return IncreasedRefreshRate(
+            bank, rows, multiplier=multiplier, timings=timings
+        )
+
+    return build

@@ -1,0 +1,38 @@
+"""Trace-driven memory-system simulation: harness, metrics, performance."""
+
+from .metrics import SimulationResult
+from .performance import (
+    memory_intensity,
+    performance_overhead,
+    service_floor_ns,
+)
+from .closed_loop import (
+    ClosedLoopResult,
+    CoreProfile,
+    core_profile_for,
+    run_closed_loop,
+    weighted_speedup_reduction,
+)
+from .simulator import build_device, simulate
+from .system_runner import BankAssignment, SystemResult, run_system
+from .system import PAPER_SYSTEM, SystemConfig, table3_rows
+
+__all__ = [
+    "SimulationResult",
+    "simulate",
+    "build_device",
+    "performance_overhead",
+    "memory_intensity",
+    "service_floor_ns",
+    "SystemConfig",
+    "PAPER_SYSTEM",
+    "table3_rows",
+    "BankAssignment",
+    "SystemResult",
+    "run_system",
+    "CoreProfile",
+    "ClosedLoopResult",
+    "core_profile_for",
+    "run_closed_loop",
+    "weighted_speedup_reduction",
+]

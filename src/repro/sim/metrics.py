@@ -1,0 +1,125 @@
+"""Simulation result container and the paper's overhead metrics.
+
+Two numbers dominate the paper's evaluation (Figures 8 and 9):
+
+* **refresh energy increase** -- victim rows refreshed beyond the
+  regular schedule, relative to the regular schedule's rows.  Every
+  refreshed row costs the same energy, so the ratio of row counts *is*
+  the energy ratio (see :mod:`repro.dram.energy`);
+* **performance overhead** -- the slowdown caused purely by banks
+  being blocked for victim refreshes; see
+  :func:`repro.sim.performance.performance_overhead`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..controller.scheduler import LatencySummary
+from ..dram.bank import BankStats
+from ..dram.energy import PAPER_DRAM_ENERGY, DramEnergyModel
+from ..dram.timing import DDR4_2400, DramTimings
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a single (workload, scheme) run produced.
+
+    Attributes:
+        scheme: Mitigation scheme label (e.g. "graphene", "para").
+        workload: Workload label (e.g. "mcf", "S3").
+        banks: Number of simulated banks.
+        rows_per_bank: Rows per bank.
+        duration_ns: Simulated wall time.
+        acts: ACT commands issued.
+        victim_refresh_directives: NRR commands executed.
+        victim_rows_refreshed: Total rows refreshed by NRRs.
+        largest_directive_rows: Largest single NRR (burstiness).
+        bit_flips: Row Hammer bit flips the fault referee recorded
+            (must be 0 for any sound deterministic scheme).
+        latency: Queueing-delay summary of the run.
+        bank_stats: Aggregate DRAM-side statistics.
+        timings: Timing bundle the run used.
+    """
+
+    scheme: str
+    workload: str
+    banks: int
+    rows_per_bank: int
+    duration_ns: float
+    acts: int
+    victim_refresh_directives: int
+    victim_rows_refreshed: int
+    largest_directive_rows: int
+    bit_flips: int
+    latency: LatencySummary
+    bank_stats: BankStats
+    timings: DramTimings = field(default_factory=lambda: DDR4_2400)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def windows(self) -> float:
+        """Run length in refresh windows (tREFW units)."""
+        return self.duration_ns / self.timings.trefw
+
+    @property
+    def acts_per_second_per_bank(self) -> float:
+        if self.duration_ns <= 0 or self.banks == 0:
+            return 0.0
+        return self.acts / self.banks / (self.duration_ns / 1e9)
+
+    def refresh_energy_increase(
+        self, energy: DramEnergyModel | None = None
+    ) -> float:
+        """The Fig. 8(a)/(b) metric: extra refresh energy / normal.
+
+        Normal refresh visits ``rows_per_bank`` rows per bank per
+        window; victim refreshes add ``victim_rows_refreshed``.  With
+        uniform per-row refresh energy the row-count ratio *is* the
+        energy ratio; passing an explicit :class:`DramEnergyModel`
+        routes through absolute nJ for cross-checking.
+        """
+        if self.windows <= 0:
+            return 0.0
+        if energy is not None:
+            extra_nj = energy.victim_refresh_energy_nj(
+                self.victim_rows_refreshed
+            )
+            normal_nj = self.banks * energy.normal_refresh_energy_nj(
+                self.windows
+            )
+            return extra_nj / normal_nj
+        return self.victim_rows_refreshed / (
+            self.banks * self.rows_per_bank * self.windows
+        )
+
+    def victim_rows_per_window_per_bank(self) -> float:
+        if self.windows <= 0 or self.banks == 0:
+            return 0.0
+        return self.victim_rows_refreshed / self.banks / self.windows
+
+    def nrr_busy_fraction(self) -> float:
+        """Share of simulated time banks spent executing NRRs."""
+        if self.duration_ns <= 0 or self.banks == 0:
+            return 0.0
+        return self.bank_stats.nrr_busy_ns / (self.duration_ns * self.banks)
+
+    def summary_row(self) -> dict[str, object]:
+        """Flat dict for tabular reports."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "acts": self.acts,
+            "nrr_commands": self.victim_refresh_directives,
+            "victim_rows": self.victim_rows_refreshed,
+            "largest_nrr_rows": self.largest_directive_rows,
+            "refresh_energy_increase_pct": 100.0
+            * self.refresh_energy_increase(),
+            "mean_delay_ns": self.latency.mean_ns,
+            "bit_flips": self.bit_flips,
+        }

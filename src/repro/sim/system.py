@@ -1,0 +1,72 @@
+"""The evaluated system configuration (paper Table III).
+
+Bundles the architectural parameters of the paper's simulation target:
+a 16-core out-of-order processor with four single-rank DDR4-2400
+channels (128 GB, 76.8 GB/s).  The core-side parameters are carried for
+documentation/reporting; the simulation itself operates at the memory-
+command level (see the substitution notes in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dram.faults import CouplingProfile
+from ..dram.geometry import DramGeometry
+from ..dram.timing import DDR4_2400, DramTimings
+
+__all__ = ["SystemConfig", "PAPER_SYSTEM", "table3_rows"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full system description, defaulting to the paper's Table III."""
+
+    # Core side (documentation; the command-level model abstracts it).
+    cores: int = 16
+    core_ghz: float = 3.6
+    l1_kb: int = 16
+    l2_kb: int = 128
+    l3_mb: int = 16
+    # Memory side.
+    module: str = "DDR4-2400"
+    capacity_gb: int = 128
+    bandwidth_gbps: float = 76.8
+    scheduling: str = "PAR-BS"
+    page_policy: str = "Minimalist-open"
+    geometry: DramGeometry = field(default_factory=DramGeometry)
+    timings: DramTimings = field(default_factory=lambda: DDR4_2400)
+    hammer_threshold: int = 50_000
+    coupling: CouplingProfile = field(
+        default_factory=CouplingProfile.adjacent_only
+    )
+
+    @property
+    def total_banks(self) -> int:
+        return self.geometry.total_banks
+
+
+#: The configuration of Table III.
+PAPER_SYSTEM = SystemConfig()
+
+
+def table3_rows(config: SystemConfig = PAPER_SYSTEM) -> list[tuple[str, str]]:
+    """Table III as (parameter, value) rows for reports."""
+    t = config.timings
+    g = config.geometry
+    return [
+        ("Core", f"{config.core_ghz} GHz {config.cores}-core OOO"),
+        ("Private Cache", f"{config.l1_kb}KB L1 I/D, {config.l2_kb}KB L2"),
+        ("Shared Cache", f"{config.l3_mb} MB L3"),
+        ("Module", config.module),
+        (
+            "Configuration",
+            f"{g.channels} channels; {g.ranks_per_channel} rank per channel",
+        ),
+        ("Capacity", f"{config.capacity_gb}GB"),
+        ("Bandwidth", f"{config.bandwidth_gbps} GB/s"),
+        ("Scheduling", config.scheduling),
+        ("Page-Policy", config.page_policy),
+        ("tRFC, tRC", f"{t.trfc:.0f} ns, {t.trc:.0f} ns"),
+        ("tRCD, tRP, tCL", f"{t.trcd} ns each"),
+    ]

@@ -1,0 +1,168 @@
+"""Full-system simulation: the paper's 64-bank machine in one call.
+
+Most experiments run one bank (per-bank metrics are independent), but
+system-level questions -- aggregate table cost, total extra refreshes,
+a mixed fleet of workloads across banks, an attacker pinned to one bank
+among busy neighbors -- need the whole Table III machine.
+
+:func:`run_system` builds the 4-channel x 16-bank device, assigns each
+bank a workload stream (realistic profile, attack pattern, or idle),
+and returns per-bank plus aggregate results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from ..controller.mc import MemoryController
+from ..dram.device import DramDevice
+from ..dram.faults import CouplingProfile
+from ..dram.timing import DramTimings
+from ..mitigations.base import MitigationFactory
+from ..workloads.spec_like import REALISTIC_PROFILES, profile_events
+from ..workloads.synthetic import SYNTHETIC_PATTERNS, synthetic_events
+from ..workloads.trace import ActEvent, merge_streams
+from .system import PAPER_SYSTEM, SystemConfig
+
+__all__ = ["BankAssignment", "SystemResult", "run_system"]
+
+
+@dataclass(frozen=True)
+class BankAssignment:
+    """What one bank executes during the run.
+
+    Attributes:
+        kind: "realistic" (a named profile), "synthetic" (a named S
+            pattern), or "idle".
+        name: Profile/pattern name; ignored for idle banks.
+        seed: Per-bank trace seed.
+    """
+
+    kind: str
+    name: str = ""
+    seed: int = 0
+
+    def stream(
+        self,
+        bank: int,
+        duration_ns: float,
+        rows_per_bank: int,
+        timings: DramTimings,
+    ) -> Iterable[ActEvent]:
+        if self.kind == "idle":
+            return iter(())
+        if self.kind == "realistic":
+            events = profile_events(
+                REALISTIC_PROFILES[self.name],
+                duration_ns,
+                banks=1,
+                rows_per_bank=rows_per_bank,
+                seed=self.seed,
+                timings=timings,
+            )
+        elif self.kind == "synthetic":
+            rows = SYNTHETIC_PATTERNS[self.name](rows_per_bank, self.seed)
+            events = synthetic_events(
+                rows, duration_ns=duration_ns, timings=timings
+            )
+        else:
+            raise ValueError(f"unknown assignment kind {self.kind!r}")
+        return (
+            ActEvent(event.time_ns, bank, event.row) for event in events
+        )
+
+
+@dataclass
+class SystemResult:
+    """Aggregate outcome of a full-system run."""
+
+    banks: int
+    duration_ns: float
+    acts: int
+    victim_refresh_directives: int
+    victim_rows_refreshed: int
+    bit_flips: int
+    total_table_bits: int
+    per_bank_rows_refreshed: list[int]
+    mean_delay_ns: float
+
+    def refresh_energy_increase(self, rows_per_bank: int) -> float:
+        windows = self.duration_ns / PAPER_SYSTEM.timings.trefw
+        if windows <= 0:
+            return 0.0
+        return self.victim_rows_refreshed / (
+            self.banks * rows_per_bank * windows
+        )
+
+    def hottest_bank(self) -> int:
+        """Bank index with the most victim-refresh work."""
+        return max(
+            range(self.banks),
+            key=lambda b: self.per_bank_rows_refreshed[b],
+        )
+
+
+def run_system(
+    assignments: Mapping[int, BankAssignment],
+    factory: MitigationFactory,
+    duration_ns: float,
+    system: SystemConfig = PAPER_SYSTEM,
+    track_faults: bool = False,
+    default: BankAssignment | None = None,
+) -> SystemResult:
+    """Simulate the whole Table III machine.
+
+    Args:
+        assignments: bank index -> workload assignment; unassigned banks
+            use ``default`` (idle when None).
+        factory: Mitigation factory (one engine per bank).
+        duration_ns: Simulated time.
+        system: Machine description (geometry, timings, T_RH).
+        track_faults: Enable the fault referee on every bank.
+        default: Assignment for banks not listed.
+    """
+    geometry = system.geometry
+    for bank in assignments:
+        if not 0 <= bank < geometry.total_banks:
+            raise IndexError(
+                f"bank {bank} outside the {geometry.total_banks}-bank system"
+            )
+    device = DramDevice.build(
+        geometry=geometry,
+        timings=system.timings,
+        hammer_threshold=system.hammer_threshold,
+        coupling=system.coupling,
+        track_faults=track_faults,
+    )
+    controller = MemoryController(device, factory)
+
+    streams = []
+    for bank in range(geometry.total_banks):
+        assignment = assignments.get(bank, default)
+        if assignment is None or assignment.kind == "idle":
+            continue
+        streams.append(
+            assignment.stream(
+                bank, duration_ns, geometry.rows_per_bank, system.timings
+            )
+        )
+    controller.run(merge_streams(*streams))
+
+    per_bank = [
+        device.bank(b).stats.nrr_rows_refreshed
+        for b in range(geometry.total_banks)
+    ]
+    return SystemResult(
+        banks=geometry.total_banks,
+        duration_ns=duration_ns,
+        acts=controller.counters.acts_issued,
+        victim_refresh_directives=controller.counters.nrr_commands,
+        victim_rows_refreshed=controller.counters.nrr_rows,
+        bit_flips=controller.counters.bit_flips,
+        total_table_bits=sum(
+            engine.table_bits() for engine in controller.engines
+        ),
+        per_bank_rows_refreshed=per_bank,
+        mean_delay_ns=controller.latency_summary().mean_ns,
+    )

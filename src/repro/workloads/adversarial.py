@@ -1,0 +1,121 @@
+"""The scheme-specific killer patterns of paper Fig. 7 (Section V-A).
+
+Two of the probabilistic baselines have table-management algorithms an
+attacker can game:
+
+* **PRoHIT killer** (Fig. 7(a)): the repeating 9-ACT pattern
+  ``{x-4, x-2, x-2, x, x, x, x+2, x+2, x+4}``.  The decoy victims
+  (x+-1, x+-3) are victimized 3-5x per period and monopolize PRoHIT's
+  frequency-ranked hot table, while the real targets x-5 and x+5 --
+  hammered once per period by x-4 / x+4 -- rarely get refreshed and
+  slowly accumulate disturbance past the threshold.
+
+* **MRLoc killer** (Fig. 7(b)): cycling eight distinct, mutually
+  non-adjacent aggressors ``{x1 ... x8}`` produces sixteen victim
+  candidates -- one more than MRLoc's 15-entry history queue holds --
+  so every queue lookup misses and MRLoc degrades to bare PARA.
+
+Also here: the double-sided hammer (two aggressors around one victim,
+the worst case Graphene's ``T`` derivation divides by two for) and a
+window-straddling single-row hammer exercising the Fig. 3 two-window
+scenario.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator
+
+__all__ = [
+    "prohit_killer_rows",
+    "mrloc_killer_rows",
+    "double_sided_rows",
+    "window_straddle_rows",
+]
+
+
+def prohit_killer_rows(
+    x: int | None = None, rows_per_bank: int = 65536, seed: int = 0
+) -> Iterator[int]:
+    """Fig. 7(a): ``{x-4, x-2, x-2, x, x, x, x+2, x+2, x+4}`` repeated.
+
+    Victim rows and their per-period disturbance:
+
+    ========  ==========================  ===================
+    victim    aggressors (per period)     disturbance/period
+    ========  ==========================  ===================
+    x-5       x-4 (1)                     1
+    x-3       x-4 (1), x-2 (2)            3
+    x-1       x-2 (2), x   (3)            5
+    x+1       x   (3), x+2 (2)            5
+    x+3       x+2 (2), x+4 (1)            3
+    x+5       x+4 (1)                     1
+    ========  ==========================  ===================
+
+    The attack targets x-5 / x+5: least-refreshed, still hammered.
+    """
+    if x is None:
+        x = random.Random(seed).randrange(8, rows_per_bank - 8)
+    if not 5 <= x < rows_per_bank - 5:
+        raise ValueError("x must leave room for the +-5 neighborhood")
+    period = (x - 4, x - 2, x - 2, x, x, x, x + 2, x + 2, x + 4)
+    return itertools.cycle(period)
+
+
+def mrloc_killer_rows(
+    count: int = 8,
+    spacing: int = 4,
+    base: int | None = None,
+    rows_per_bank: int = 65536,
+    seed: int = 0,
+) -> Iterator[int]:
+    """Fig. 7(b): cycle ``count`` distinct non-adjacent aggressors.
+
+    With the default eight aggressors spaced four rows apart there are
+    sixteen distinct victims; an N-entry history queue with N < 16
+    (MRLoc's is 15) thrashes and never observes locality.
+    """
+    if count < 2:
+        raise ValueError("count must be >= 2")
+    if spacing < 3:
+        raise ValueError("spacing must be >= 3 to keep victims distinct")
+    if base is None:
+        base = random.Random(seed).randrange(
+            spacing, rows_per_bank - spacing * (count + 1)
+        )
+    aggressors = [base + i * spacing for i in range(count)]
+    if aggressors[-1] + 1 >= rows_per_bank:
+        raise ValueError("pattern does not fit in the bank")
+    return itertools.cycle(aggressors)
+
+
+def double_sided_rows(
+    victim: int | None = None, rows_per_bank: int = 65536, seed: int = 0
+) -> Iterator[int]:
+    """Alternate the two neighbors of one victim (double-sided hammer).
+
+    Each aggressor needs only ``T_RH / 2`` ACTs for the shared victim
+    to flip -- the factor of two in Graphene's Inequality 2.
+    """
+    if victim is None:
+        victim = random.Random(seed).randrange(2, rows_per_bank - 2)
+    if not 1 <= victim < rows_per_bank - 1:
+        raise ValueError("victim must have two in-range neighbors")
+    return itertools.cycle((victim - 1, victim + 1))
+
+
+def window_straddle_rows(
+    target: int,
+    acts_per_phase: int,
+) -> Iterator[int]:
+    """Two bursts of ``acts_per_phase`` ACTs on one row (Fig. 3 shape).
+
+    Paced to straddle a table reset, the attacker accumulates up to
+    ``2(T-1)`` ACTs with no victim refresh -- exactly the budget the
+    ``T < T_RH/4 + 1`` derivation accounts for.  The caller controls
+    the straddling via pacing/start time.
+    """
+    if acts_per_phase < 1:
+        raise ValueError("acts_per_phase must be >= 1")
+    return itertools.repeat(target, 2 * acts_per_phase)

@@ -1,0 +1,159 @@
+"""Advanced attack pattern library.
+
+Beyond the paper's S1-S4 and Fig. 7 patterns, the motivation section
+leans on two attack families from its citations that any Row Hammer
+defense must face:
+
+* **Many-sided hammering** (TRRespass, Frigo et al. S&P 2020 -- the
+  paper's reference [16], source of the 50K threshold): instead of one
+  or two aggressors, N aggressors are cycled so that in-DRAM TRR
+  samplers with few tracking slots are overwhelmed.  Against Graphene
+  this is exactly the regime Inequality 1 is sized for: as long as
+  N <= N_entry the table tracks every aggressor.  The sized attack
+  :func:`graphene_saturation_rows` pushes this to the limit --
+  ``N_entry + 1`` aggressors -- which still cannot win because each
+  aggressor then gets at most ``W/(N_entry+1) < T`` ACTs.
+* **Assisted/non-adjacent patterns** (Kim et al. ISCA 2020, reference
+  [28]): aggressor pairs at distance 2 from the victim combined with
+  adjacent pairs ("half-double"-style), defeating defenses that only
+  refresh +-1 neighborhoods.  :func:`assisted_double_sided_rows`
+  produces the pattern; the non-adjacent experiment shows +-1 Graphene
+  losing and +-2 Graphene winning.
+
+All generators yield plain row iterators for
+:func:`repro.workloads.synthetic.synthetic_events` pacing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator
+
+from ..core.config import GrapheneConfig
+
+__all__ = [
+    "many_sided_rows",
+    "graphene_saturation_rows",
+    "assisted_double_sided_rows",
+    "decoy_flood_rows",
+]
+
+
+def many_sided_rows(
+    sides: int,
+    victim: int | None = None,
+    rows_per_bank: int = 65536,
+    seed: int = 0,
+) -> Iterator[int]:
+    """TRRespass-style N-sided pattern around one victim region.
+
+    Picks ``sides`` aggressors as the rows sandwiching ``sides // 2``
+    victims (a..v1..a..v2..a layout) and cycles them at full rate.
+    ``sides=2`` degenerates to the classic double-sided hammer.
+    """
+    if sides < 1:
+        raise ValueError("sides must be >= 1")
+    if victim is None:
+        victim = random.Random(seed).randrange(
+            2 * sides + 2, rows_per_bank - 2 * sides - 2
+        )
+    # Aggressors at even offsets around the victim: v-1, v+1, v-3, ...
+    aggressors = []
+    for index in range(sides):
+        offset = (index // 2 + 1) * 2 - 1
+        aggressors.append(victim - offset if index % 2 == 0 else victim + offset)
+    for row in aggressors:
+        if not 0 <= row < rows_per_bank:
+            raise ValueError("pattern does not fit in the bank")
+    return itertools.cycle(aggressors)
+
+
+def graphene_saturation_rows(
+    config: GrapheneConfig, extra: int = 1, seed: int = 0
+) -> Iterator[int]:
+    """Cycle ``N_entry + extra`` distinct aggressors (table saturation).
+
+    The strongest tracking attack: more concurrent aggressors than
+    Graphene has entries.  It cannot succeed -- with ``m > N_entry``
+    aggressors sharing the window budget, each receives at most
+    ``W/m < W/(N_entry+1) <= T`` ACTs -- but it maximizes table churn
+    and spillover growth, making it the right stress test for the
+    eviction path.
+    """
+    count = config.num_entries + extra
+    spacing = max(4, config.rows_per_bank // (count + 1))
+    rng = random.Random(seed)
+    base = rng.randrange(1, max(2, config.rows_per_bank - count * spacing - 1))
+    aggressors = [base + i * spacing for i in range(count)]
+    if aggressors[-1] >= config.rows_per_bank:
+        raise ValueError("bank too small for the saturation pattern")
+    return itertools.cycle(aggressors)
+
+
+def assisted_double_sided_rows(
+    victim: int | None = None,
+    rows_per_bank: int = 65536,
+    near_weight: int = 1,
+    far_weight: int = 1,
+    seed: int = 0,
+) -> Iterator[int]:
+    """Adjacent + distance-2 aggressors on one victim (assisted attack).
+
+    Per period the victim's +-1 neighbors fire ``near_weight`` times
+    each and its +-2 neighbors ``far_weight`` times each.  Under a
+    coupling model with mu_2 > 0 the far aggressors contribute real
+    disturbance that +-1-only defenses neither see as dangerous nor
+    refresh away.
+    """
+    if near_weight < 0 or far_weight < 0 or near_weight + far_weight == 0:
+        raise ValueError("weights must be non-negative and not both zero")
+    if victim is None:
+        victim = random.Random(seed).randrange(3, rows_per_bank - 3)
+    if not 2 <= victim < rows_per_bank - 2:
+        raise ValueError("victim must have +-2 in-range neighbors")
+    period = (
+        [victim - 1, victim + 1] * near_weight
+        + [victim - 2, victim + 2] * far_weight
+    )
+    return itertools.cycle(period)
+
+
+def decoy_flood_rows(
+    target: int,
+    decoys: int = 64,
+    target_every: int = 8,
+    rows_per_bank: int = 65536,
+    seed: int = 0,
+) -> Iterator[int]:
+    """Hide a hammer inside a flood of one-shot decoy activations.
+
+    Every ``target_every``-th ACT hits the target; the rest are fresh
+    decoy rows cycling through a pool of ``decoys``.  Defeats naive
+    most-recent / most-frequent heuristics with small tables while the
+    target still accrues ``W / target_every`` ACTs per window --
+    Misra-Gries tracks it regardless because its guarantee is
+    frequency-proportional, not recency-based.
+    """
+    if not 0 <= target < rows_per_bank:
+        raise IndexError("target out of range")
+    if target_every < 2:
+        raise ValueError("target_every must be >= 2")
+    rng = random.Random(seed)
+    pool = [
+        row
+        for row in rng.sample(range(rows_per_bank), decoys + 2)
+        if abs(row - target) > 2
+    ][:decoys]
+
+    def generate() -> Iterator[int]:
+        decoy_cycle = itertools.cycle(pool)
+        position = 0
+        while True:
+            position += 1
+            if position % target_every == 0:
+                yield target
+            else:
+                yield next(decoy_cycle)
+
+    return generate()

@@ -1,0 +1,135 @@
+"""Phased workloads: programs whose memory behavior changes over time.
+
+Real programs run in phases -- an initialization sweep, a pointer-chase
+phase, a write-back flush.  Phase changes interact with
+windowed defenses in a specific way: Graphene's table resets every
+``tREFW/k``, so a phase boundary landing mid-window changes the stream
+composition the Misra-Gries summary is digesting.  The guarantee is
+insensitive to this (it is per-window worst-case), but false-positive
+behavior and baseline schemes' heuristics are not -- which makes phased
+traces a useful robustness workout.
+
+:class:`PhasedWorkload` stitches existing profiles into a timeline;
+:func:`phase_shifting_attack` alternates attack and camouflage phases
+(an attacker that goes quiet whenever it nears detection thresholds --
+which cannot help against Graphene, since estimated counts persist for
+the whole window).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..dram.timing import DDR4_2400, DramTimings
+from .spec_like import REALISTIC_PROFILES, WorkloadProfile, profile_events
+from .synthetic import s3_rows, synthetic_events
+from .trace import ActEvent
+
+__all__ = ["Phase", "PhasedWorkload", "phase_shifting_attack"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One segment of a phased workload."""
+
+    profile: WorkloadProfile
+    duration_ns: float
+
+    def __post_init__(self) -> None:
+        if self.duration_ns <= 0:
+            raise ValueError("phase duration must be positive")
+
+
+class PhasedWorkload:
+    """Concatenates workload profiles along a timeline.
+
+    Args:
+        phases: Ordered phases; the workload cycles through them until
+            the requested duration is exhausted.
+        name: Label for results.
+    """
+
+    def __init__(self, phases: Sequence[Phase], name: str = "phased") -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        self.phases = tuple(phases)
+        self.name = name
+
+    @classmethod
+    def from_names(
+        cls,
+        names: Sequence[str],
+        phase_duration_ns: float,
+        name: str = "phased",
+    ) -> "PhasedWorkload":
+        """Build from named realistic profiles with equal durations."""
+        return cls(
+            [
+                Phase(REALISTIC_PROFILES[profile_name], phase_duration_ns)
+                for profile_name in names
+            ],
+            name=name,
+        )
+
+    def events(
+        self,
+        duration_ns: float,
+        banks: int = 1,
+        rows_per_bank: int = 65536,
+        seed: int = 0,
+        timings: DramTimings = DDR4_2400,
+    ) -> Iterator[ActEvent]:
+        """Timed ACT stream cycling through the phases."""
+        if duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+        start_ns = 0.0
+        cycle = itertools.cycle(enumerate(self.phases))
+        while start_ns < duration_ns:
+            index, phase = next(cycle)
+            span = min(phase.duration_ns, duration_ns - start_ns)
+            for event in profile_events(
+                phase.profile,
+                duration_ns=span,
+                banks=banks,
+                rows_per_bank=rows_per_bank,
+                seed=seed + index * 7919,
+                timings=timings,
+            ):
+                yield ActEvent(
+                    event.time_ns + start_ns, event.bank, event.row
+                )
+            start_ns += span
+
+
+def phase_shifting_attack(
+    duration_ns: float,
+    burst_ns: float,
+    quiet_ns: float,
+    target: int | None = None,
+    rows_per_bank: int = 65536,
+    bank: int = 0,
+    seed: int = 0,
+    timings: DramTimings = DDR4_2400,
+) -> Iterator[ActEvent]:
+    """Hammer in bursts with quiet gaps (detection-evasion attempt).
+
+    The attacker hammers for ``burst_ns``, sleeps ``quiet_ns``, and
+    repeats.  Against windowed deterministic tracking this evasion is
+    useless -- quiet time does not decay estimated counts within the
+    window, it only wastes the attacker's ACT budget -- which the test
+    suite asserts end-to-end.
+    """
+    if burst_ns <= 0 or quiet_ns < 0:
+        raise ValueError("burst must be positive, quiet non-negative")
+    rows = s3_rows(target=target, rows_per_bank=rows_per_bank, seed=seed)
+    start_ns = 0.0
+    while start_ns < duration_ns:
+        span = min(burst_ns, duration_ns - start_ns)
+        for event in synthetic_events(
+            rows, duration_ns=span, bank=bank, timings=timings,
+            start_ns=start_ns,
+        ):
+            yield event
+        start_ns += span + quiet_ns

@@ -1,0 +1,128 @@
+"""Trace validation: check ACT streams against the DRAM contract.
+
+Traces come from generators, files, or external tools; before feeding
+one to the simulator it pays to know whether it is *physically
+realizable*: time-sorted, per-bank ACT spacing >= tRC, rows within the
+bank, and ACT rates within the per-bank and per-rank (tFAW) envelopes.
+:func:`validate_trace` streams through once and returns a structured
+report; :func:`assert_valid` raises on the first violation (useful in
+tests and at CLI trace-load time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..dram.timing import DDR4_2400, DramTimings
+from .trace import ActEvent
+
+__all__ = ["TraceViolation", "TraceReport", "validate_trace", "assert_valid"]
+
+
+@dataclass(frozen=True)
+class TraceViolation:
+    """One detected contract violation."""
+
+    kind: str
+    event_index: int
+    detail: str
+
+
+@dataclass
+class TraceReport:
+    """Outcome of a validation pass."""
+
+    events: int = 0
+    banks: set = field(default_factory=set)
+    violations: list[TraceViolation] = field(default_factory=list)
+    #: Tightest observed per-bank ACT spacing (ns).
+    min_bank_spacing_ns: float = float("inf")
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.ok:
+            return (
+                f"OK: {self.events} events, {len(self.banks)} banks, "
+                f"min bank spacing {self.min_bank_spacing_ns:.1f} ns"
+            )
+        first = self.violations[0]
+        return (
+            f"INVALID: {len(self.violations)} violations, first: "
+            f"{first.kind} at event {first.event_index} ({first.detail})"
+        )
+
+
+def validate_trace(
+    events: Iterable[ActEvent],
+    rows_per_bank: int = 65536,
+    timings: DramTimings = DDR4_2400,
+    max_violations: int = 20,
+    tolerance_ns: float = 1e-6,
+) -> TraceReport:
+    """Stream through a trace collecting contract violations.
+
+    Checks, per event: non-decreasing timestamps, row bounds, per-bank
+    tRC spacing, and the rank-level tFAW envelope (at most 4 ACTs in
+    any tFAW window across banks).  Stops recording after
+    ``max_violations`` (the pass still completes for the counters).
+    """
+    report = TraceReport()
+    last_time = float("-inf")
+    last_per_bank: dict[int, float] = {}
+    recent: list[float] = []  # last 4 ACT times (rank tFAW window)
+
+    def record(kind: str, index: int, detail: str) -> None:
+        if len(report.violations) < max_violations:
+            report.violations.append(TraceViolation(kind, index, detail))
+
+    for index, event in enumerate(events):
+        report.events += 1
+        report.banks.add(event.bank)
+        if event.time_ns < last_time - tolerance_ns:
+            record(
+                "unsorted", index,
+                f"t={event.time_ns} after t={last_time}",
+            )
+        last_time = max(last_time, event.time_ns)
+        if not 0 <= event.row < rows_per_bank:
+            record("row-range", index, f"row={event.row}")
+        previous = last_per_bank.get(event.bank)
+        if previous is not None:
+            spacing = event.time_ns - previous
+            if spacing < report.min_bank_spacing_ns:
+                report.min_bank_spacing_ns = spacing
+            if spacing < timings.trc - tolerance_ns:
+                record(
+                    "trc", index,
+                    f"bank {event.bank} spacing {spacing:.1f} ns",
+                )
+        last_per_bank[event.bank] = event.time_ns
+        # Rank-level tFAW: the 4th-previous ACT must be >= tFAW ago.
+        if len(recent) == 4:
+            if event.time_ns - recent[0] < timings.tfaw - tolerance_ns:
+                record(
+                    "tfaw", index,
+                    f"5 ACTs within {event.time_ns - recent[0]:.1f} ns",
+                )
+            recent.pop(0)
+        recent.append(event.time_ns)
+    if report.min_bank_spacing_ns == float("inf"):
+        report.min_bank_spacing_ns = 0.0
+    return report
+
+
+def assert_valid(
+    events: Iterable[ActEvent],
+    rows_per_bank: int = 65536,
+    timings: DramTimings = DDR4_2400,
+) -> TraceReport:
+    """Validate and raise ``ValueError`` on any violation."""
+    report = validate_trace(events, rows_per_bank, timings)
+    if not report.ok:
+        raise ValueError(report.summary())
+    return report

@@ -1,0 +1,51 @@
+"""Shared fixtures: scaled-down configurations for fast tests.
+
+Full-scale Graphene parameters (T_RH = 50K, 64K-row banks, 64 ms
+windows) make threshold-crossing tests take millions of events.  Tests
+that exercise *mechanisms* use scaled thresholds and small banks; tests
+that verify the *paper's numbers* use the full-scale configuration but
+only compute (never simulate whole windows).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GrapheneConfig
+from repro.dram.timing import DDR4_2400, DramTimings
+
+
+#: A small hammer threshold that still exercises every mechanism.
+SCALED_TRH = 800
+#: A small bank that keeps fault-model dictionaries tiny.
+SCALED_ROWS = 1024
+
+
+@pytest.fixture
+def timings() -> DramTimings:
+    return DDR4_2400
+
+
+@pytest.fixture
+def scaled_config() -> GrapheneConfig:
+    """Graphene config with a scaled threshold (T = 133, N_entry small
+    enough that spillover/replacement paths are exercised quickly)."""
+    return GrapheneConfig(
+        hammer_threshold=SCALED_TRH,
+        rows_per_bank=SCALED_ROWS,
+        reset_window_divisor=2,
+    )
+
+
+@pytest.fixture
+def paper_config() -> GrapheneConfig:
+    """The paper's evaluated configuration (k = 2, T_RH = 50K)."""
+    return GrapheneConfig.paper_optimized()
+
+
+def act_stream(rows, interval_ns: float = 50.0, start_ns: float = 0.0):
+    """Turn a row sequence into (time, row) pairs at a fixed interval."""
+    time_ns = start_ns
+    for row in rows:
+        yield time_ns, row
+        time_ns += interval_ns

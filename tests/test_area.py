@@ -1,0 +1,87 @@
+"""Tests for the Table IV / Fig. 9(a) area models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.area import (
+    CbtAreaModel,
+    GrapheneAreaModel,
+    PAPER_TABLE_IV_BITS_PER_BANK,
+    TwiceAreaModel,
+    cbt_counters_for_threshold,
+    table_size_series,
+)
+
+
+class TestTableIVAnchors:
+    def test_graphene_2511_bits_exact(self):
+        area = GrapheneAreaModel.for_threshold(50_000).area()
+        assert area.cam_bits == 2_511
+        assert area.sram_bits == 0
+        assert area.entries == 81
+
+    def test_twice_matches_paper_decomposition(self):
+        area = TwiceAreaModel().area()
+        assert area.cam_bits == PAPER_TABLE_IV_BITS_PER_BANK["TWiCe"]["cam"]
+        assert area.sram_bits == PAPER_TABLE_IV_BITS_PER_BANK["TWiCe"]["sram"]
+        assert area.entries == 1_138
+
+    def test_cbt_matches_paper_total(self):
+        area = CbtAreaModel().area()
+        assert area.sram_bits == PAPER_TABLE_IV_BITS_PER_BANK["CBT-128"]["sram"]
+        assert area.entries == 128
+
+    def test_order_of_magnitude_claim(self):
+        """Paper: Graphene has ~15x fewer table bits than TWiCe."""
+        graphene = GrapheneAreaModel.for_threshold(50_000).area().total_bits
+        twice = TwiceAreaModel().area().total_bits
+        assert 13 < twice / graphene < 16
+
+
+class TestScaling:
+    def test_cbt_counters_double_per_halving(self):
+        assert cbt_counters_for_threshold(50_000) == (128, 10)
+        assert cbt_counters_for_threshold(25_000) == (256, 11)
+        assert cbt_counters_for_threshold(1_562) == (4_096, 15)
+
+    def test_series_grows_roughly_linearly(self):
+        series = table_size_series()
+        for scheme in ("Graphene", "TWiCe", "CBT"):
+            big = series[scheme][1_562].total_bits
+            small = series[scheme][50_000].total_bits
+            # Halving T_RH five times grows tables ~32x (entries scale
+            # linearly; per-entry bit widths shrink slightly).
+            assert 16 < big / small < 40
+
+    def test_graphene_system_size_at_1_56k(self):
+        """Paper Section V-C: Graphene needs ~0.53 MB for the 4-rank
+        system at T_RH = 1.56K."""
+        area = GrapheneAreaModel.for_threshold(1_562).area()
+        megabytes = area.per_system_bytes() / 2**20
+        assert megabytes == pytest.approx(0.53, rel=0.05)
+
+    def test_twice_stays_order_of_magnitude_above_graphene(self):
+        series = table_size_series()
+        for trh, twice_area in series["TWiCe"].items():
+            graphene_area = series["Graphene"][trh]
+            assert twice_area.total_bits / graphene_area.total_bits > 10
+
+    def test_per_rank_is_16x_per_bank(self):
+        area = GrapheneAreaModel.for_threshold(50_000).area()
+        assert area.per_rank() == 16 * area.total_bits
+
+
+class TestModelsStructure:
+    def test_twice_entries_scale_inverse_threshold(self):
+        assert TwiceAreaModel(hammer_threshold=25_000).entries == 2_276
+
+    def test_cbt_explicit_configuration(self):
+        model = CbtAreaModel(
+            hammer_threshold=25_000, counters=256, levels=11
+        )
+        assert model.resolved() == (256, 11)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cbt_counters_for_threshold(0)

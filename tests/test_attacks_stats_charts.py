@@ -1,0 +1,229 @@
+"""Tests for the advanced attack library, statistics, and charts."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.analysis.statistics import (
+    repeat_with_seeds,
+    summarize,
+    wilson_interval,
+)
+from repro.core.config import GrapheneConfig
+from repro.core.guarantees import InstrumentedGrapheneEngine
+from repro.dram.faults import CouplingProfile, HammerFaultModel
+from repro.experiments.charts import bar_chart, grouped_bar_chart, series_chart
+from repro.mitigations import graphene_factory, no_mitigation_factory
+from repro.sim import simulate
+from repro.workloads.attacks import (
+    assisted_double_sided_rows,
+    decoy_flood_rows,
+    graphene_saturation_rows,
+    many_sided_rows,
+)
+from repro.workloads.synthetic import synthetic_events
+
+from .conftest import act_stream
+
+
+class TestManySided:
+    def test_two_sided_degenerates_to_classic(self):
+        rows = list(itertools.islice(many_sided_rows(2, victim=100), 4))
+        assert set(rows) == {99, 101}
+
+    def test_aggressor_count(self):
+        rows = set(itertools.islice(many_sided_rows(6, victim=1000), 6))
+        assert len(rows) == 6
+        assert rows == {999, 1001, 997, 1003, 995, 1005}
+
+    def test_defeats_unprotected_bank(self):
+        result = simulate(
+            synthetic_events(
+                many_sided_rows(8, victim=500), duration_ns=8e6
+            ),
+            no_mitigation_factory(), "none", "trrespass",
+            hammer_threshold=2_000, duration_ns=8e6,
+        )
+        assert result.bit_flips > 0
+
+    def test_graphene_stops_many_sided(self):
+        config = GrapheneConfig(hammer_threshold=2_000,
+                                reset_window_divisor=2)
+        result = simulate(
+            synthetic_events(
+                many_sided_rows(8, victim=500), duration_ns=8e6
+            ),
+            graphene_factory(config), "graphene", "trrespass",
+            hammer_threshold=2_000, duration_ns=8e6,
+        )
+        assert result.bit_flips == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            many_sided_rows(0)
+
+
+class TestSaturationAttack:
+    def test_exceeds_table_capacity(self):
+        config = GrapheneConfig(
+            hammer_threshold=3_000, rows_per_bank=65536,
+            reset_window_divisor=2,
+        )
+        rows = set(itertools.islice(
+            graphene_saturation_rows(config),
+            config.num_entries + 1,
+        ))
+        assert len(rows) == config.num_entries + 1
+
+    def test_guarantees_hold_under_saturation(self):
+        """The instrumented engine survives table saturation: every
+        invariant (Lemmas + Theorem) checked per ACT."""
+        from repro.dram.timing import DDR4_2400
+
+        # Compressed refresh window keeps N_entry (and thus the
+        # saturation pattern) small enough for a fast test.
+        config = GrapheneConfig(
+            hammer_threshold=200, rows_per_bank=4096,
+            reset_window_divisor=2,
+            timings=DDR4_2400.scaled(trefw=1e6),
+        )
+        engine = InstrumentedGrapheneEngine(config, check_every=64)
+        pattern = graphene_saturation_rows(config, seed=2)
+        engine.run_stream(act_stream(
+            (next(pattern) for _ in range(20_000))
+        ))
+        # Spillover must have grown: the attack saturates the table.
+        assert engine.engine.table.spillover > 0
+
+
+class TestAssistedAttack:
+    def test_pattern_composition(self):
+        rows = list(itertools.islice(
+            assisted_double_sided_rows(victim=100, near_weight=1,
+                                       far_weight=2),
+            6,
+        ))
+        assert rows == [99, 101, 98, 102, 98, 102]
+
+    def test_defeats_radius1_fault_model(self):
+        coupling = CouplingProfile.uniform(2)
+        referee = HammerFaultModel(threshold=400, rows=1024,
+                                   coupling=coupling)
+        pattern = assisted_double_sided_rows(victim=500, rows_per_bank=1024)
+        config = GrapheneConfig(
+            hammer_threshold=400, rows_per_bank=1024,
+            reset_window_divisor=2,
+        )  # radius-1 protection
+        from repro.core.graphene import GrapheneEngine
+
+        engine = GrapheneEngine(config)
+        for time_ns, row in act_stream(
+            (next(pattern) for _ in range(2_000))
+        ):
+            referee.on_activate(row, time_ns)
+            for request in engine.on_activate(row, time_ns):
+                referee.on_refresh_range(request.victim_rows)
+        assert referee.flip_count > 0  # +-1 defense loses at distance 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assisted_double_sided_rows(near_weight=0, far_weight=0)
+
+
+class TestDecoyFlood:
+    def test_target_frequency(self):
+        rows = list(itertools.islice(
+            decoy_flood_rows(target=100, target_every=4), 400
+        ))
+        assert rows.count(100) == 100
+
+    def test_misra_gries_still_tracks_target(self):
+        config = GrapheneConfig(
+            hammer_threshold=400, rows_per_bank=65536,
+            reset_window_divisor=2,
+        )
+        from repro.core.graphene import GrapheneEngine
+
+        engine = GrapheneEngine(config)
+        pattern = decoy_flood_rows(target=100, target_every=4)
+        triggered = 0
+        for time_ns, row in act_stream(
+            (next(pattern) for _ in range(4 * config.tracking_threshold))
+        ):
+            triggered += len(engine.on_activate(row, time_ns))
+        assert triggered >= 1  # frequency guarantee beats the decoys
+
+
+class TestStatistics:
+    def test_wilson_basic(self):
+        low, high = wilson_interval(5, 100)
+        assert 0.01 < low < 0.05 < high < 0.12
+
+    def test_wilson_zero_successes_nonzero_upper(self):
+        low, high = wilson_interval(0, 60)
+        assert low == 0.0
+        assert 0.0 < high < 0.1
+
+    def test_wilson_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(7, 5)
+
+    def test_summarize_interval_contains_mean(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.mean == 3.0
+        assert summary.low < 3.0 < summary.high
+        assert summary.minimum == 1.0 and summary.maximum == 5.0
+
+    def test_summarize_single_value(self):
+        summary = summarize([7.0])
+        assert summary.half_width_95 == 0.0
+
+    def test_overlap_detection(self):
+        a = summarize([1.0, 1.1, 0.9])
+        b = summarize([5.0, 5.1, 4.9])
+        assert not a.overlaps(b)
+        assert a.overlaps(summarize([1.05, 0.95, 1.0]))
+
+    def test_repeat_with_seeds(self):
+        summary = repeat_with_seeds(lambda s: float(s % 3), seeds=(1, 2, 3))
+        assert summary.samples == 3
+
+
+class TestCharts:
+    def test_bar_chart_renders_all_labels(self):
+        chart = bar_chart({"graphene": 0.0, "para": 0.6, "cbt": 4.5},
+                          unit="%")
+        assert "graphene" in chart and "cbt" in chart
+        # Largest value gets the longest bar.
+        lines = {line.split(" |")[0].strip(): line for line in
+                 chart.splitlines()}
+        assert lines["cbt"].count("#") > lines["para"].count("#")
+
+    def test_bar_chart_tiny_nonzero_visible(self):
+        chart = bar_chart({"a": 1000.0, "b": 0.01})
+        b_line = [l for l in chart.splitlines() if l.startswith("b")][0]
+        assert "#" in b_line
+
+    def test_bar_chart_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_grouped_chart(self):
+        chart = grouped_bar_chart(
+            {"mcf": {"para": 0.5, "cbt": 4.0}, "MICA": {"para": 0.6}}
+        )
+        assert "mcf:" in chart and "MICA:" in chart
+
+    def test_series_chart_alignment(self):
+        chart = series_chart(
+            ["50K", "25K"],
+            {"graphene": [1.0, 2.0], "twice": [10.0, 20.0]},
+            log_scale=True,
+        )
+        assert "50K" in chart and "25K" in chart
+        with pytest.raises(ValueError):
+            series_chart(["a"], {"x": [1.0, 2.0]})

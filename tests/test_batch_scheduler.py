@@ -1,0 +1,168 @@
+"""Tests for the PAR-BS batch scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controller.batch_scheduler import (
+    BatchSchedulerResult,
+    MemRequest,
+    requests_from_profile,
+    run_batch_scheduler,
+)
+from repro.core.config import GrapheneConfig
+from repro.mitigations import graphene_factory, no_mitigation_factory
+
+
+def make_requests(specs) -> list[MemRequest]:
+    """specs: (arrival, core, bank, row) tuples."""
+    return [
+        MemRequest(arrival_ns=arrival, sequence=index, core=core,
+                   bank=bank, row=row)
+        for index, (arrival, core, bank, row) in enumerate(specs)
+    ]
+
+
+class TestSchedulingBasics:
+    def test_all_requests_complete(self):
+        requests = make_requests(
+            [(i * 10.0, i % 2, i % 4, 100 + i) for i in range(50)]
+        )
+        result = run_batch_scheduler(
+            requests, no_mitigation_factory(), banks=4,
+            rows_per_bank=1024, hammer_threshold=10**9,
+        )
+        assert result.requests == 50
+        assert result.acts + result.row_hits == 50
+
+    def test_empty_trace(self):
+        result = run_batch_scheduler(
+            [], no_mitigation_factory(), banks=2, rows_per_bank=64,
+            hammer_threshold=10**9,
+        )
+        assert result.requests == 0
+        assert result.mean_latency_ns == 0.0
+
+    def test_row_hits_preferred(self):
+        """Back-to-back same-row requests ride the open row."""
+        requests = make_requests(
+            [(0.0, 0, 0, 7), (1.0, 0, 0, 7), (2.0, 0, 0, 7),
+             (3.0, 0, 0, 7)]
+        )
+        result = run_batch_scheduler(
+            requests, no_mitigation_factory(), banks=1,
+            rows_per_bank=64, hammer_threshold=10**9,
+        )
+        assert result.acts == 1
+        assert result.row_hits == 3
+
+    def test_minimalist_open_closes_after_run(self):
+        """More same-row requests than max_row_run forces a re-ACT."""
+        requests = make_requests(
+            [(i * 5.0, 0, 0, 7) for i in range(10)]
+        )
+        result = run_batch_scheduler(
+            requests, no_mitigation_factory(), banks=1,
+            rows_per_bank=64, hammer_threshold=10**9, max_row_run=4,
+        )
+        assert result.acts >= 2
+
+    def test_batches_are_formed(self):
+        requests = make_requests(
+            [(i * 2.0, i % 3, 0, 50 + (i % 5) * 8) for i in range(60)]
+        )
+        result = run_batch_scheduler(
+            requests, no_mitigation_factory(), banks=1,
+            rows_per_bank=1024, hammer_threshold=10**9, batch_cap=2,
+        )
+        assert result.batches_formed >= 2
+
+    def test_latency_accounting(self):
+        requests = make_requests([(0.0, 0, 0, 1), (0.0, 1, 0, 500)])
+        result = run_batch_scheduler(
+            requests, no_mitigation_factory(), banks=1,
+            rows_per_bank=1024, hammer_threshold=10**9,
+        )
+        # Two conflicting row misses on one bank: the second waits tRC.
+        assert result.max_latency_ns > result.mean_latency_ns > 0
+        assert set(result.per_core_mean_latency_ns) == {0, 1}
+
+
+class TestFairness:
+    def test_marking_prevents_starvation(self):
+        """A core spamming row hits cannot starve another core's
+        conflicting requests indefinitely: batch marking bounds the
+        wait."""
+        specs = []
+        # Core 0 floods bank 0 with same-row requests...
+        for i in range(200):
+            specs.append((i * 4.0, 0, 0, 7))
+        # ...core 1 wants a different row early on.
+        specs.append((10.0, 1, 0, 600))
+        requests = make_requests(specs)
+        result = run_batch_scheduler(
+            requests, no_mitigation_factory(), banks=1,
+            rows_per_bank=1024, hammer_threshold=10**9, batch_cap=4,
+        )
+        latency_1 = result.per_core_mean_latency_ns[1]
+        # Without batching the conflicting request could wait for the
+        # whole flood (~800 ns x hits); marking caps it near one batch.
+        assert latency_1 < 2_000.0
+
+    def test_fairness_ratio_reported(self):
+        requests = make_requests(
+            [(i * 20.0, i % 2, 0, 100 + 8 * (i % 2)) for i in range(40)]
+        )
+        result = run_batch_scheduler(
+            requests, no_mitigation_factory(), banks=1,
+            rows_per_bank=1024, hammer_threshold=10**9,
+        )
+        assert result.fairness_ratio() >= 1.0
+
+
+class TestMitigationIntegration:
+    def test_hammer_through_scheduler_is_protected(self):
+        trh = 800
+        config = GrapheneConfig(
+            hammer_threshold=trh, rows_per_bank=1024,
+            reset_window_divisor=2,
+        )
+        requests = make_requests(
+            [(i * 50.0, 0, 0, 500) for i in range(3_000)]
+        )
+        protected = run_batch_scheduler(
+            requests, graphene_factory(config), banks=1,
+            rows_per_bank=1024, hammer_threshold=trh, track_faults=True,
+            max_row_run=0,  # force every request to ACT (pure hammer)
+        )
+        assert protected.bit_flips == 0
+        assert protected.victim_rows_refreshed > 0
+        unprotected = run_batch_scheduler(
+            make_requests([(i * 50.0, 0, 0, 500) for i in range(3_000)]),
+            no_mitigation_factory(), banks=1, rows_per_bank=1024,
+            hammer_threshold=trh, track_faults=True, max_row_run=0,
+        )
+        assert unprotected.bit_flips > 0
+
+
+class TestProfileDerivedRequests:
+    def test_requests_cover_cores_and_banks(self):
+        requests = requests_from_profile(
+            "omnetpp", duration_ns=5e5, cores=4, banks=8, seed=2
+        )
+        assert requests
+        assert {r.core for r in requests} == {0, 1, 2, 3}
+        assert all(0 <= r.bank < 8 for r in requests)
+        arrivals = [r.arrival_ns for r in requests]
+        assert arrivals == sorted(arrivals)
+
+    def test_end_to_end_with_scheduler(self):
+        requests = requests_from_profile(
+            "omnetpp", duration_ns=5e5, cores=2, banks=4, seed=2
+        )
+        result = run_batch_scheduler(
+            requests, no_mitigation_factory(), banks=4,
+            hammer_threshold=10**9,
+        )
+        assert result.requests == len(requests)
+        assert 0.0 <= result.row_hit_rate <= 1.0

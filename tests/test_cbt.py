@@ -1,0 +1,146 @@
+"""Tests for the Counter-Based Tree baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.timing import DDR4_2400
+from repro.mitigations.cbt import CBT
+
+
+def make(threshold=400, rows=256, counters=8, levels=4, **kw) -> CBT:
+    return CBT(
+        bank=0,
+        rows=rows,
+        hammer_threshold=threshold,
+        num_counters=counters,
+        num_levels=levels,
+        **kw,
+    )
+
+
+class TestTreeMechanics:
+    def test_starts_with_single_root(self):
+        engine = make()
+        assert engine.counters_in_use == 1
+        start, size, level, count = engine.leaf_snapshot()[0]
+        assert (start, size, level, count) == (0, 256, 0, 0)
+
+    def test_split_on_threshold(self):
+        engine = make()
+        first_split = engine.split_threshold(0)
+        for i in range(first_split):
+            engine.on_activate(10, float(i))
+        assert engine.counters_in_use == 2
+        assert engine.splits == 1
+
+    def test_children_inherit_count(self):
+        engine = make()
+        for i in range(engine.split_threshold(0)):
+            engine.on_activate(10, float(i))
+        for start, size, level, count in engine.leaf_snapshot():
+            assert count == engine.split_threshold(0)
+            assert level == 1
+            assert size == 128
+
+    def test_trigger_refreshes_range_plus_neighbors(self):
+        engine = make()
+        directives = []
+        for i in range(engine.action_threshold):
+            directives.extend(engine.on_activate(10, float(i)))
+        assert len(directives) == 1
+        victims = directives[0].victim_rows
+        # The triggered leaf covers a range; the refresh adds one row
+        # on each side (the contiguous +2 model).
+        snapshot = {
+            (s, s + size)
+            for s, size, _, _ in engine.leaf_snapshot()
+        }
+        assert any(
+            victims[0] == max(0, lo - 1) and victims[-1] == min(255, hi)
+            for lo, hi in snapshot
+        )
+
+    def test_remapped_mode_refreshes_double_range(self):
+        contiguous = make(assume_contiguous=True)
+        remapped = make(assume_contiguous=False)
+        for i in range(contiguous.action_threshold):
+            d1 = contiguous.on_activate(10, float(i))
+            d2 = remapped.on_activate(10, float(i))
+        assert len(d2[0].victim_rows) > len(d1[0].victim_rows)
+
+    def test_counter_budget_respected(self):
+        engine = make(counters=4, levels=6)
+        for i in range(5_000):
+            engine.on_activate(i % 256, float(i))
+        assert engine.counters_in_use <= 4
+
+    def test_split_stops_at_single_row(self):
+        engine = CBT(
+            bank=0, rows=4, hammer_threshold=400,
+            num_counters=16, num_levels=8,
+        )
+        for i in range(3_000):
+            engine.on_activate(i % 4, float(i))
+        for _, size, _, _ in engine.leaf_snapshot():
+            assert size >= 1
+
+    def test_window_reset_collapses_tree(self):
+        engine = make()
+        for i in range(engine.split_threshold(0)):
+            engine.on_activate(10, float(i))
+        assert engine.counters_in_use > 1
+        engine.on_activate(10, DDR4_2400.trefw + 1.0)
+        assert engine.counters_in_use == 1
+        assert engine.window_resets == 1
+
+    def test_leaves_tile_the_bank(self):
+        engine = make(counters=16, levels=5)
+        for i in range(10_000):
+            engine.on_activate((i * 37) % 256, float(i))
+        covered = 0
+        previous_end = 0
+        for start, size, _, _ in engine.leaf_snapshot():
+            assert start == previous_end
+            previous_end = start + size
+            covered += size
+        assert covered == 256
+
+
+class TestProtection:
+    def test_single_row_hammer_always_triggers_before_budget(self):
+        """No row can take action_threshold ACTs without its region
+        being refreshed (CBT's guarantee, given inheritance)."""
+        engine = make(threshold=400, counters=8, levels=4)
+        acts_without_refresh = 0
+        worst = 0
+        for i in range(5_000):
+            directives = engine.on_activate(100, float(i))
+            acts_without_refresh += 1
+            if any(100 in d.victim_rows or
+                   (d.victim_rows[0] <= 100 <= d.victim_rows[-1])
+                   for d in directives):
+                worst = max(worst, acts_without_refresh)
+                acts_without_refresh = 0
+        assert worst <= engine.action_threshold
+
+    def test_split_thresholds_ramp_to_action_threshold(self):
+        engine = make(levels=5)
+        thresholds = [engine.split_threshold(l) for l in range(5)]
+        assert thresholds == sorted(thresholds)
+        assert thresholds[-1] == engine.action_threshold
+
+
+class TestAccounting:
+    def test_table_bits_positive_and_scales(self):
+        small = make(counters=8)
+        large = make(counters=64)
+        assert 0 < small.table_bits() < large.table_bits()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(threshold=4)
+        with pytest.raises(ValueError):
+            make(counters=0)
+        with pytest.raises(ValueError):
+            make(levels=0)

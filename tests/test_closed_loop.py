@@ -1,0 +1,157 @@
+"""Tests for the closed-loop multicore performance model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GrapheneConfig
+from repro.mitigations import (
+    graphene_factory,
+    increased_refresh_rate_factory,
+    no_mitigation_factory,
+)
+from repro.sim.closed_loop import (
+    CoreProfile,
+    core_profile_for,
+    run_closed_loop,
+    weighted_speedup_reduction,
+)
+
+
+def tiny_profile(think: float = 100.0) -> CoreProfile:
+    return CoreProfile(
+        name="tiny",
+        think_time_ns=think,
+        row_hit_fraction=0.4,
+        working_set_rows=2048,
+        zipf_exponent=0.6,
+    )
+
+
+class TestProfileDerivation:
+    def test_derives_from_workload(self):
+        profile = core_profile_for("mcf")
+        assert profile.name == "mcf"
+        assert profile.think_time_ns > 0
+        assert 0.0 <= profile.row_hit_fraction < 1.0
+
+    def test_act_rate_calibration(self):
+        """The closed loop must land near the workload's per-bank rate."""
+        from repro.workloads.spec_like import REALISTIC_PROFILES
+
+        profile = core_profile_for("omnetpp")
+        result = run_closed_loop(
+            profile, no_mitigation_factory(), "none", duration_ns=4e6,
+            seed=3,
+        )
+        measured = result.acts / result.banks / (result.duration_ns / 1e9)
+        target = REALISTIC_PROFILES["omnetpp"].acts_per_second_per_bank
+        assert measured == pytest.approx(target, rel=0.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreProfile("x", -1.0, 0.5, 100, 0.5)
+        with pytest.raises(ValueError):
+            CoreProfile("x", 10.0, 1.0, 100, 0.5)
+
+
+class TestClosedLoopMechanics:
+    def test_all_cores_progress(self):
+        result = run_closed_loop(
+            tiny_profile(), no_mitigation_factory(), "none",
+            duration_ns=2e6, cores=4, banks=4, rows_per_bank=8192,
+            seed=1,
+        )
+        assert all(count > 0 for count in result.requests_completed)
+        assert result.total_requests == sum(result.requests_completed)
+
+    def test_row_hits_do_not_activate(self):
+        """Only misses issue ACTs; the hit rate shows up in the split."""
+        result = run_closed_loop(
+            tiny_profile(), no_mitigation_factory(), "none",
+            duration_ns=2e6, cores=4, banks=4, rows_per_bank=8192,
+            seed=1,
+        )
+        assert result.row_hits > 0
+        assert result.acts > 0
+        assert result.row_hit_rate == pytest.approx(
+            result.row_hits / (result.row_hits + result.acts)
+        )
+
+    def test_think_time_throttles_throughput(self):
+        fast = run_closed_loop(
+            tiny_profile(think=20.0), no_mitigation_factory(), "none",
+            duration_ns=1e6, cores=2, banks=4, rows_per_bank=8192, seed=2,
+        )
+        slow = run_closed_loop(
+            tiny_profile(think=400.0), no_mitigation_factory(), "none",
+            duration_ns=1e6, cores=2, banks=4, rows_per_bank=8192, seed=2,
+        )
+        assert fast.total_requests > 2 * slow.total_requests
+
+    def test_reproducible(self):
+        a = run_closed_loop(
+            tiny_profile(), no_mitigation_factory(), "none",
+            duration_ns=1e6, cores=2, banks=2, rows_per_bank=4096, seed=7,
+        )
+        b = run_closed_loop(
+            tiny_profile(), no_mitigation_factory(), "none",
+            duration_ns=1e6, cores=2, banks=2, rows_per_bank=4096, seed=7,
+        )
+        assert a.requests_completed == b.requests_completed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_closed_loop(
+                tiny_profile(), no_mitigation_factory(), "none",
+                duration_ns=1e5, cores=0,
+            )
+
+
+class TestWeightedSpeedup:
+    def test_zero_reduction_for_silent_scheme(self):
+        """Graphene issues no refreshes on benign traffic, so the
+        closed-loop run is bit-identical to the baseline."""
+        config = GrapheneConfig(
+            hammer_threshold=50_000, rows_per_bank=8192,
+            reset_window_divisor=2,
+        )
+        base = run_closed_loop(
+            tiny_profile(), no_mitigation_factory(), "none",
+            duration_ns=2e6, cores=4, banks=4, rows_per_bank=8192, seed=4,
+        )
+        protected = run_closed_loop(
+            tiny_profile(), graphene_factory(config), "graphene",
+            duration_ns=2e6, cores=4, banks=4, rows_per_bank=8192, seed=4,
+        )
+        assert protected.victim_rows_refreshed == 0
+        assert weighted_speedup_reduction(protected, base) == 0.0
+
+    def test_heavy_refresh_scheme_costs_throughput(self):
+        """Doubling the refresh rate visibly slows the cores -- the
+        permanent tax the paper criticizes (Section II-B)."""
+        base = run_closed_loop(
+            tiny_profile(think=20.0), no_mitigation_factory(), "none",
+            duration_ns=4e6, cores=4, banks=2, rows_per_bank=65536, seed=4,
+        )
+        taxed = run_closed_loop(
+            tiny_profile(think=20.0),
+            increased_refresh_rate_factory(multiplier=8),
+            "refresh-rate",
+            duration_ns=4e6, cores=4, banks=2, rows_per_bank=65536, seed=4,
+        )
+        reduction = weighted_speedup_reduction(taxed, base)
+        assert reduction > 0.005
+        assert taxed.victim_rows_refreshed > 0
+
+    def test_mismatched_runs_rejected(self):
+        a = run_closed_loop(
+            tiny_profile(), no_mitigation_factory(), "none",
+            duration_ns=5e5, cores=2, banks=2, rows_per_bank=4096, seed=1,
+        )
+        b = run_closed_loop(
+            tiny_profile(), no_mitigation_factory(), "none",
+            duration_ns=5e5, cores=4, banks=2, rows_per_bank=4096, seed=1,
+        )
+        with pytest.raises(ValueError):
+            weighted_speedup_reduction(a, b)

@@ -1,0 +1,155 @@
+"""Tests of the parameter derivations against the paper's numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PAPER_TRH_DDR3, PAPER_TRH_DDR4, GrapheneConfig
+from repro.dram.faults import CouplingProfile
+from repro.dram.timing import DDR4_2400
+
+
+class TestTableII:
+    """The k=1 baseline derivation (paper Table II)."""
+
+    def test_w_is_about_1360k(self):
+        config = GrapheneConfig.paper_baseline()
+        assert config.max_activations_per_window == pytest.approx(
+            1_360_000, rel=0.01
+        )
+
+    def test_t_is_12500(self):
+        assert GrapheneConfig.paper_baseline().tracking_threshold == 12_500
+
+    def test_nentry_is_108(self):
+        assert GrapheneConfig.paper_baseline().num_entries == 108
+
+    def test_nentry_satisfies_inequality_1(self):
+        config = GrapheneConfig.paper_baseline()
+        w, t = config.max_activations_per_window, config.tracking_threshold
+        assert config.num_entries > w / t - 1
+        # Minimality: one fewer entry would violate the inequality.
+        assert config.num_entries - 1 <= w / t - 1
+
+
+class TestOptimizedK2:
+    """The evaluated configuration (Sections IV-B/C, Table IV)."""
+
+    def test_t_is_8333(self):
+        assert GrapheneConfig.paper_optimized().tracking_threshold == 8_333
+
+    def test_nentry_is_81(self):
+        assert GrapheneConfig.paper_optimized().num_entries == 81
+
+    def test_entry_is_31_bits(self):
+        config = GrapheneConfig.paper_optimized()
+        assert config.address_bits == 16
+        assert config.count_bits == 14
+        assert config.overflow_bits == 1
+        assert config.entry_bits == 31
+
+    def test_table_is_2511_bits_per_bank(self):
+        assert GrapheneConfig.paper_optimized().table_bits_per_bank == 2_511
+
+    def test_overflow_bit_saves_count_bits(self):
+        with_bit = GrapheneConfig.paper_optimized()
+        without = GrapheneConfig(
+            reset_window_divisor=2, use_overflow_bit=False
+        )
+        # Paper: 21 bits without the trick, 14 + 1 with it.
+        assert without.count_bits == 20  # ceil(log2(679,203)) for k=2's W
+        assert with_bit.count_bits == 14
+        assert with_bit.entry_bits < without.entry_bits
+
+    def test_k1_count_bits_is_21_without_overflow(self):
+        config = GrapheneConfig(
+            reset_window_divisor=1, use_overflow_bit=False
+        )
+        assert config.count_bits == 21  # the paper's "21 bits by default"
+
+
+class TestInequality3:
+    """T must satisfy (k+1)(T-1) < T_RH / 2 for every k."""
+
+    @pytest.mark.parametrize("k", range(1, 11))
+    def test_strict_inequality_holds(self, k):
+        config = GrapheneConfig(reset_window_divisor=k)
+        t = config.tracking_threshold
+        assert (k + 1) * (t - 1) < config.hammer_threshold / 2
+
+    @pytest.mark.parametrize("trh", [50_000, 25_000, 12_500, 6_250, 1_562])
+    def test_scaling_with_threshold(self, trh):
+        config = GrapheneConfig(
+            hammer_threshold=trh, reset_window_divisor=2
+        )
+        assert config.tracking_threshold == trh // 6
+        # Entries grow inversely with T_RH (Fig. 9(a) linearity).
+        baseline = GrapheneConfig(reset_window_divisor=2)
+        ratio = config.num_entries / baseline.num_entries
+        assert ratio == pytest.approx(50_000 / trh, rel=0.05)
+
+
+class TestNonAdjacent:
+    def test_amplification_shrinks_t(self):
+        base = GrapheneConfig.paper_optimized()
+        wide = GrapheneConfig(
+            reset_window_divisor=2,
+            coupling=CouplingProfile.inverse_square(3),
+        )
+        factor = wide.amplification_factor
+        assert factor == pytest.approx(1 + 1 / 4 + 1 / 9)
+        assert wide.tracking_threshold == int(
+            base.hammer_threshold / (6 * factor)
+        )
+        assert wide.num_entries > base.num_entries
+
+    def test_victim_rows_per_refresh(self):
+        wide = GrapheneConfig(
+            coupling=CouplingProfile.uniform(3)
+        )
+        assert wide.victim_rows_per_refresh == 6
+        assert wide.blast_radius == 3
+
+
+class TestBounds:
+    def test_max_refresh_events_per_window(self):
+        config = GrapheneConfig.paper_baseline()
+        events = config.max_refresh_events_per_window
+        assert events == config.max_activations_per_window // 12_500
+
+    def test_worst_case_energy_increase_about_0p33_percent(self):
+        """The abstract's '0.34%' claim corresponds to the k=1 bound."""
+        config = GrapheneConfig.paper_baseline()
+        assert config.worst_case_refresh_energy_increase() == pytest.approx(
+            0.0034, abs=0.0005
+        )
+
+    def test_spillover_register_fits_count_width(self):
+        config = GrapheneConfig.paper_optimized()
+        assert config.spillover_register_bits <= config.count_bits
+
+    def test_ddr3_threshold_gives_smaller_table(self):
+        ddr3 = GrapheneConfig(
+            hammer_threshold=PAPER_TRH_DDR3, reset_window_divisor=2
+        )
+        ddr4 = GrapheneConfig.paper_optimized()
+        assert ddr3.num_entries < ddr4.num_entries
+
+
+class TestValidation:
+    def test_rejects_tiny_threshold(self):
+        with pytest.raises(ValueError):
+            GrapheneConfig(hammer_threshold=4)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            GrapheneConfig(reset_window_divisor=0)
+
+    def test_rejects_single_row_bank(self):
+        with pytest.raises(ValueError):
+            GrapheneConfig(rows_per_bank=1)
+
+    def test_summary_contains_all_parameters(self):
+        summary = GrapheneConfig.paper_optimized().summary()
+        for key in ("W", "T", "N_entry", "entry_bits", "table_bits_per_bank"):
+            assert key in summary

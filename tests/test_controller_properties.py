@@ -1,0 +1,134 @@
+"""Property-based tests of controller/device timing invariants.
+
+Whatever the workload throws at the stack, the DRAM command stream the
+controller produces must honor the device's timing contract: per-bank
+ACT spacing >= tRC, no command during refresh blackouts, NRR accounting
+consistent between controller and device.  Hypothesis generates hostile
+arrival patterns (bursts, simultaneous arrivals, long gaps) and the
+invariants are checked on instrumented banks.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.mc import MemoryController
+from repro.core.config import GrapheneConfig
+from repro.dram.bank import Bank
+from repro.dram.timing import DDR4_2400
+from repro.mitigations import graphene_factory, no_mitigation_factory
+from repro.sim.simulator import build_device
+from repro.workloads.trace import ActEvent
+
+
+class _RecordingBank(Bank):
+    """Bank that logs every ACT issue time for invariant checking."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.act_times: list[float] = []
+
+    def activate(self, row: int, now_ns: float) -> float:
+        self.act_times.append(now_ns)
+        return super().activate(row, now_ns)
+
+
+def _instrument(device) -> list[_RecordingBank]:
+    recorded = []
+    for bank_model in device.banks:
+        recording = _RecordingBank(
+            bank_model.bank.bank_id, bank_model.bank.rows,
+            bank_model.bank.timings,
+        )
+        bank_model.bank = recording
+        recorded.append(recording)
+    return recorded
+
+
+@st.composite
+def arrival_streams(draw):
+    """Bursty, possibly simultaneous arrivals across 2 banks."""
+    count = draw(st.integers(min_value=1, max_value=120))
+    events = []
+    time_ns = 0.0
+    for _ in range(count):
+        gap = draw(st.sampled_from([0.0, 1.0, 10.0, 45.0, 500.0, 9000.0]))
+        time_ns += gap
+        bank = draw(st.integers(min_value=0, max_value=1))
+        row = draw(st.integers(min_value=0, max_value=255))
+        events.append(ActEvent(time_ns, bank, row))
+    return events
+
+
+class TestTimingInvariants:
+    @given(arrival_streams())
+    @settings(max_examples=50, deadline=None)
+    def test_act_spacing_never_violates_trc(self, events):
+        device = build_device(banks=2, rows_per_bank=256,
+                              hammer_threshold=10**9, track_faults=False)
+        recorded = _instrument(device)
+        controller = MemoryController(device, no_mitigation_factory())
+        controller.run(events)
+        for bank in recorded:
+            for earlier, later in zip(bank.act_times, bank.act_times[1:]):
+                assert later - earlier >= DDR4_2400.trc - 1e-6
+
+    @given(arrival_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_issue_never_before_arrival(self, events):
+        device = build_device(banks=2, rows_per_bank=256,
+                              hammer_threshold=10**9, track_faults=False)
+        recorded = _instrument(device)
+        controller = MemoryController(device, no_mitigation_factory())
+        arrivals_per_bank: dict[int, list[float]] = {0: [], 1: []}
+        for event in events:
+            arrivals_per_bank[event.bank].append(event.time_ns)
+            controller.step(event)
+        for bank_id, bank in enumerate(recorded):
+            for arrival, issue in zip(
+                arrivals_per_bank[bank_id], bank.act_times
+            ):
+                assert issue >= arrival - 1e-9
+
+    @given(arrival_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_nrr_accounting_consistent(self, events):
+        """Controller NRR counters mirror the device's, exactly."""
+        config = GrapheneConfig(
+            hammer_threshold=100, rows_per_bank=256,
+            reset_window_divisor=2,
+            timings=DDR4_2400.scaled(trefw=1e6),
+        )
+        device = build_device(banks=2, rows_per_bank=256,
+                              hammer_threshold=100, track_faults=False)
+        controller = MemoryController(device, graphene_factory(config))
+        controller.run(events)
+        stats = device.total_stats()
+        assert controller.counters.nrr_commands == stats.nrr_commands
+        assert controller.counters.nrr_rows == stats.nrr_rows_refreshed
+
+    @given(arrival_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_latency_count_matches_acts(self, events):
+        device = build_device(banks=2, rows_per_bank=256,
+                              hammer_threshold=10**9, track_faults=False)
+        controller = MemoryController(device, no_mitigation_factory())
+        controller.run(events)
+        assert controller.latency_summary().count == len(events)
+        assert controller.counters.acts_issued == len(events)
+
+
+class TestRefreshBlackouts:
+    def test_act_requested_inside_blackout_is_pushed_out(self):
+        device = build_device(banks=1, rows_per_bank=256,
+                              hammer_threshold=10**9)
+        controller = MemoryController(device, no_mitigation_factory())
+        # Arrive exactly at the first tREFI boundary: the REF executes
+        # first and the ACT waits out tRFC.
+        boundary = DDR4_2400.trefi
+        controller.step(ActEvent(boundary, 0, 5))
+        assert controller.latency_summary().max_ns == pytest.approx(
+            DDR4_2400.trfc, rel=0.01
+        )

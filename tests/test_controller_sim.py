@@ -1,0 +1,208 @@
+"""Tests for the memory controller, latency tracker, and sim harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controller.scheduler import LatencyTracker
+from repro.core.config import GrapheneConfig
+from repro.mitigations import (
+    graphene_factory,
+    no_mitigation_factory,
+    prohit_factory,
+    twice_factory,
+)
+from repro.sim import (
+    build_device,
+    memory_intensity,
+    performance_overhead,
+    service_floor_ns,
+    simulate,
+)
+from repro.sim.system import PAPER_SYSTEM, table3_rows
+from repro.workloads import ActEvent, synthetic_events, s3_rows
+from repro.controller.mc import MemoryController
+from repro.dram.timing import DDR4_2400
+
+
+class TestLatencyTracker:
+    def test_empty_summary(self):
+        summary = LatencyTracker().summary()
+        assert summary.count == 0
+        assert summary.mean_ns == 0.0
+
+    def test_mean_and_max(self):
+        tracker = LatencyTracker()
+        for delay in (0.0, 0.0, 100.0, 300.0):
+            tracker.record(delay)
+        summary = tracker.summary()
+        assert summary.count == 4
+        assert summary.mean_ns == pytest.approx(100.0)
+        assert summary.max_ns == 300.0
+        assert summary.delayed_fraction == 0.5
+
+    def test_percentiles_monotone(self):
+        tracker = LatencyTracker()
+        for i in range(1000):
+            tracker.record(float(i))
+        summary = tracker.summary()
+        assert summary.p95_ns <= summary.p99_ns <= 2 * summary.max_ns
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyTracker().record(-1.0)
+
+    def test_merge(self):
+        a, b = LatencyTracker(), LatencyTracker()
+        a.record(10.0)
+        b.record(30.0)
+        a.merge(b)
+        assert a.summary().count == 2
+        assert a.summary().mean_ns == pytest.approx(20.0)
+
+
+class TestController:
+    def test_ref_ticks_forwarded_to_engine(self):
+        device = build_device(banks=1, rows_per_bank=256,
+                              hammer_threshold=1000)
+        controller = MemoryController(
+            device, prohit_factory(insert_probability=1.0)
+        )
+        # Two ACTs a few tREFIs apart: the gap's REF commands must be
+        # forwarded (PRoHIT drains its hot table on them).
+        controller.step(ActEvent(10.0, 0, 100))
+        controller.step(ActEvent(10.0 + 3 * DDR4_2400.trefi, 0, 100))
+        assert controller.counters.ref_ticks_forwarded >= 3
+
+    def test_directives_execute_as_nrr(self):
+        device = build_device(banks=1, rows_per_bank=256,
+                              hammer_threshold=400)
+        config = GrapheneConfig(hammer_threshold=400, rows_per_bank=256,
+                                reset_window_divisor=2)
+        controller = MemoryController(device, graphene_factory(config))
+        time_ns = 0.0
+        for _ in range(200):
+            time_ns = device.bank(0).earliest_activate(time_ns)
+            controller.step(ActEvent(time_ns, 0, 100))
+            time_ns += DDR4_2400.trc
+        assert controller.counters.nrr_commands >= 1
+        assert device.bank(0).stats.nrr_commands >= 1
+        assert controller.counters.nrr_rows == device.bank(0).stats.nrr_rows_refreshed
+
+    def test_delayed_acts_recorded(self):
+        device = build_device(banks=1, rows_per_bank=256,
+                              hammer_threshold=10_000)
+        controller = MemoryController(device, no_mitigation_factory())
+        controller.step(ActEvent(0.0, 0, 1))
+        controller.step(ActEvent(1.0, 0, 2))  # violates tRC: delayed
+        summary = controller.latency_summary()
+        assert summary.count == 2
+        assert summary.max_ns == pytest.approx(DDR4_2400.trc - 1.0)
+
+    def test_directive_log_optional(self):
+        device = build_device(banks=1, rows_per_bank=256,
+                              hammer_threshold=400)
+        config = GrapheneConfig(hammer_threshold=400, rows_per_bank=256)
+        controller = MemoryController(
+            device, graphene_factory(config), keep_directive_log=True
+        )
+        time_ns = 0.0
+        for _ in range(300):
+            time_ns = device.bank(0).earliest_activate(time_ns)
+            controller.step(ActEvent(time_ns, 0, 100))
+            time_ns += DDR4_2400.trc
+        assert controller.directive_log
+
+
+class TestSimulateHarness:
+    def test_unprotected_hammer_flips_protected_does_not(self):
+        trh = 1_500
+        duration = 4e6
+        config = GrapheneConfig(hammer_threshold=trh,
+                                reset_window_divisor=2)
+        base = simulate(
+            synthetic_events(s3_rows(target=99), duration_ns=duration),
+            no_mitigation_factory(), "none", "S3",
+            hammer_threshold=trh, duration_ns=duration,
+        )
+        protected = simulate(
+            synthetic_events(s3_rows(target=99), duration_ns=duration),
+            graphene_factory(config), "graphene", "S3",
+            hammer_threshold=trh, duration_ns=duration,
+        )
+        assert base.bit_flips > 0
+        assert protected.bit_flips == 0
+        assert protected.victim_refresh_directives > 0
+
+    def test_result_metrics_consistency(self):
+        trh = 1_500
+        duration = 2e6
+        config = GrapheneConfig(hammer_threshold=trh,
+                                reset_window_divisor=2)
+        result = simulate(
+            synthetic_events(s3_rows(target=99), duration_ns=duration),
+            graphene_factory(config), "graphene", "S3",
+            hammer_threshold=trh, duration_ns=duration,
+        )
+        assert result.windows == pytest.approx(duration / DDR4_2400.trefw)
+        assert result.victim_rows_refreshed == (
+            2 * result.victim_refresh_directives
+        )
+        expected = result.victim_rows_refreshed / (
+            65536 * result.windows
+        )
+        assert result.refresh_energy_increase() == pytest.approx(expected)
+        # Energy-model route agrees with the row-count route.
+        from repro.dram.energy import PAPER_DRAM_ENERGY
+
+        assert result.refresh_energy_increase(
+            PAPER_DRAM_ENERGY
+        ) == pytest.approx(expected)
+
+    def test_duration_defaults_to_whole_windows(self):
+        events = [ActEvent(0.0, 0, 1), ActEvent(100.0, 0, 2)]
+        result = simulate(
+            iter(events), no_mitigation_factory(), "none", "tiny",
+            hammer_threshold=1000,
+        )
+        assert result.duration_ns == DDR4_2400.trefw
+
+
+class TestPerformanceModel:
+    def test_floor(self):
+        assert service_floor_ns() == pytest.approx(13.3 * 3)
+
+    def test_overhead_zero_when_no_delay_added(self):
+        events = lambda: synthetic_events(
+            s3_rows(target=99), duration_ns=1e6
+        )
+        a = simulate(events(), no_mitigation_factory(), "none", "S3",
+                     hammer_threshold=10**9, track_faults=False,
+                     duration_ns=1e6)
+        b = simulate(events(), no_mitigation_factory(), "none2", "S3",
+                     hammer_threshold=10**9, track_faults=False,
+                     duration_ns=1e6)
+        assert performance_overhead(b, a) == 0.0
+
+    def test_overhead_requires_same_workload(self):
+        events = [ActEvent(0.0, 0, 1)]
+        a = simulate(iter(events), no_mitigation_factory(), "none", "x",
+                     hammer_threshold=1000)
+        b = simulate(iter(events), no_mitigation_factory(), "none", "y",
+                     hammer_threshold=1000)
+        with pytest.raises(ValueError):
+            performance_overhead(a, b)
+
+    def test_memory_intensity_bounded(self):
+        events = [ActEvent(float(i * 45), 0, i % 8) for i in range(100)]
+        result = simulate(iter(events), no_mitigation_factory(), "none",
+                          "x", hammer_threshold=10**9, duration_ns=4500.0)
+        assert 0.0 < memory_intensity(result) <= 1.0
+
+
+class TestSystemConfig:
+    def test_table3_has_paper_rows(self):
+        rows = dict(table3_rows())
+        assert rows["Module"] == "DDR4-2400"
+        assert "4 channels" in rows["Configuration"]
+        assert PAPER_SYSTEM.total_banks == 64

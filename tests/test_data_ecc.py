@@ -1,0 +1,116 @@
+"""Tests for the stored-data layer and the SECDED ECC code."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.dram.data import RowDataStore
+from repro.dram.ecc import EccOutcome, SecdedCode
+from repro.dram.faults import BitFlip, HammerFaultModel
+
+
+class TestRowDataStore:
+    def test_write_read_roundtrip(self):
+        store = RowDataStore(rows=16, words_per_row=4)
+        store.write_row(3, [1, 2, 3, 4])
+        assert store.read_word(3, 2) == 3
+        assert store.row_image(3).tolist() == [1, 2, 3, 4]
+
+    def test_fill_and_verify_pattern(self):
+        store = RowDataStore(rows=16, words_per_row=8)
+        store.fill_row(5)
+        assert store.verify_pattern(5) == []
+
+    def test_flip_corrupts_exactly_one_bit(self):
+        store = RowDataStore(rows=16, words_per_row=8)
+        store.fill_row(5)
+        flip = BitFlip(bank=0, row=5, time_ns=123.0, disturbance=100.0,
+                       triggering_aggressor=4)
+        event = store.apply_flip(flip)
+        assert event is not None
+        bad_words = store.verify_pattern(5)
+        assert bad_words == [event.word_index]
+        diff = store.read_word(5, event.word_index) ^ 0x5555_5555_5555_5555
+        assert bin(diff).count("1") == 1
+        assert diff == 1 << event.bit_index
+
+    def test_flip_on_unused_row_is_harmless(self):
+        store = RowDataStore(rows=16, words_per_row=8)
+        flip = BitFlip(bank=0, row=5, time_ns=1.0, disturbance=1.0,
+                       triggering_aggressor=4)
+        assert store.apply_flip(flip) is None
+        assert store.corruptions == []
+
+    def test_end_to_end_with_fault_model(self):
+        """Hammer -> referee flips -> stored data corrupted."""
+        store = RowDataStore(rows=64, words_per_row=8)
+        store.fill_row(30)
+        store.fill_row(32)
+        referee = HammerFaultModel(threshold=50, rows=64)
+        for i in range(60):
+            store.apply_flips(referee.on_activate(31, float(i)))
+        assert store.corruptions
+        corrupted_rows = {e.row for e in store.corruptions}
+        assert corrupted_rows <= {30, 32}
+
+    def test_validation(self):
+        store = RowDataStore(rows=4, words_per_row=2)
+        with pytest.raises(IndexError):
+            store.fill_row(4)
+        with pytest.raises(ValueError):
+            store.write_row(0, [1, 2, 3])
+        with pytest.raises(KeyError):
+            store.read_word(0, 0)
+
+
+class TestSecded:
+    def setup_method(self):
+        self.code = SecdedCode()
+
+    def test_clean_roundtrip(self):
+        for data in (0, 1, 0xDEAD_BEEF_CAFE_F00D, (1 << 64) - 1):
+            result = self.code.decode(self.code.encode(data))
+            assert result.outcome is EccOutcome.CLEAN
+            assert result.data == data
+
+    def test_every_single_flip_corrected(self):
+        rng = random.Random(3)
+        data = rng.getrandbits(64)
+        for bit in range(SecdedCode.CODE_BITS):
+            result = self.code.transmit(data, [bit])
+            assert result.outcome is EccOutcome.CORRECTED
+            assert result.data == data
+
+    def test_every_double_flip_detected(self):
+        rng = random.Random(4)
+        data = rng.getrandbits(64)
+        for _ in range(300):
+            bits = rng.sample(range(SecdedCode.CODE_BITS), 2)
+            result = self.code.transmit(data, bits)
+            assert result.outcome is EccOutcome.DETECTED_UNCORRECTABLE
+
+    def test_triple_flips_can_miscorrect(self):
+        """The Cojocar et al. point: >= 3 Row Hammer flips in one word
+        frequently produce *silent* wrong data."""
+        rates = self.code.miscorrection_rate(flips=3, trials=500, seed=1)
+        assert rates["miscorrected"] > 0.3
+        assert rates["clean"] == 0.0
+
+    def test_quadruple_flips_mostly_detected(self):
+        rates = self.code.miscorrection_rate(flips=4, trials=500, seed=1)
+        assert rates["detected-uncorrectable"] > 0.9
+
+    def test_outcome_distribution_sums_to_one(self):
+        rates = self.code.miscorrection_rate(flips=3, trials=200, seed=2)
+        assert sum(rates.values()) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.code.encode(1 << 64)
+        with pytest.raises(ValueError):
+            self.code.decode(1 << 72)
+        with pytest.raises(ValueError):
+            self.code.transmit(0, [72])

@@ -1,0 +1,131 @@
+"""Tests for the composed DRAM device model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.device import DramBankModel, DramDevice
+from repro.dram.faults import CouplingProfile
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DDR4_2400
+
+
+def make_bank(threshold=500, rows=1024, coupling=None, track=True):
+    return DramBankModel(
+        bank_id=0,
+        rows=rows,
+        timings=DDR4_2400,
+        hammer_threshold=threshold,
+        coupling=coupling,
+        track_faults=track,
+    )
+
+
+class TestBankModel:
+    def test_auto_refresh_runs_during_advance(self):
+        bank = make_bank()
+        events = bank.advance_to(5 * DDR4_2400.trefi)
+        assert len(events) == 5
+        assert bank.stats.auto_refreshes == 5
+
+    def test_drain_refresh_events_buffer(self):
+        bank = make_bank()
+        bank.advance_to(2 * DDR4_2400.trefi)
+        drained = bank.drain_refresh_events()
+        assert len(drained) == 2
+        assert bank.drain_refresh_events() == []
+
+    def test_refresh_clears_victim_disturbance(self):
+        bank = make_bank(threshold=10_000, rows=64)
+        time_ns = 0.0
+        for _ in range(100):
+            time_ns = bank.earliest_activate(time_ns)
+            bank.activate(10, time_ns)
+            time_ns += DDR4_2400.trc
+        assert bank.faults.disturbance_of(9) == 100
+        # Row 9 gets auto-refreshed within one window (64 rows -> early).
+        bank.advance_to(DDR4_2400.trefw)
+        assert bank.faults.disturbance_of(9) == 0
+
+    def test_hammer_flips_without_protection(self):
+        bank = make_bank(threshold=300, rows=1024)
+        time_ns = 0.0
+        flips = []
+        for _ in range(400):
+            time_ns = bank.earliest_activate(time_ns)
+            flips.extend(bank.activate(500, time_ns))
+            time_ns += DDR4_2400.trc
+        assert flips, "unprotected hammering must flip bits"
+        assert {f.row for f in flips} <= {499, 501}
+
+    def test_nrr_refreshes_blast_radius(self):
+        bank = make_bank(
+            threshold=10_000, rows=64, coupling=CouplingProfile.uniform(2)
+        )
+        time_ns = bank.earliest_activate(0.0)
+        bank.activate(30, time_ns)
+        assert bank.faults.disturbance_of(28) == 1
+        bank.nearby_row_refresh(30, time_ns + 100.0)
+        for victim in (28, 29, 31, 32):
+            assert bank.faults.disturbance_of(victim) == 0
+        assert bank.stats.nrr_rows_refreshed == 4
+
+    def test_nrr_at_edge_rejects_no_victims(self):
+        bank = make_bank(rows=2)
+        # Row 0's only victim is row 1 -- fine.
+        bank.nearby_row_refresh(0, 0.0)
+        with pytest.raises(ValueError):
+            DramBankModel(
+                bank_id=0, rows=1, timings=DDR4_2400, hammer_threshold=10
+            ).nearby_row_refresh(0, 0.0)
+
+    def test_time_cannot_go_backwards(self):
+        bank = make_bank()
+        bank.advance_to(1000.0)
+        with pytest.raises(ValueError):
+            bank.advance_to(500.0)
+
+    def test_track_faults_off(self):
+        bank = make_bank(track=False)
+        assert bank.faults is None
+        time_ns = bank.earliest_activate(0.0)
+        assert bank.activate(5, time_ns) == []
+        assert bank.bit_flips == []
+
+
+class TestDevice:
+    def test_build_matches_geometry(self):
+        geometry = DramGeometry(
+            channels=1, ranks_per_channel=1, banks_per_rank=4,
+            rows_per_bank=256,
+        )
+        device = DramDevice.build(geometry, DDR4_2400, hammer_threshold=100)
+        assert len(device.banks) == 4
+        assert device.bank(3).rows == 256
+
+    def test_total_stats_aggregates(self):
+        geometry = DramGeometry(
+            channels=1, ranks_per_channel=1, banks_per_rank=2,
+            rows_per_bank=64,
+        )
+        device = DramDevice.build(geometry, DDR4_2400, hammer_threshold=1000)
+        for bank_index in (0, 1):
+            bank = device.bank(bank_index)
+            time_ns = bank.earliest_activate(0.0)
+            bank.activate(5, time_ns)
+        assert device.total_stats().activations == 2
+
+    def test_all_bit_flips_collects_across_banks(self):
+        geometry = DramGeometry(
+            channels=1, ranks_per_channel=1, banks_per_rank=2,
+            rows_per_bank=64,
+        )
+        device = DramDevice.build(geometry, DDR4_2400, hammer_threshold=50)
+        bank = device.bank(1)
+        time_ns = 0.0
+        for _ in range(60):
+            time_ns = bank.earliest_activate(time_ns)
+            bank.activate(30, time_ns)
+            time_ns += DDR4_2400.trc
+        flips = device.all_bit_flips()
+        assert flips and all(f.bank == 1 for f in flips)

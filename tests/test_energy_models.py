@@ -1,0 +1,88 @@
+"""Tests for the DRAM and Graphene energy models (Table V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GrapheneConfig
+from repro.core.energy_model import GrapheneEnergyModel
+from repro.dram.energy import PAPER_DRAM_ENERGY, DramEnergyModel
+
+
+class TestDramEnergy:
+    def test_per_row_refresh_energy(self):
+        assert PAPER_DRAM_ENERGY.refresh_per_row_nj == pytest.approx(
+            1.08e6 / 65536
+        )
+
+    def test_refresh_energy_increase_equals_row_ratio(self):
+        """The energy ratio must equal the row-count ratio (uniform
+        per-row refresh energy)."""
+        increase = PAPER_DRAM_ENERGY.refresh_energy_increase(
+            extra_rows_refreshed=216, windows=1.0
+        )
+        assert increase == pytest.approx(216 / 65536)
+
+    def test_worst_case_bound_is_0p33_percent(self):
+        """Abstract claim: worst-case refresh energy increase ~0.34%."""
+        config = GrapheneConfig.paper_baseline()
+        extra = config.max_victim_rows_refreshed_per_trefw()
+        increase = PAPER_DRAM_ENERGY.refresh_energy_increase(extra, 1.0)
+        assert 0.0030 < increase < 0.0040
+
+    def test_activation_energy(self):
+        assert PAPER_DRAM_ENERGY.activation_energy_nj(100) == pytest.approx(
+            1149.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PAPER_DRAM_ENERGY.refresh_energy_increase(-1, 1.0)
+        with pytest.raises(ValueError):
+            PAPER_DRAM_ENERGY.refresh_energy_increase(1, 0.0)
+        with pytest.raises(ValueError):
+            DramEnergyModel(act_pre_nj=0.0)
+
+
+class TestGrapheneEnergy:
+    def test_table_v_anchor_values(self):
+        model = GrapheneEnergyModel()
+        cells = model.table_v_rows()
+        assert cells["graphene_dynamic_per_act_nj"] == pytest.approx(3.69e-3)
+        assert cells["graphene_static_per_trefw_nj"] == pytest.approx(4.03e3)
+
+    def test_paper_ratios(self):
+        report = GrapheneEnergyModel().report(activations=1, windows=1.0)
+        assert report.dynamic_fraction_of_act == pytest.approx(
+            0.00032, rel=0.01
+        )
+        assert report.static_fraction_of_refresh == pytest.approx(
+            0.00373, rel=0.01
+        )
+
+    def test_scales_with_table_size(self):
+        small = GrapheneEnergyModel()
+        large = GrapheneEnergyModel(
+            config=GrapheneConfig(
+                hammer_threshold=6_250, reset_window_divisor=2
+            )
+        )
+        ratio = (
+            large.dynamic_energy_per_act_nj / small.dynamic_energy_per_act_nj
+        )
+        expected = (
+            large.config.table_bits_per_bank / small.config.table_bits_per_bank
+        )
+        assert ratio == pytest.approx(expected)
+
+    def test_report_totals(self):
+        report = GrapheneEnergyModel().report(activations=1000, windows=2.0)
+        assert report.total_nj == pytest.approx(
+            1000 * 3.69e-3 + 2 * 4.03e3, rel=0.001
+        )
+
+    def test_report_validation(self):
+        with pytest.raises(ValueError):
+            GrapheneEnergyModel().report(activations=-1)
+        with pytest.raises(ValueError):
+            GrapheneEnergyModel().report(activations=1, windows=0.0)

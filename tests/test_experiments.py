@@ -1,0 +1,125 @@
+"""Smoke + correctness tests for every experiment module.
+
+Each experiment's ``run()`` is exercised (at reduced scale for the
+simulation-heavy ones) and its headline numbers are checked against the
+paper anchors.  ``main()`` printing is covered via capsys for a couple
+of representatives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENT_NAMES, load
+
+
+class TestRegistry:
+    def test_all_tables_and_figures_registered(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "table5",
+            "fig3", "fig6", "fig7", "fig8", "fig9", "non_adjacent",
+            "weighted_speedup", "capability_matrix",
+        }
+        assert set(EXPERIMENT_NAMES) == expected
+
+    def test_every_module_exposes_run_and_main(self):
+        for name in EXPERIMENT_NAMES:
+            module = load(name)
+            assert callable(module.run), name
+            assert callable(module.main), name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("fig42")
+
+
+class TestStaticExperiments:
+    def test_table1(self):
+        data = load("table1").run()
+        assert data["derived"]["W_max_acts_per_window"] == 1_358_404
+
+    def test_table2(self):
+        data = load("table2").run()
+        assert data["k=1"]["T"] == 12_500
+        assert data["k=1"]["N_entry"] == 108
+        assert data["k=2"]["table_bits_per_bank"] == 2_511
+
+    def test_table3(self):
+        rows = dict(load("table3").run())
+        assert rows["Module"] == "DDR4-2400"
+
+    def test_table4(self):
+        areas = load("table4").run()
+        assert areas["Graphene"].total_bits == 2_511
+
+    def test_table5(self):
+        data = load("table5").run()
+        assert data["static_fraction_of_refresh"] == pytest.approx(
+            0.00373, rel=0.02
+        )
+
+    def test_fig6(self):
+        points = load("fig6").run(max_k=5)
+        assert [p.k for p in points] == [1, 2, 3, 4, 5]
+        assert points[1].num_entries == 81
+
+
+class TestSimulationExperiments:
+    def test_fig3_full_scale(self):
+        data = load("fig3").run()
+        assert data["victim_refreshes_triggered"] == 0
+        assert data["margin_acts"] == 4
+        assert data["bit_flips"] == 0
+
+    def test_fig8_reduced(self):
+        data = load("fig8").run(
+            duration_ns=2e6,
+            realistic=("omnetpp",),
+            adversarial=("S3",),
+        )
+        matrix = data["matrix"]
+        assert matrix["omnetpp"]["graphene"].victim_rows_refreshed == 0
+        assert matrix["S3"]["graphene"].victim_rows_refreshed > 0
+        assert matrix["S3"]["cbt"].refresh_energy_increase() > (
+            matrix["S3"]["graphene"].refresh_energy_increase()
+        )
+
+    def test_fig9_reduced(self):
+        data = load("fig9").run(
+            thresholds=(50_000, 12_500),
+            duration_ns=2e6,
+            normal=("omnetpp",),
+            adversarial=("S3",),
+        )
+        assert data["energy_normal"][50_000]["graphene"] == 0.0
+        a50 = data["energy_adversarial"][50_000]["graphene"]
+        a12 = data["energy_adversarial"][12_500]["graphene"]
+        assert a12 > a50  # linear growth with 1/T_RH
+        area = data["area"]
+        assert area["Graphene"][50_000].total_bits == 2_511
+
+    def test_fig7_reduced(self):
+        data = load("fig7").run(
+            trials=10, prohit_q_values=(0.02,), mrloc_acts=3_000
+        )
+        para = {row["hammer_threshold"]: row for row in data["para"]}
+        assert para[50_000]["derived_p"] == pytest.approx(0.00145,
+                                                          rel=0.01)
+        assert data["mrloc"]["hit_rate_8_aggressors"] == 0.0
+
+    def test_non_adjacent(self):
+        data = load("non_adjacent").run(max_radius=2)
+        assert data["attack_radius1"]["bit_flips"] > 0
+        assert data["attack_radius2"]["bit_flips"] == 0
+
+
+class TestMainPrinting:
+    def test_table2_main_prints_anchor(self, capsys):
+        load("table2").main()
+        output = capsys.readouterr().out
+        assert "12,500" in output and "108" in output
+
+    def test_fig6_main_prints_curve(self, capsys):
+        load("fig6").main()
+        output = capsys.readouterr().out
+        assert "0.33%" in output

@@ -1,0 +1,177 @@
+"""Tests for the Row Hammer fault model (the referee)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.faults import BitFlip, CouplingProfile, HammerFaultModel
+
+
+class TestCouplingProfile:
+    def test_adjacent_only(self):
+        profile = CouplingProfile.adjacent_only()
+        assert profile.mu(1) == 1.0
+        assert profile.mu(2) == 0.0
+        assert profile.amplification_factor == 1.0
+
+    def test_inverse_square(self):
+        profile = CouplingProfile.inverse_square(3)
+        assert profile.mu(1) == 1.0
+        assert profile.mu(2) == pytest.approx(0.25)
+        assert profile.mu(3) == pytest.approx(1 / 9)
+        assert profile.amplification_factor == pytest.approx(1 + 0.25 + 1 / 9)
+
+    def test_uniform(self):
+        profile = CouplingProfile.uniform(4)
+        assert profile.amplification_factor == 4.0
+
+    def test_mu1_must_be_one(self):
+        with pytest.raises(ValueError):
+            CouplingProfile(blast_radius=1, coefficients=(0.5,))
+
+    def test_coefficients_must_not_increase(self):
+        with pytest.raises(ValueError):
+            CouplingProfile(blast_radius=2, coefficients=(1.0, 1.5))
+
+    def test_coefficient_count_must_match_radius(self):
+        with pytest.raises(ValueError):
+            CouplingProfile(blast_radius=2, coefficients=(1.0,))
+
+
+class TestSingleSided:
+    def test_flip_at_exactly_threshold(self):
+        model = HammerFaultModel(threshold=100, rows=16)
+        flips = []
+        for i in range(100):
+            flips.extend(model.on_activate(8, float(i)))
+        assert len(flips) == 2  # both neighbors reach 100 together
+        assert {f.row for f in flips} == {7, 9}
+        assert flips[0].triggering_aggressor == 8
+
+    def test_no_flip_below_threshold(self):
+        model = HammerFaultModel(threshold=100, rows=16)
+        for i in range(99):
+            assert model.on_activate(8, float(i)) == []
+        assert model.flip_count == 0
+        assert model.max_disturbance == 99
+
+    def test_refresh_resets_accumulation(self):
+        model = HammerFaultModel(threshold=100, rows=16)
+        for i in range(60):
+            model.on_activate(8, float(i))
+        model.on_refresh(7)
+        for i in range(60):
+            model.on_activate(8, float(i + 60))
+        # Row 7 was refreshed at 60: accumulated only 60 < 100.
+        # Row 9 was not: 120 >= 100 -> flipped.
+        assert {f.row for f in model.flips} == {9}
+        assert model.disturbance_of(7) == 60
+
+
+class TestDoubleSided:
+    def test_two_aggressors_halve_the_budget(self):
+        """The Inequality-2 worst case: T_RH/2 ACTs per side flips."""
+        model = HammerFaultModel(threshold=100, rows=16)
+        for i in range(50):
+            model.on_activate(7, float(2 * i))
+            model.on_activate(9, float(2 * i + 1))
+        assert any(f.row == 8 for f in model.flips)
+
+    def test_edge_rows_have_single_neighbor(self):
+        model = HammerFaultModel(threshold=10, rows=4)
+        for i in range(10):
+            model.on_activate(0, float(i))
+        assert {f.row for f in model.flips} == {1}
+
+
+class TestNonAdjacent:
+    def test_distance_two_disturbance(self):
+        model = HammerFaultModel(
+            threshold=10, rows=32, coupling=CouplingProfile.inverse_square(2)
+        )
+        for i in range(8):
+            model.on_activate(16, float(i))
+        assert model.disturbance_of(15) == 8
+        assert model.disturbance_of(14) == pytest.approx(8 * 0.25)
+        assert model.disturbance_of(13) == 0.0
+
+    def test_distance_weighted_flip(self):
+        model = HammerFaultModel(
+            threshold=10, rows=32, coupling=CouplingProfile.uniform(2)
+        )
+        for i in range(10):
+            model.on_activate(16, float(i))
+        assert {f.row for f in model.flips} == {14, 15, 17, 18}
+
+
+class TestBookkeeping:
+    def test_flip_once_semantics(self):
+        model = HammerFaultModel(threshold=5, rows=8, flip_once=True)
+        for i in range(25):
+            model.on_activate(4, float(i))
+        assert sum(1 for f in model.flips if f.row == 3) == 1
+
+    def test_flip_repeatedly_when_disabled(self):
+        model = HammerFaultModel(threshold=5, rows=8, flip_once=False)
+        for i in range(25):
+            model.on_activate(4, float(i))
+        assert sum(1 for f in model.flips if f.row == 3) == 5
+
+    def test_rows_above_fraction(self):
+        model = HammerFaultModel(threshold=100, rows=16)
+        for i in range(80):
+            model.on_activate(8, float(i))
+        assert model.rows_above(0.5) == [7, 9]
+        assert model.rows_above(0.9) == []
+        with pytest.raises(ValueError):
+            model.rows_above(1.5)
+
+    def test_headroom(self):
+        model = HammerFaultModel(threshold=100, rows=16)
+        for i in range(30):
+            model.on_activate(8, float(i))
+        assert model.headroom() == 70
+
+    def test_reset(self):
+        model = HammerFaultModel(threshold=5, rows=8)
+        for i in range(10):
+            model.on_activate(4, float(i))
+        model.reset()
+        assert model.flip_count == 0
+        assert model.max_disturbance == 0.0
+        assert model.activations == 0
+
+    def test_row_range_validation(self):
+        model = HammerFaultModel(threshold=5, rows=8)
+        with pytest.raises(IndexError):
+            model.on_activate(8, 0.0)
+        with pytest.raises(IndexError):
+            model.on_refresh(-1)
+
+
+class TestConservationProperty:
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(), st.integers(min_value=0, max_value=15)
+            ),
+            max_size=400,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_disturbance_never_negative_and_bounded(self, events):
+        """Each victim's accumulator equals mu-weighted aggressor ACTs
+        since its last refresh -- never negative, never above threshold
+        while unflipped."""
+        model = HammerFaultModel(threshold=50, rows=16)
+        for is_refresh, row in events:
+            if is_refresh:
+                model.on_refresh(row)
+            else:
+                model.on_activate(row, 0.0)
+            for victim in range(16):
+                disturbance = model.disturbance_of(victim)
+                assert disturbance >= 0
+                assert disturbance < 50  # at threshold it flips & clears

@@ -1,0 +1,75 @@
+"""Tests for DRAM geometry, addressing, and the command vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.geometry import PAPER_SYSTEM_GEOMETRY, BankAddress, DramGeometry
+
+
+class TestGeometry:
+    def test_paper_system_is_64_banks(self):
+        assert PAPER_SYSTEM_GEOMETRY.total_banks == 64
+        assert PAPER_SYSTEM_GEOMETRY.total_ranks == 4
+
+    def test_row_address_bits(self):
+        assert PAPER_SYSTEM_GEOMETRY.row_address_bits == 16
+        assert DramGeometry(rows_per_bank=1024).row_address_bits == 10
+
+    def test_flat_index_roundtrip(self):
+        geometry = DramGeometry(channels=2, ranks_per_channel=2,
+                                banks_per_rank=4)
+        for index, address in enumerate(geometry.iter_banks()):
+            assert address.flat_index(geometry) == index
+            assert geometry.bank_from_flat(index) == address
+
+    def test_bank_from_flat_bounds(self):
+        with pytest.raises(IndexError):
+            PAPER_SYSTEM_GEOMETRY.bank_from_flat(64)
+
+    def test_neighbors_interior(self):
+        assert PAPER_SYSTEM_GEOMETRY.neighbors(100) == [99, 101]
+        assert PAPER_SYSTEM_GEOMETRY.neighbors(100, distance=2) == [
+            98, 99, 101, 102
+        ]
+
+    def test_neighbors_clipped_at_edges(self):
+        assert PAPER_SYSTEM_GEOMETRY.neighbors(0) == [1]
+        last = PAPER_SYSTEM_GEOMETRY.rows_per_bank - 1
+        assert PAPER_SYSTEM_GEOMETRY.neighbors(last) == [last - 1]
+
+    def test_neighbors_validation(self):
+        with pytest.raises(ValueError):
+            PAPER_SYSTEM_GEOMETRY.neighbors(5, distance=0)
+        with pytest.raises(IndexError):
+            PAPER_SYSTEM_GEOMETRY.neighbors(-1)
+
+    def test_rejects_nonpositive_dimensions(self):
+        with pytest.raises(ValueError):
+            DramGeometry(channels=0)
+
+
+class TestCommands:
+    def test_act_requires_row(self):
+        with pytest.raises(ValueError):
+            Command(kind=CommandKind.ACTIVATE, bank=0, time_ns=0.0)
+
+    def test_nrr_requires_row(self):
+        with pytest.raises(ValueError):
+            Command(kind=CommandKind.NEARBY_ROW_REFRESH, bank=0, time_ns=0.0)
+
+    def test_refresh_needs_no_row(self):
+        command = Command(kind=CommandKind.REFRESH, bank=3, time_ns=10.0)
+        assert command.row is None
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Command(kind=CommandKind.REFRESH, bank=0, time_ns=-1.0)
+
+    def test_describe_mentions_row(self):
+        command = Command(
+            kind=CommandKind.ACTIVATE, bank=1, time_ns=5.0, row=0x1010
+        )
+        assert "0x01010" in command.describe()
+        assert "ACT" in command.describe()

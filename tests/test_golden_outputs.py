@@ -1,0 +1,67 @@
+"""Golden-output tests: the deterministic experiment printouts.
+
+The static experiments (pure derivations, no stochastic traces) must
+print byte-stable headline lines.  These goldens pin the user-facing
+numbers to the paper's anchors, so a regression in any derivation
+surfaces as a readable text diff rather than a deep numeric assert.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import load
+
+
+def output_of(name: str, capsys) -> str:
+    load(name).main()
+    return capsys.readouterr().out
+
+
+class TestGoldenLines:
+    def test_table1_golden(self, capsys):
+        out = output_of("table1", capsys)
+        assert "W = 1,358,404 ACTs" in out
+        assert "7.8 us" in out
+        assert "350 ns" in out
+
+    def test_table2_golden(self, capsys):
+        out = output_of("table2", capsys)
+        for anchor in ("1,358,404", "12,500", "108",
+                       "8,333", "81", "31", "2,511"):
+            assert anchor in out, anchor
+
+    def test_table4_golden(self, capsys):
+        out = output_of("table4", capsys)
+        for anchor in ("3,824", "36,416", "2,511", "14.5x"):
+            assert anchor in out, anchor
+
+    def test_table5_golden(self, capsys):
+        out = output_of("table5", capsys)
+        assert "0.032%" in out
+        assert "0.373%" in out
+
+    def test_fig3_golden(self, capsys):
+        out = output_of("fig3", capsys)
+        assert "24,998" in out          # 2(T-1)
+        assert "49,996" in out          # 4(T-1)
+        assert "margin: 4" in out
+
+    def test_fig6_golden(self, capsys):
+        out = output_of("fig6", capsys)
+        assert "0.33%" in out           # the k=1 bound
+        assert "81 entries" in out
+
+    def test_non_adjacent_golden(self, capsys):
+        out = output_of("non_adjacent", capsys)
+        assert "1.645" in out           # pi^2/6
+        assert "+-2 Graphene -> 0 flips" in out
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["table1", "table2", "table4",
+                                      "table5", "fig6"])
+    def test_output_is_stable(self, name, capsys):
+        first = output_of(name, capsys)
+        second = output_of(name, capsys)
+        assert first == second

@@ -1,0 +1,150 @@
+"""Tests for the Graphene per-bank engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GrapheneConfig
+from repro.core.graphene import GrapheneEngine
+
+from .conftest import SCALED_ROWS, SCALED_TRH, act_stream
+
+
+def make_engine(**overrides) -> GrapheneEngine:
+    config = GrapheneConfig(
+        hammer_threshold=overrides.pop("hammer_threshold", SCALED_TRH),
+        rows_per_bank=overrides.pop("rows_per_bank", SCALED_ROWS),
+        reset_window_divisor=overrides.pop("reset_window_divisor", 2),
+        **overrides,
+    )
+    return GrapheneEngine(config)
+
+
+class TestTriggering:
+    def test_trigger_at_exactly_t(self):
+        engine = make_engine()
+        t = engine.threshold
+        row = 100
+        requests = []
+        for time_ns, r in act_stream([row] * t):
+            requests.extend(engine.on_activate(r, time_ns))
+        assert len(requests) == 1
+        request = requests[0]
+        assert request.aggressor_row == row
+        assert request.threshold_multiple == 1
+        assert request.victim_rows == (99, 101)
+
+    def test_trigger_at_every_multiple_of_t(self):
+        engine = make_engine()
+        t = engine.threshold
+        row = 50
+        requests = []
+        for time_ns, r in act_stream([row] * (3 * t)):
+            requests.extend(engine.on_activate(r, time_ns))
+        assert [r.threshold_multiple for r in requests] == [1, 2, 3]
+
+    def test_no_trigger_below_t(self):
+        engine = make_engine()
+        for time_ns, r in act_stream([7] * (engine.threshold - 1)):
+            assert engine.on_activate(r, time_ns) == []
+
+    def test_edge_rows_clip_victims(self):
+        engine = make_engine()
+        assert engine.victim_rows_of(0) == (1,)
+        assert engine.victim_rows_of(SCALED_ROWS - 1) == (SCALED_ROWS - 2,)
+
+    def test_non_adjacent_victims(self):
+        from repro.dram.faults import CouplingProfile
+
+        engine = GrapheneEngine(
+            GrapheneConfig(
+                hammer_threshold=SCALED_TRH,
+                rows_per_bank=SCALED_ROWS,
+                coupling=CouplingProfile.uniform(2),
+            )
+        )
+        assert engine.victim_rows_of(10) == (9, 11, 8, 12)
+
+
+class TestWindowReset:
+    def test_reset_on_window_boundary(self):
+        engine = make_engine()
+        window = engine.config.reset_window_ns
+        engine.on_activate(5, 10.0)
+        assert engine.table.estimated_count(5) == 1
+        engine.on_activate(5, window + 10.0)
+        # Table was reset: the count restarted from scratch.
+        assert engine.table.estimated_count(5) == 1
+        assert engine.stats.window_resets == 1
+        assert engine.current_window == 1
+
+    def test_multiple_windows_skip(self):
+        engine = make_engine()
+        window = engine.config.reset_window_ns
+        engine.on_activate(5, 0.0)
+        engine.on_activate(5, 5 * window + 1.0)
+        assert engine.current_window == 5
+
+    def test_time_backwards_rejected(self):
+        engine = make_engine()
+        window = engine.config.reset_window_ns
+        engine.on_activate(5, window + 1.0)
+        with pytest.raises(ValueError):
+            engine.on_activate(5, 1.0)
+
+    def test_straddling_accumulates_at_most_2t_minus_2_silently(self):
+        """The Fig. 3 bound: 2(T-1) ACTs across a reset, no trigger."""
+        engine = make_engine()
+        t = engine.threshold
+        window = engine.config.reset_window_ns
+        row = 30
+        requests = []
+        for time_ns, r in act_stream(
+            [row] * (t - 1), start_ns=window - (t - 1) * 50.0 - 1.0
+        ):
+            requests.extend(engine.on_activate(r, time_ns))
+        for time_ns, r in act_stream([row] * (t - 1), start_ns=window + 1.0):
+            requests.extend(engine.on_activate(r, time_ns))
+        assert requests == []
+
+
+class TestValidationAndStats:
+    def test_row_out_of_range(self):
+        engine = make_engine()
+        with pytest.raises(IndexError):
+            engine.on_activate(SCALED_ROWS, 0.0)
+
+    def test_negative_time(self):
+        engine = make_engine()
+        with pytest.raises(ValueError):
+            engine.on_activate(0, -1.0)
+
+    def test_stats_accounting(self):
+        # Needs more rows than table entries so the spillover path is
+        # reachable (the scaled default derives N_entry > 1024).
+        engine = make_engine(rows_per_bank=8192)
+        capacity = engine.config.num_entries
+        # Insert more distinct rows than capacity: hits the spillover path.
+        for time_ns, r in act_stream(range(capacity + 5)):
+            engine.on_activate(r, time_ns)
+        stats = engine.stats
+        assert stats.activations == capacity + 5
+        # After the table fills (all counts 1, spillover 0) the first
+        # miss spills (no entry at count 0); once spillover reaches 1,
+        # every further miss replaces a count-1 entry.
+        assert stats.spillover_increments == 1
+        assert stats.table_insertions == capacity + 4
+        assert stats.table_hits == 0
+
+    def test_hottest_rows_ordering(self):
+        engine = make_engine()
+        pattern = [1] * 5 + [2] * 3 + [3] * 8
+        for time_ns, r in act_stream(pattern):
+            engine.on_activate(r, time_ns)
+        hottest = engine.hottest_rows(limit=2)
+        assert hottest[0] == (3, 8)
+        assert hottest[1] == (1, 5)
+
+    def test_table_bits_matches_config(self, paper_config):
+        engine = GrapheneEngine(paper_config)
+        assert engine.table_bits == 2_511

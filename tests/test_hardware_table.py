@@ -1,0 +1,163 @@
+"""CAM-level table tests: Fig. 5 semantics, overflow-bit narrowing,
+and behavioral equivalence with the logical Misra-Gries table."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hardware_table import HardwareGrapheneTable
+from repro.core.misra_gries import MisraGriesTable
+
+
+class TestFig5Paths:
+    def test_hit_path(self):
+        table = HardwareGrapheneTable(4, threshold=10, count_bits=4)
+        first = table.process_activation(100)
+        assert first.path == "replace"  # fills an empty slot
+        second = table.process_activation(100)
+        assert second.path == "hit"
+        assert second.estimated_count == 2
+        assert table.ops.address_searches == 2
+        assert table.ops.count_reads == 1
+
+    def test_spill_path(self):
+        table = HardwareGrapheneTable(2, threshold=10, count_bits=4)
+        for row in (1, 1, 2, 2):
+            table.process_activation(row)
+        outcome = table.process_activation(3)
+        assert outcome.path == "spill"
+        assert table.spillover == 1
+        assert table.ops.spillover_increments == 1
+
+    def test_replace_path_carries_count(self):
+        table = HardwareGrapheneTable(2, threshold=100, count_bits=7)
+        for row in (1, 1, 1, 2, 2):
+            table.process_activation(row)
+        table.process_activation(3)  # spill -> spillover 1
+        table.process_activation(4)  # spill -> spillover 2
+        outcome = table.process_activation(5)  # replaces row 2 (count 2)
+        assert outcome.path == "replace"
+        assert outcome.estimated_count == 3
+        assert 2 not in table
+        assert 5 in table
+
+    def test_count_bits_validation(self):
+        with pytest.raises(ValueError):
+            HardwareGrapheneTable(4, threshold=16, count_bits=4)
+
+
+class TestOverflowBit:
+    def test_wrap_sets_overflow_and_triggers(self):
+        table = HardwareGrapheneTable(2, threshold=5, count_bits=3)
+        triggered = []
+        for i in range(12):
+            outcome = table.process_activation(42)
+            if outcome.triggered:
+                triggered.append(i + 1)
+        # Triggers at every multiple of T = 5.
+        assert triggered == [5, 10]
+        assert 42 in table.overflowed_addresses()
+        assert table.estimated_count(42) == 12
+
+    def test_overflowed_entry_never_matches_spillover(self):
+        """After wrapping, the stored count is 0 but the entry must be
+        masked out of the replacement search."""
+        table = HardwareGrapheneTable(1, threshold=3, count_bits=2)
+        for _ in range(3):
+            table.process_activation(7)  # wraps: stored count 0
+        # A miss must NOT replace the overflowed entry even though its
+        # stored count (0) numerically equals the spillover count (0).
+        outcome = table.process_activation(8)
+        assert outcome.path == "spill"
+        assert 7 in table
+
+    def test_reset_clears_overflow(self):
+        table = HardwareGrapheneTable(1, threshold=3, count_bits=2)
+        for _ in range(3):
+            table.process_activation(7)
+        table.reset()
+        assert table.occupancy() == 0
+        assert table.spillover == 0
+        assert table.overflowed_addresses() == []
+
+
+class TestEquivalenceWithLogicalTable:
+    """The hardware model must track the same set with the same counts
+    and trigger at the same stream positions as MisraGries + mod-T."""
+
+    def run_both(self, stream, capacity, threshold):
+        logical = MisraGriesTable(capacity)
+        hardware = HardwareGrapheneTable(
+            capacity, threshold=threshold, count_bits=16
+        )
+        logical_triggers, hardware_triggers = [], []
+        for index, item in enumerate(stream):
+            count = logical.observe(item)
+            if count is not None and count % threshold == 0:
+                logical_triggers.append(index)
+            outcome = hardware.process_activation(item)
+            if outcome.triggered:
+                hardware_triggers.append(index)
+        return logical, hardware, logical_triggers, hardware_triggers
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), max_size=600),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=2, max_value=15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tracked_counts_and_triggers_match(
+        self, stream, capacity, threshold
+    ):
+        # The overflow-bit trick is only sound under Graphene's sizing
+        # invariant (Inequality 1 keeps the spillover count below T, so
+        # an entry that reached T can never look replaceable).  Truncate
+        # the stream to the window budget that invariant implies.
+        stream = stream[: threshold * (capacity + 1) - 1]
+        logical, hardware, lt, ht = self.run_both(
+            stream, capacity, threshold
+        )
+        assert lt == ht
+        assert hardware.tracked().keys() == logical.tracked().keys()
+        for item, count in logical.tracked().items():
+            assert hardware.estimated_count(item) == count
+        assert hardware.spillover == logical.spillover
+
+    def test_long_hammer_equivalence(self):
+        # 5,000 events within the sizing budget: T x (N+1) = 6,250.
+        rng = random.Random(9)
+        stream = [
+            rng.choice([5, 5, 5, 9, 13, rng.randrange(50)])
+            for _ in range(5_000)
+        ]
+        _, _, lt, ht = self.run_both(stream, capacity=4, threshold=1_250)
+        assert lt == ht
+
+    def test_divergence_outside_sizing_invariant_is_detected(self):
+        """Documented limit: beyond W = T x (N+1) the spillover count
+        can reach T and the hardware's never-evict-overflowed rule
+        diverges from the logical table.  This is exactly why Graphene
+        sizes N_entry by Inequality 1."""
+        stream = [5] * 37 + list(range(100, 300))  # drive spillover past T
+        logical, hardware, _, _ = self.run_both(
+            stream, capacity=1, threshold=37
+        )
+        # The hardware keeps the overflowed aggressor pinned...
+        assert 5 in hardware
+        # ...while the logical table has long since recycled the slot.
+        assert 5 not in logical
+
+
+class TestOperationAccounting:
+    def test_total_ops_consistency(self):
+        table = HardwareGrapheneTable(4, threshold=50, count_bits=6)
+        for row in [1, 1, 2, 3, 4, 5, 6, 1, 7]:
+            table.process_activation(row)
+        ops = table.ops
+        # Every ACT does exactly one address search.
+        assert ops.address_searches == 9
+        assert ops.total() >= 9

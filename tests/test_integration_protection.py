@@ -1,0 +1,139 @@
+"""End-to-end protection matrix: every scheme vs every attack.
+
+The fault referee is the judge.  Deterministic schemes (Graphene,
+TWiCe, CBT, CRA, the tracker-backed variants) must show **zero** bit
+flips on every attack; the unprotected baseline must be compromised by
+every attack; probabilistic schemes protect at their configured rates
+but carry no guarantee (not asserted flip-free here except where the
+rate makes failure odds astronomically small).
+
+Thresholds are scaled down so each (attack, scheme) cell runs in well
+under a second while exercising full-scale code paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GrapheneConfig
+from repro.mitigations import (
+    cbt_factory,
+    cra_factory,
+    graphene_factory,
+    no_mitigation_factory,
+    para_factory,
+    twice_factory,
+)
+from repro.sim import simulate
+from repro.workloads import (
+    double_sided_rows,
+    mrloc_killer_rows,
+    prohit_killer_rows,
+    s1_rows,
+    s2_rows,
+    s3_rows,
+    s4_rows,
+    synthetic_events,
+)
+
+TRH = 2_000
+DURATION_NS = 8e6  # 8 ms; the S3 hammer lands ~170K ACTs = 85 x TRH
+
+
+def attack_streams():
+    return {
+        "S1-10": lambda: s1_rows(10, seed=3),
+        "S2": lambda: s2_rows(10, 5, seed=3),
+        "S3": lambda: s3_rows(target=777),
+        "S4": lambda: s4_rows(target=777, seed=3),
+        "double-sided": lambda: double_sided_rows(victim=777),
+        "prohit-killer": lambda: prohit_killer_rows(x=777),
+        "mrloc-killer": lambda: mrloc_killer_rows(base=777),
+    }
+
+
+def deterministic_schemes():
+    config = GrapheneConfig(hammer_threshold=TRH, reset_window_divisor=2)
+    return {
+        "graphene": graphene_factory(config),
+        "twice": twice_factory(TRH),
+        "cbt": cbt_factory(TRH, num_counters=64, num_levels=8),
+        "cra": cra_factory(TRH, cache_entries=64),
+    }
+
+
+def run(attack, factory, scheme):
+    return simulate(
+        synthetic_events(attack(), duration_ns=DURATION_NS),
+        factory,
+        scheme=scheme,
+        workload="attack",
+        hammer_threshold=TRH,
+        duration_ns=DURATION_NS,
+    )
+
+
+class TestUnprotectedBaseline:
+    @pytest.mark.parametrize("attack_name", sorted(attack_streams()))
+    def test_every_attack_flips_bits(self, attack_name):
+        attack = attack_streams()[attack_name]
+        result = run(attack, no_mitigation_factory(), "none")
+        assert result.bit_flips > 0, (
+            f"{attack_name} failed to compromise the unprotected bank"
+        )
+
+
+class TestDeterministicSchemes:
+    @pytest.mark.parametrize("scheme_name", sorted(deterministic_schemes()))
+    @pytest.mark.parametrize("attack_name", sorted(attack_streams()))
+    def test_no_false_negatives(self, scheme_name, attack_name):
+        attack = attack_streams()[attack_name]
+        factory = deterministic_schemes()[scheme_name]
+        result = run(attack, factory, scheme_name)
+        assert result.bit_flips == 0, (
+            f"{scheme_name} let {attack_name} flip bits"
+        )
+        assert result.victim_refresh_directives > 0, (
+            f"{scheme_name} never intervened against {attack_name}"
+        )
+
+
+class TestProbabilisticScheme:
+    def test_para_at_derived_p_protects_the_sample(self):
+        """At the near-complete-protection p for this scaled threshold,
+        a single 8 ms sample failing is ~impossible (not a guarantee,
+        but odds far beyond test flakiness)."""
+        from repro.analysis.security import derive_para_probability
+
+        p = derive_para_probability(TRH)
+        result = run(
+            attack_streams()["S3"], para_factory(p, seed=11), "para"
+        )
+        assert result.bit_flips == 0
+
+    def test_para_at_negligible_p_fails(self):
+        result = run(
+            attack_streams()["S3"],
+            para_factory(0.00001, seed=11),
+            "para",
+        )
+        assert result.bit_flips > 0
+
+
+class TestOverheadOrdering:
+    def test_graphene_cheapest_deterministic_defense(self):
+        """Among deterministic schemes, Graphene's refresh volume under
+        attack is within its analytic bound and below CBT's."""
+        attack = attack_streams()["S3"]
+        results = {
+            name: run(attack, factory, name)
+            for name, factory in deterministic_schemes().items()
+        }
+        graphene = results["graphene"].victim_rows_refreshed
+        cbt = results["cbt"].victim_rows_refreshed
+        assert graphene < cbt
+        config = GrapheneConfig(hammer_threshold=TRH,
+                                reset_window_divisor=2)
+        windows = DURATION_NS / config.timings.trefw
+        bound = config.max_victim_rows_refreshed_per_trefw() * windows
+        assert graphene <= bound * 1.05

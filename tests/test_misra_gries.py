@@ -1,0 +1,168 @@
+"""Unit and property tests for the Misra-Gries counter table."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.misra_gries import MisraGriesTable
+
+
+class TestBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MisraGriesTable(0)
+
+    def test_single_item_counts_exactly(self):
+        table = MisraGriesTable(4)
+        for expected in range(1, 20):
+            assert table.observe("a") == expected
+        assert table.estimated_count("a") == 19
+        assert table.spillover == 0
+
+    def test_fills_free_slots_before_spilling(self):
+        table = MisraGriesTable(3)
+        for item in ("a", "b", "c"):
+            assert table.observe(item) == 1
+        assert len(table) == 3
+        assert table.spillover == 0
+
+    def test_miss_with_no_replaceable_entry_increments_spillover(self):
+        table = MisraGriesTable(2)
+        table.observe("a")
+        table.observe("a")
+        table.observe("b")
+        table.observe("b")
+        # Counts are {a: 2, b: 2}; spillover 0; "c" matches nothing.
+        assert table.observe("c") is None
+        assert table.spillover == 1
+        assert "c" not in table
+
+    def test_replacement_carries_count_over(self):
+        """The Fig. 2 walkthrough: inserted key inherits the old count."""
+        table = MisraGriesTable(3)
+        for item, times in (("x1", 5), ("x2", 7), ("x3", 3)):
+            for _ in range(times):
+                table.observe(item)
+        # Force spillover up to 3 (x3's count) via distinct misses.
+        spills = 0
+        fresh = 0
+        while table.spillover < 3:
+            result = table.observe(f"miss{fresh}")
+            fresh += 1
+            assert result is None
+            spills += 1
+        # Next miss finds x3 (count 3 == spillover) and replaces it.
+        assert table.observe("x5") == 4  # carried over: 3 + 1
+        assert "x3" not in table
+        assert table.estimated_count("x5") == 4
+
+    def test_fig2_walkthrough_exact(self):
+        """Reproduce Fig. 2 of the paper step by step."""
+        table = MisraGriesTable(3)
+        # Build the initial state {0x1010: 5, 0x2020: 7, 0x3030: 3},
+        # spillover 2.
+        for item, times in ((0x1010, 5), (0x2020, 7), (0x3030, 3)):
+            for _ in range(times):
+                table.observe(item)
+        misses = 0
+        while table.spillover < 2:
+            table.observe(10_000 + misses)
+            misses += 1
+        assert table.tracked() == {0x1010: 5, 0x2020: 7, 0x3030: 3}
+        assert table.spillover == 2
+        # Step 1: hit on 0x1010 -> 6.
+        assert table.observe(0x1010) == 6
+        # Step 2: miss 0x4040, no entry with count 2 -> spillover 3.
+        assert table.observe(0x4040) is None
+        assert table.spillover == 3
+        # Step 3: miss 0x5050, 0x3030 has count 3 == spillover -> replace,
+        # carried-over count 4.
+        assert table.observe(0x5050) == 4
+        assert table.tracked() == {0x1010: 6, 0x2020: 7, 0x5050: 4}
+        assert table.spillover == 3
+
+    def test_reset_clears_everything(self):
+        table = MisraGriesTable(2)
+        for item in ("a", "b", "c", "d"):
+            table.observe(item)
+        table.reset()
+        assert len(table) == 0
+        assert table.spillover == 0
+        assert table.observations == 0
+
+    def test_min_estimated_count(self):
+        table = MisraGriesTable(3)
+        assert table.min_estimated_count == 0
+        table.observe("a")
+        table.observe("a")
+        table.observe("b")
+        assert table.min_estimated_count == 1
+
+
+class TestGuaranteeProperties:
+    """Property-based checks of the Misra-Gries guarantees."""
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), max_size=800),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_estimated_count_bounds_actual(self, stream, capacity):
+        """Lemma 1: estimated >= actual for every tracked item, and
+        the over-estimate never exceeds W/(N+1)."""
+        table = MisraGriesTable(capacity)
+        actual: Counter = Counter()
+        for item in stream:
+            table.observe(item)
+            actual[item] += 1
+            bound = table.observations / (capacity + 1)
+            for key, estimated in table.tracked().items():
+                assert estimated >= actual[key]
+                assert estimated - actual[key] <= bound
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), max_size=800),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_structural_invariants(self, stream, capacity):
+        """Conservation law + Lemma 2 + bucket consistency throughout."""
+        table = MisraGriesTable(capacity)
+        for item in stream:
+            table.observe(item)
+        table.check_invariants()
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), max_size=1000),
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=5, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_frequent_items_are_tracked(self, stream, capacity, threshold):
+        """Any item with actual count > W/(N+1) must be in the table;
+        in particular with capacity > W/T - 1, items over T are caught."""
+        table = MisraGriesTable(capacity)
+        actual: Counter = Counter()
+        for item in stream:
+            table.observe(item)
+            actual[item] += 1
+        cutoff = table.observations / (capacity + 1)
+        for item, count in actual.items():
+            if count > cutoff:
+                assert item in table, (
+                    f"item {item} with count {count} > {cutoff} missing"
+                )
+
+    @given(st.lists(st.integers(min_value=0, max_value=8), max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_spillover_monotonically_increases(self, stream):
+        table = MisraGriesTable(3)
+        previous = 0
+        for item in stream:
+            table.observe(item)
+            assert table.spillover >= previous
+            previous = table.spillover

@@ -1,0 +1,96 @@
+"""Tests for the binary (npz) trace format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.npz_trace import (
+    load_npz_arrays,
+    load_npz_trace,
+    save_npz_trace,
+    trace_statistics,
+)
+from repro.workloads.spec_like import REALISTIC_PROFILES, profile_events
+from repro.workloads.trace import ActEvent
+
+
+class TestRoundtrip:
+    def test_events_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.npz")
+        events = [
+            ActEvent(10.0, 0, 100),
+            ActEvent(55.0, 1, 200),
+            ActEvent(100.0, 0, 100),
+        ]
+        assert save_npz_trace(events, path) == 3
+        assert list(load_npz_trace(path)) == events
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.npz")
+        assert save_npz_trace([], path) == 0
+        assert list(load_npz_trace(path)) == []
+        stats = trace_statistics(path)
+        assert stats["events"] == 0.0
+
+    def test_compressed_smaller_than_text(self, tmp_path):
+        import os
+
+        from repro.workloads.trace import write_trace
+
+        events = list(profile_events(
+            REALISTIC_PROFILES["omnetpp"], duration_ns=2e6, seed=1
+        ))
+        npz_path = str(tmp_path / "t.npz")
+        txt_path = str(tmp_path / "t.txt")
+        save_npz_trace(events, npz_path)
+        write_trace(events, txt_path)
+        assert os.path.getsize(npz_path) < os.path.getsize(txt_path)
+
+    def test_format_tag_enforced(self, tmp_path):
+        path = str(tmp_path / "bogus.npz")
+        np.savez(path, time_ns=np.array([1.0]), bank=np.array([0]),
+                 row=np.array([0]))
+        with pytest.raises(ValueError):
+            load_npz_arrays(path)
+
+    def test_unsorted_trace_rejected_on_load(self, tmp_path):
+        path = str(tmp_path / "unsorted.npz")
+        np.savez(
+            path,
+            format=np.array("graphene-repro-npz-v1"),
+            time_ns=np.array([10.0, 5.0]),
+            bank=np.array([0, 0], dtype=np.uint32),
+            row=np.array([1, 2], dtype=np.uint32),
+        )
+        with pytest.raises(ValueError):
+            load_npz_arrays(path)
+
+
+class TestStatistics:
+    def test_matches_streaming_stats(self, tmp_path):
+        from repro.workloads.trace import collect_stats
+
+        events = list(profile_events(
+            REALISTIC_PROFILES["FFT"], duration_ns=2e6, banks=2, seed=4
+        ))
+        path = str(tmp_path / "fft.npz")
+        save_npz_trace(events, path)
+        fast = trace_statistics(path, window_ns=64e6)
+        slow = collect_stats(iter(events), window_ns=64e6)
+        assert fast["events"] == slow.total_acts
+        assert fast["distinct_rows"] == slow.distinct_rows
+        assert fast["max_row_acts_per_window"] == (
+            slow.max_row_acts_per_window
+        )
+        assert fast["acts_per_second_per_bank"] == pytest.approx(
+            slow.acts_per_second_per_bank, rel=0.01
+        )
+
+    def test_hammer_trace_concentration(self, tmp_path):
+        path = str(tmp_path / "hammer.npz")
+        events = [ActEvent(float(i) * 50, 0, 7) for i in range(500)]
+        save_npz_trace(events, path)
+        stats = trace_statistics(path)
+        assert stats["max_row_acts_per_window"] == 500.0
+        assert stats["distinct_rows"] == 1.0

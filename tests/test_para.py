@@ -1,0 +1,86 @@
+"""Tests for the PARA probabilistic baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mitigations.para import PAPER_PARA_P, PARA, para_factory
+
+
+class TestBehavior:
+    def test_refresh_rate_tracks_probability(self):
+        engine = PARA(bank=0, rows=65536, probability=0.01, seed=7)
+        refreshes = 0
+        for i in range(100_000):
+            refreshes += len(engine.on_activate(100, float(i)))
+        assert refreshes == pytest.approx(1000, rel=0.15)
+
+    def test_refreshed_rows_are_neighbors(self):
+        engine = PARA(bank=0, rows=1024, probability=1.0, seed=1)
+        for i in range(200):
+            directives = engine.on_activate(512, float(i))
+            assert len(directives) == 1
+            assert directives[0].victim_rows[0] in (511, 513)
+
+    def test_both_sides_hit_roughly_equally(self):
+        engine = PARA(bank=0, rows=1024, probability=1.0, seed=3)
+        sides = {511: 0, 513: 0}
+        for i in range(2_000):
+            for directive in engine.on_activate(512, float(i)):
+                sides[directive.victim_rows[0]] += 1
+        assert sides[511] == pytest.approx(sides[513], rel=0.15)
+
+    def test_edge_row_reflects(self):
+        engine = PARA(bank=0, rows=16, probability=1.0, seed=5)
+        for i in range(50):
+            directives = engine.on_activate(0, float(i))
+            assert directives[0].victim_rows == (1,)
+
+    def test_zero_probability_never_refreshes(self):
+        engine = PARA(bank=0, rows=64, probability=0.0)
+        for i in range(1_000):
+            assert engine.on_activate(10, float(i)) == []
+
+    def test_expected_refreshes(self):
+        engine = PARA(bank=0, rows=64, probability=0.002)
+        assert engine.expected_refreshes(1_000_000) == pytest.approx(2_000)
+
+
+class TestNonAdjacent:
+    def test_distance_probabilities(self):
+        engine = PARA(
+            bank=0, rows=1024, distance_probabilities=(1.0, 1.0), seed=2
+        )
+        distances = set()
+        for i in range(100):
+            for directive in engine.on_activate(512, float(i)):
+                distances.add(abs(directive.victim_rows[0] - 512))
+        assert distances == {1, 2}
+
+    def test_independent_rolls_per_distance(self):
+        engine = PARA(
+            bank=0, rows=1024, distance_probabilities=(1.0, 0.0), seed=2
+        )
+        for i in range(100):
+            for directive in engine.on_activate(512, float(i)):
+                assert abs(directive.victim_rows[0] - 512) == 1
+
+
+class TestConfiguration:
+    def test_paper_default(self):
+        assert PARA(bank=0, rows=64).probability == PAPER_PARA_P
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            PARA(bank=0, rows=64, probability=1.5)
+
+    def test_factory_decorrelates_banks(self):
+        factory = para_factory(probability=0.5, seed=100)
+        a = factory(0, 1024)
+        b = factory(1, 1024)
+        pattern_a = [len(a.on_activate(5, float(i))) for i in range(64)]
+        pattern_b = [len(b.on_activate(5, float(i))) for i in range(64)]
+        assert pattern_a != pattern_b
+
+    def test_table_bits_is_zero(self):
+        assert PARA(bank=0, rows=64).table_bits() == 0

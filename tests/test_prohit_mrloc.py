@@ -1,0 +1,143 @@
+"""Tests for the PRoHIT and MRLoc probabilistic baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mitigations.mrloc import MRLoc
+from repro.mitigations.prohit import PRoHIT
+
+
+class TestProhitTables:
+    def make(self, **kw) -> PRoHIT:
+        kw.setdefault("insert_probability", 1.0)
+        return PRoHIT(bank=0, rows=1024, **kw)
+
+    def test_unseen_victim_enters_cold(self):
+        engine = self.make()
+        engine.on_activate(100, 0.0)
+        assert set(engine.cold_table) == {99, 101}
+        assert engine.hot_table == ()
+
+    def test_second_sample_promotes_to_hot(self):
+        engine = self.make()
+        engine.on_activate(100, 0.0)
+        engine.on_activate(100, 50.0)
+        assert set(engine.hot_table) == {99, 101}
+
+    def test_hot_hit_moves_up_one_rank(self):
+        engine = self.make()
+        # Promote victims of rows 100 then 200 into hot.
+        for row in (100, 100, 200, 200):
+            engine.on_activate(row, 0.0)
+        assert engine.hot_table == (99, 101, 199, 201)
+        engine.on_activate(200, 1.0)  # hits 199 and 201 again
+        # 199 moved above 101; 201 moved above 199's old slot.
+        assert engine.hot_table.index(199) < 2
+
+    def test_cold_eviction_fifo(self):
+        engine = self.make(cold_size=2)
+        engine.on_activate(100, 0.0)  # cold: 101, 99 (two entries)
+        engine.on_activate(300, 1.0)  # inserts 299/301, evicting oldest
+        assert len(engine.cold_table) == 2
+        assert set(engine.cold_table) == {299, 301}
+
+    def test_refresh_command_drains_top_hot(self):
+        engine = self.make()
+        engine.on_activate(100, 0.0)
+        engine.on_activate(100, 1.0)
+        directives = engine.on_refresh_command(2.0)
+        assert len(directives) == 1
+        assert directives[0].victim_rows[0] in (99, 101)
+        # Entry was removed from the hot table.
+        assert len(engine.hot_table) == 1
+
+    def test_refresh_period_throttles_drains(self):
+        engine = self.make(refresh_period=4)
+        engine.on_activate(100, 0.0)
+        engine.on_activate(100, 1.0)
+        drained = sum(
+            len(engine.on_refresh_command(float(i))) for i in range(4)
+        )
+        assert drained == 1  # only the 4th REF drains
+
+    def test_promotion_probability_zero_blocks_hot(self):
+        engine = self.make(promotion_probability=0.0)
+        for i in range(10):
+            engine.on_activate(100, float(i))
+        assert engine.hot_table == ()
+
+    def test_empty_hot_refresh_is_noop(self):
+        engine = self.make()
+        assert engine.on_refresh_command(0.0) == []
+
+    def test_table_bits(self):
+        engine = self.make(hot_size=4, cold_size=3)
+        assert engine.table_bits() == 7 * 10  # 1024 rows -> 10 bits
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PRoHIT(bank=0, rows=64, insert_probability=2.0)
+        with pytest.raises(ValueError):
+            PRoHIT(bank=0, rows=64, hot_size=0)
+        with pytest.raises(ValueError):
+            PRoHIT(bank=0, rows=64, refresh_period=0)
+
+
+class TestMRLocQueue:
+    def test_miss_then_hit(self):
+        engine = MRLoc(bank=0, rows=1024, base_probability=0.0, seed=1)
+        engine.on_activate(100, 0.0)
+        assert engine.queue_misses == 2
+        engine.on_activate(100, 50.0)
+        assert engine.queue_hits == 2
+
+    def test_queue_contents_mru_at_end(self):
+        engine = MRLoc(bank=0, rows=1024, base_probability=0.0)
+        engine.on_activate(100, 0.0)
+        engine.on_activate(200, 1.0)
+        assert engine.queue_contents == (99, 101, 199, 201)
+
+    def test_queue_eviction_at_capacity(self):
+        engine = MRLoc(bank=0, rows=4096, queue_size=4,
+                       base_probability=0.0)
+        for row in (100, 200, 300):
+            engine.on_activate(row, 0.0)
+        assert len(engine.queue_contents) == 4
+        assert 99 not in engine.queue_contents  # oldest evicted
+
+    def test_hit_probability_grows_with_recency(self):
+        engine = MRLoc(bank=0, rows=64, base_probability=0.01,
+                       locality_boost=8.0)
+        engine._queue.extend([1, 2, 3, 4])
+        oldest = engine._hit_probability(0)
+        newest = engine._hit_probability(3)
+        assert newest > oldest
+        assert newest == pytest.approx(0.08)
+
+    def test_elevated_refresh_rate_on_locality(self):
+        """MRLoc spends more refreshes than PARA on hot patterns --
+        the paper's second criticism."""
+        engine = MRLoc(bank=0, rows=1024, base_probability=0.02,
+                       locality_boost=8.0, seed=3)
+        refreshes = 0
+        for i in range(20_000):
+            refreshes += len(engine.on_activate(100, float(i)))
+        para_equivalent = 20_000 * 0.02
+        assert refreshes > 1.5 * para_equivalent
+
+    def test_degenerates_to_para_when_queue_thrashes(self):
+        engine = MRLoc(bank=0, rows=4096, queue_size=15,
+                       base_probability=0.02, seed=4)
+        pattern = [100 + 4 * i for i in range(8)]  # 16 victims > 15 slots
+        for i in range(20_000):
+            engine.on_activate(pattern[i % 8], float(i))
+        assert engine.hit_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MRLoc(bank=0, rows=64, base_probability=-0.1)
+        with pytest.raises(ValueError):
+            MRLoc(bank=0, rows=64, queue_size=0)
+        with pytest.raises(ValueError):
+            MRLoc(bank=0, rows=64, locality_boost=0.5)

@@ -1,0 +1,116 @@
+"""Tests for the rank-level shared-table ablation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.rank_table import (
+    RankLevelEngine,
+    RankTableConfig,
+    compare_rank_vs_per_bank,
+)
+from repro.dram.faults import HammerFaultModel
+from repro.dram.timing import DDR4_2400
+
+
+class TestSizing:
+    def test_rank_budget_between_1x_and_16x_bank_budget(self):
+        config = RankTableConfig()
+        from repro.core.config import GrapheneConfig
+
+        bank_w = GrapheneConfig.paper_optimized().max_activations_per_window
+        assert bank_w < config.max_activations_per_window < 16 * bank_w
+
+    def test_shared_table_saves_bits(self):
+        comparison = compare_rank_vs_per_bank()
+        assert comparison["bit_savings_factor"] > 2.0
+        assert comparison["shared_entries"] < (
+            comparison["per_bank_entries_total"]
+        )
+
+    def test_shared_table_has_harder_timing_budget(self):
+        comparison = compare_rank_vs_per_bank()
+        assert comparison["shared_update_interval_ns"] < (
+            comparison["per_bank_update_interval_ns"]
+        )
+
+    def test_key_includes_bank_bits(self):
+        config = RankTableConfig()
+        assert config.key_bits == 4 + 16
+
+    def test_threshold_matches_per_bank_design(self):
+        config = RankTableConfig()
+        assert config.tracking_threshold == 8_333
+
+
+class TestProtection:
+    def test_concurrent_hammers_across_all_banks(self):
+        """16 banks hammered concurrently (the tFAW-limited worst case):
+        every bank's referee must stay clean."""
+        trh = 1_200
+        # Compress the window so thresholds are crossed quickly.
+        timings = DDR4_2400.scaled(trefw=4e6)
+        config = RankTableConfig(
+            hammer_threshold=trh, timings=timings, banks_per_rank=16,
+            rows_per_bank=1024,
+        )
+        engine = RankLevelEngine(config)
+        referees = [
+            HammerFaultModel(threshold=trh, rows=1024)
+            for _ in range(16)
+        ]
+        interval = config.update_interval_ns
+        time_ns = 0.0
+        rng = random.Random(3)
+        targets = [rng.randrange(2, 1022) for _ in range(16)]
+        for step in range(40_000):
+            bank = step % 16
+            row = targets[bank]
+            referees[bank].on_activate(row, time_ns)
+            for victim_bank, victim_row in engine.on_activate(
+                bank, row, time_ns
+            ):
+                referees[victim_bank].on_refresh(victim_row)
+            time_ns += interval
+        assert all(r.flip_count == 0 for r in referees)
+        assert engine.victim_refresh_requests > 0
+
+    def test_single_bank_hammer_contained(self):
+        trh = 1_000
+        timings = DDR4_2400.scaled(trefw=4e6)
+        config = RankTableConfig(
+            hammer_threshold=trh, timings=timings, rows_per_bank=1024
+        )
+        engine = RankLevelEngine(config)
+        referee = HammerFaultModel(threshold=trh, rows=1024)
+        time_ns = 0.0
+        for _ in range(3 * trh):
+            referee.on_activate(500, time_ns)
+            for _bank, victim in engine.on_activate(3, 500, time_ns):
+                referee.on_refresh(victim)
+            time_ns += DDR4_2400.trc
+        assert referee.flip_count == 0
+
+    def test_window_reset(self):
+        timings = DDR4_2400.scaled(trefw=2e6)
+        config = RankTableConfig(
+            hammer_threshold=1_000, timings=timings, rows_per_bank=64
+        )
+        engine = RankLevelEngine(config)
+        engine.on_activate(0, 5, 0.0)
+        assert engine.table.observations == 1
+        engine.on_activate(0, 5, config.reset_window_ns + 1.0)
+        assert engine.table.observations == 1  # reset happened
+
+    def test_validation(self):
+        config = RankTableConfig(rows_per_bank=64)
+        engine = RankLevelEngine(config)
+        with pytest.raises(IndexError):
+            engine.on_activate(16, 5, 0.0)
+        with pytest.raises(IndexError):
+            engine.on_activate(0, 64, 0.0)
+        engine.on_activate(0, 5, 1e9)
+        with pytest.raises(ValueError):
+            engine.on_activate(0, 5, 0.0)

@@ -1,0 +1,150 @@
+"""Tests for row remapping and the increased-refresh-rate baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.remap import RemappedBankModel, RowRemapper
+from repro.dram.timing import DDR4_2400
+from repro.mitigations.refresh_rate import (
+    IncreasedRefreshRate,
+    protection_of_rate_increase,
+)
+
+
+class TestRowRemapper:
+    def test_identity_when_fraction_zero(self):
+        remapper = RowRemapper(rows=128, swap_fraction=0.0)
+        assert remapper.remapped_rows() == []
+        assert remapper.physical(5) == 5
+
+    def test_bijective(self):
+        remapper = RowRemapper(rows=256, swap_fraction=0.5, seed=3)
+        physicals = {remapper.physical(r) for r in range(256)}
+        assert physicals == set(range(256))
+        for row in range(256):
+            assert remapper.logical(remapper.physical(row)) == row
+
+    def test_swap_fraction_controls_displacement(self):
+        light = RowRemapper(rows=1024, swap_fraction=0.05, seed=1)
+        heavy = RowRemapper(rows=1024, swap_fraction=0.6, seed=1)
+        assert len(light.remapped_rows()) < len(heavy.remapped_rows())
+
+    def test_breaks_logical_adjacency(self):
+        remapper = RowRemapper(rows=512, swap_fraction=0.4, seed=2)
+        broken = [
+            r for r in remapper.remapped_rows()
+            if remapper.breaks_logical_adjacency(r)
+        ]
+        assert broken, "heavy remapping must break some adjacency"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowRemapper(rows=1)
+        with pytest.raises(ValueError):
+            RowRemapper(rows=16, swap_fraction=1.5)
+
+
+class TestRemappedBank:
+    """The Section II-C argument: logical-adjacency refreshes miss
+    under remapping; device-side NRR does not."""
+
+    TRH = 300
+
+    def hammer(self, bank: RemappedBankModel, aggressor: int, acts: int,
+               defend) -> None:
+        time_ns = 0.0
+        for index in range(acts):
+            time_ns = bank.earliest_activate(time_ns)
+            bank.activate(aggressor, time_ns)
+            if (index + 1) % 64 == 0:
+                defend(time_ns)
+            time_ns += DDR4_2400.trc
+
+    def find_displaced_aggressor(self, remapper: RowRemapper) -> int:
+        for row in remapper.remapped_rows():
+            if remapper.breaks_logical_adjacency(row) and (
+                2 <= remapper.physical(row) < remapper.rows - 2
+            ):
+                return row
+        pytest.skip("seed produced no displaced row")
+
+    def test_logical_refresh_misses_device_refresh_protects(self):
+        remapper = RowRemapper(rows=1024, swap_fraction=0.3, seed=7)
+        aggressor = self.find_displaced_aggressor(remapper)
+
+        # Defense A: refresh the *logical* neighbors periodically.
+        bank_a = RemappedBankModel(1024, self.TRH, remapper)
+        self.hammer(
+            bank_a, aggressor, acts=2 * self.TRH,
+            defend=lambda t: bank_a.nrr_logical(
+                (aggressor - 1, aggressor + 1), t
+            ),
+        )
+        # Defense B: the paper's NRR -- device refreshes physical
+        # neighbors of the aggressor.
+        bank_b = RemappedBankModel(1024, self.TRH, remapper)
+        self.hammer(
+            bank_b, aggressor, acts=2 * self.TRH,
+            defend=lambda t: bank_b.nrr_device(aggressor, t),
+        )
+        assert bank_a.bit_flips, (
+            "logical-adjacency refresh must miss the physical victims"
+        )
+        assert bank_b.bit_flips == []
+
+    def test_flipped_logical_rows_translation(self):
+        remapper = RowRemapper(rows=1024, swap_fraction=0.3, seed=7)
+        aggressor = self.find_displaced_aggressor(remapper)
+        bank = RemappedBankModel(1024, self.TRH, remapper)
+        self.hammer(bank, aggressor, acts=2 * self.TRH,
+                    defend=lambda t: None)
+        logical = bank.flipped_logical_rows()
+        assert logical
+        physical_victims = {f.row for f in bank.bit_flips}
+        assert {remapper.physical(r) for r in logical} == physical_victims
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RemappedBankModel(512, 100, RowRemapper(rows=1024))
+
+
+class TestRefreshRateIncrease:
+    def test_analytic_verdict_ddr4_unprotected(self):
+        """Doubling (even 8x) the refresh rate cannot protect DDR4-class
+        thresholds -- the paper's Section II-B point."""
+        for multiplier in (2, 4, 8):
+            verdict = protection_of_rate_increase(multiplier, 50_000)
+            assert verdict["protected"] is False
+
+    def test_very_high_multiplier_eventually_protects(self):
+        verdict = protection_of_rate_increase(128, 50_000)
+        assert verdict["protected"] is True
+        assert verdict["extra_refresh_energy_fraction"] == 127.0
+
+    def test_energy_tax_is_permanent(self):
+        verdict = protection_of_rate_increase(2, 50_000)
+        assert verdict["extra_refresh_energy_fraction"] == 1.0  # +100%
+
+    def test_engine_emits_steady_extra_refreshes(self):
+        engine = IncreasedRefreshRate(bank=0, rows=65536, multiplier=2)
+        rows = 0
+        for tick in range(100):
+            for directive in engine.on_refresh_command(float(tick)):
+                rows += directive.row_count
+        # (multiplier-1) x the regular 8 rows/command pace.
+        assert rows == 100 * 8
+
+    def test_engine_walks_whole_bank(self):
+        engine = IncreasedRefreshRate(bank=0, rows=1024, multiplier=2)
+        touched: set[int] = set()
+        for tick in range(2_000):
+            for directive in engine.on_refresh_command(float(tick)):
+                touched.update(directive.victim_rows)
+        assert touched == set(range(1024))
+
+    def test_multiplier_validation(self):
+        with pytest.raises(ValueError):
+            IncreasedRefreshRate(bank=0, rows=64, multiplier=1)
+        with pytest.raises(ValueError):
+            protection_of_rate_increase(0, 50_000)

@@ -1,0 +1,131 @@
+"""Tests for the Section V-A security analysis toolkit."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.security import (
+    derive_para_probability,
+    mrloc_hit_rate_under_pattern,
+    para_hazard_per_act,
+    para_system_year_failure,
+    para_window_failure_probability,
+    para_window_failure_probability_exact,
+    simulate_prohit_attack,
+)
+from repro.mitigations.para import PAPER_PARA_P_SERIES
+
+
+class TestParaMath:
+    def test_hazard_formula(self):
+        p, trh = 0.01, 100
+        expected = 2 * (p / 2) * (1 - p / 2) ** trh
+        assert para_hazard_per_act(p, trh) == pytest.approx(expected)
+
+    def test_hazard_no_underflow_at_full_scale(self):
+        hazard = para_hazard_per_act(0.00145, 50_000)
+        assert 0.0 < hazard < 1e-15
+
+    def test_closed_form_matches_exact_dp(self):
+        """At reduced scale the linear closed form and the footnote-2
+        dynamic program must agree tightly."""
+        p, trh, acts = 0.02, 500, 20_000
+        exact = para_window_failure_probability_exact(p, trh, acts)
+        approx = para_window_failure_probability(p, trh, acts)
+        assert approx == pytest.approx(exact, rel=0.02)
+
+    def test_window_failure_monotone_in_p(self):
+        low = para_window_failure_probability(0.001, 50_000)
+        high = para_window_failure_probability(0.002, 50_000)
+        # Raising p makes the attack LESS likely to succeed.
+        assert high < low
+
+    @pytest.mark.parametrize("trh,paper_p", PAPER_PARA_P_SERIES.items())
+    def test_derived_p_matches_paper_series(self, trh, paper_p):
+        derived = derive_para_probability(trh)
+        assert derived == pytest.approx(paper_p, rel=0.01)
+
+    @pytest.mark.parametrize("trh,paper_p", PAPER_PARA_P_SERIES.items())
+    def test_paper_p_sits_at_the_1pct_boundary(self, trh, paper_p):
+        failure = para_system_year_failure(paper_p, trh)
+        assert 0.002 < failure < 0.02
+
+    def test_more_banks_more_exposure(self):
+        few = para_system_year_failure(0.00145, 50_000, banks=1)
+        many = para_system_year_failure(0.00145, 50_000, banks=64)
+        assert many > few
+        assert many == pytest.approx(
+            -math.expm1(64 * math.log1p(-few)), rel=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            para_hazard_per_act(1.5, 100)
+        with pytest.raises(ValueError):
+            derive_para_probability(50_000, target_failure=0.0)
+
+
+class TestProhitMonteCarlo:
+    def test_generous_budget_protects(self):
+        """With every-REF drains (8x the PARA budget), the pattern is
+        contained -- flips require budget scarcity."""
+        result = simulate_prohit_attack(
+            50_000, insert_probability=0.0018, refresh_period=1,
+            trials=30, seed=1,
+        )
+        assert result.flip_probability == 0.0
+
+    def test_para_budget_with_realistic_sampling_fails(self):
+        """At PARA-0.00145's refresh budget (period-4 drains) and a
+        plausible sampling rate, the Fig. 7(a) pattern flips bits with
+        probability far above near-complete protection."""
+        result = simulate_prohit_attack(
+            50_000, insert_probability=0.02, refresh_period=4,
+            trials=60, seed=2,
+        )
+        assert result.flip_probability > 0.05
+        assert result.refreshes_per_window < 2_200
+
+    def test_flip_probability_grows_with_q_at_fixed_budget(self):
+        low = simulate_prohit_attack(
+            50_000, insert_probability=0.005, refresh_period=4,
+            trials=40, seed=3,
+        )
+        high = simulate_prohit_attack(
+            50_000, insert_probability=0.05, refresh_period=4,
+            trials=40, seed=3,
+        )
+        assert high.flip_probability >= low.flip_probability
+
+    def test_result_accessors(self):
+        result = simulate_prohit_attack(
+            50_000, insert_probability=0.01, trials=5, seed=4
+        )
+        assert result.trials == 5
+        assert result.acts_per_window > 1_000_000
+        assert result.refreshes_per_window >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_prohit_attack(0, insert_probability=0.01)
+        with pytest.raises(ValueError):
+            simulate_prohit_attack(
+                50_000, insert_probability=0.01, refresh_period=0
+            )
+
+
+class TestMrlocAnalysis:
+    def test_fig7b_kills_the_queue(self):
+        assert mrloc_hit_rate_under_pattern(8, acts=5_000) == 0.0
+
+    def test_smaller_pattern_hits(self):
+        assert mrloc_hit_rate_under_pattern(6, acts=5_000) > 0.9
+
+    def test_boundary_at_queue_size(self):
+        """15 victims (7.5 aggressors) fit; 16 do not."""
+        fits = mrloc_hit_rate_under_pattern(7, queue_size=15, acts=5_000)
+        thrashes = mrloc_hit_rate_under_pattern(8, queue_size=15, acts=5_000)
+        assert fits > 0.9
+        assert thrashes == 0.0

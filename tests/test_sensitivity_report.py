@@ -1,0 +1,99 @@
+"""Tests for the sensitivity analysis and the report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    TECHNOLOGY_PRESETS,
+    configuration_for_preset,
+    row_count_independence,
+    sweep_parameter,
+)
+
+
+class TestPresets:
+    def test_all_presets_derive(self):
+        for name in TECHNOLOGY_PRESETS:
+            config = configuration_for_preset(name)
+            assert config.num_entries >= 1
+            assert config.tracking_threshold >= 1
+
+    def test_ddr4_is_the_paper_point(self):
+        config = configuration_for_preset("ddr4")
+        assert config.num_entries == 81
+        assert config.table_bits_per_bank == 2_511
+
+    def test_ddr3_needs_far_fewer_entries(self):
+        ddr3 = configuration_for_preset("ddr3")
+        ddr4 = configuration_for_preset("ddr4")
+        # 139K threshold and slower tRC both shrink the table.
+        assert ddr3.num_entries < ddr4.num_entries / 2
+
+    def test_future_point_still_practical(self):
+        """Even at a 5K threshold with 128K-row banks, the table stays
+        a few KB per bank -- the paper's scalability claim."""
+        config = configuration_for_preset("future")
+        assert config.table_bits_per_bank < 30_000
+
+
+class TestSweeps:
+    def test_trc_sweep_moves_w_inversely(self):
+        rows = sweep_parameter("trc", [30.0, 45.0, 60.0])
+        ws = [row["W"] for row in rows]
+        assert ws == sorted(ws, reverse=True)
+        # N_entry follows W.
+        entries = [row["N_entry"] for row in rows]
+        assert entries == sorted(entries, reverse=True)
+
+    def test_trefw_sweep(self):
+        rows = sweep_parameter("trefw", [32e6, 64e6])
+        # Halving tREFW (high-temperature mode) halves W per window.
+        assert rows[0]["W"] == pytest.approx(rows[1]["W"] / 2, rel=0.01)
+
+    def test_threshold_sweep_linear(self):
+        rows = sweep_parameter(
+            "hammer_threshold", [50_000, 25_000, 12_500]
+        )
+        entries = [row["N_entry"] for row in rows]
+        assert entries[1] == pytest.approx(2 * entries[0], rel=0.05)
+        assert entries[2] == pytest.approx(4 * entries[0], rel=0.05)
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError):
+            sweep_parameter("voltage", [1.2])
+
+
+class TestRowCountIndependence:
+    def test_nentry_constant_across_bank_sizes(self):
+        table = row_count_independence()
+        entries = {n for n, _bits in table.values()}
+        assert len(entries) == 1  # N_entry independent of row count
+
+    def test_entry_bits_grow_one_per_doubling(self):
+        table = row_count_independence([16384, 32768, 65536])
+        bits = [table[r][1] for r in (16384, 32768, 65536)]
+        assert bits[1] == bits[0] + 1
+        assert bits[2] == bits[1] + 1
+
+
+class TestReportGenerator:
+    def test_fast_report_contains_every_section(self):
+        from repro.experiments import EXPERIMENT_NAMES
+        from repro.experiments.report import generate_report
+
+        report = generate_report(fast=True)
+        for name in EXPERIMENT_NAMES:
+            assert f"## {name}" in report
+        # Anchor numbers survive into the report.
+        assert "12,500" in report
+        assert "2,511" in report
+
+    def test_report_cli_writes_file(self, tmp_path, capsys):
+        from repro.experiments.report import main
+
+        out = str(tmp_path / "report.md")
+        main(["--out", out])
+        assert "wrote" in capsys.readouterr().out
+        text = open(out).read()
+        assert text.startswith("# Graphene reproduction report")

@@ -1,0 +1,164 @@
+"""Tests for the full-system runner and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.config import GrapheneConfig
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DDR4_2400
+from repro.mitigations import graphene_factory, no_mitigation_factory
+from repro.sim.system import SystemConfig
+from repro.sim.system_runner import BankAssignment, run_system
+
+
+def small_system(trh: int = 2_000) -> SystemConfig:
+    return SystemConfig(
+        geometry=DramGeometry(
+            channels=1, ranks_per_channel=1, banks_per_rank=4,
+            rows_per_bank=4096,
+        ),
+        hammer_threshold=trh,
+    )
+
+
+class TestSystemRunner:
+    def test_attacker_among_busy_banks(self):
+        system = small_system()
+        config = GrapheneConfig(
+            hammer_threshold=system.hammer_threshold,
+            rows_per_bank=4096,
+            reset_window_divisor=2,
+        )
+        result = run_system(
+            assignments={
+                0: BankAssignment("synthetic", "S3", seed=1),
+                1: BankAssignment("realistic", "omnetpp", seed=1),
+                2: BankAssignment("realistic", "omnetpp", seed=2),
+                3: BankAssignment("idle"),
+            },
+            factory=graphene_factory(config),
+            duration_ns=4e6,
+            system=system,
+            track_faults=True,
+        )
+        assert result.bit_flips == 0
+        assert result.hottest_bank() == 0  # only the attacked bank pays
+        assert result.per_bank_rows_refreshed[3] == 0
+        assert result.total_table_bits == 4 * config.table_bits_per_bank
+
+    def test_unprotected_system_compromised(self):
+        system = small_system()
+        result = run_system(
+            assignments={0: BankAssignment("synthetic", "S3", seed=1)},
+            factory=no_mitigation_factory(),
+            duration_ns=4e6,
+            system=system,
+            track_faults=True,
+        )
+        assert result.bit_flips > 0
+        assert result.victim_rows_refreshed == 0
+
+    def test_default_assignment_fills_banks(self):
+        system = small_system(trh=10**9)
+        result = run_system(
+            assignments={},
+            factory=no_mitigation_factory(),
+            duration_ns=5e5,
+            system=system,
+            default=BankAssignment("realistic", "mix-blend", seed=9),
+        )
+        assert result.acts > 0
+
+    def test_bank_bounds_checked(self):
+        with pytest.raises(IndexError):
+            run_system(
+                assignments={99: BankAssignment("idle")},
+                factory=no_mitigation_factory(),
+                duration_ns=1e5,
+                system=small_system(),
+            )
+
+    def test_unknown_assignment_kind(self):
+        with pytest.raises(ValueError):
+            run_system(
+                assignments={0: BankAssignment("cosmic-rays")},
+                factory=no_mitigation_factory(),
+                duration_ns=1e5,
+                system=small_system(),
+            )
+
+    def test_energy_metric(self):
+        system = small_system()
+        config = GrapheneConfig(
+            hammer_threshold=system.hammer_threshold,
+            rows_per_bank=4096,
+            reset_window_divisor=2,
+        )
+        result = run_system(
+            assignments={0: BankAssignment("synthetic", "S3", seed=1)},
+            factory=graphene_factory(config),
+            duration_ns=4e6,
+            system=system,
+        )
+        expected = result.victim_rows_refreshed / (
+            4 * 4096 * (4e6 / DDR4_2400.trefw)
+        )
+        assert result.refresh_energy_increase(4096) == pytest.approx(
+            expected
+        )
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig8" in output and "mcf" in output
+
+    def test_derive(self, capsys):
+        assert main(["derive", "--trh", "50000", "--k", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "8333" in output.replace(",", "")
+        assert "2511" in output.replace(",", "")
+
+    def test_derive_non_adjacent(self, capsys):
+        assert main(["derive", "--trh", "50000", "--radius", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "blast_radius" in output
+
+    def test_attack_protected_exit_zero(self, capsys):
+        code = main([
+            "attack", "--pattern", "S3", "--scheme", "graphene",
+            "--trh", "2000", "--duration-ms", "4",
+        ])
+        assert code == 0
+        assert "bit flips:            0" in capsys.readouterr().out
+
+    def test_attack_unprotected_exit_one(self, capsys):
+        code = main([
+            "attack", "--pattern", "S3", "--scheme", "none",
+            "--trh", "2000", "--duration-ms", "4",
+        ])
+        assert code == 1
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "12,500" in capsys.readouterr().out
+
+    def test_trace_command(self, tmp_path, capsys):
+        out = str(tmp_path / "trace.txt")
+        code = main([
+            "trace", "--workload", "omnetpp", "--duration-ms", "0.5",
+            "--out", out,
+        ])
+        assert code == 0
+        from repro.workloads.trace import read_trace
+
+        events = list(read_trace(out))
+        assert events
+        assert events == sorted(events, key=lambda e: e.time_ns)

@@ -1,0 +1,73 @@
+"""Tests for DDR4 timing parameters and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.timing import DDR4_2400, NS_PER_MS, NS_PER_US, DramTimings
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        assert DDR4_2400.trefi == pytest.approx(7.8 * NS_PER_US)
+        assert DDR4_2400.trfc == 350.0
+        assert DDR4_2400.trc == 45.0
+        assert DDR4_2400.trefw == pytest.approx(64.0 * NS_PER_MS)
+
+    def test_w_matches_paper(self):
+        """W = tREFW (1 - tRFC/tREFI) / tRC ~= 1,360K (Section III-B)."""
+        w = DDR4_2400.max_activations_per_refresh_window
+        assert w == pytest.approx(1_360_000, rel=0.01)
+        assert w == 1_358_404  # the exact value for these parameters
+
+    def test_refresh_duty_factor(self):
+        assert DDR4_2400.refresh_duty_factor == pytest.approx(
+            1 - 350 / 7800
+        )
+
+    def test_refreshes_per_window(self):
+        assert DDR4_2400.refreshes_per_window == 8205  # 64ms / 7.8us
+
+
+class TestDerived:
+    def test_max_activations_scales_with_window(self):
+        half = DDR4_2400.max_activations_in(DDR4_2400.trefw / 2)
+        full = DDR4_2400.max_activations_per_refresh_window
+        assert half == pytest.approx(full / 2, rel=0.001)
+
+    def test_max_activations_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DDR4_2400.max_activations_in(0)
+
+    def test_align_to_trefi(self):
+        assert DDR4_2400.align_to_trefi(0.0) == 0.0
+        assert DDR4_2400.align_to_trefi(1.0) == pytest.approx(7800.0)
+        assert DDR4_2400.align_to_trefi(7800.0) == pytest.approx(7800.0)
+
+    def test_row_cycle_floor(self):
+        # A single access per row cannot beat tRC.
+        assert DDR4_2400.row_cycle_floor(1) == pytest.approx(45.0)
+        # Long row-buffer runs amortize toward the burst time.
+        assert DDR4_2400.row_cycle_floor(100) < 5.0
+        with pytest.raises(ValueError):
+            DDR4_2400.row_cycle_floor(0)
+
+    def test_scaled_copy(self):
+        fast = DDR4_2400.scaled(trefw=32 * NS_PER_MS)
+        assert fast.trefw == 32 * NS_PER_MS
+        assert fast.trc == DDR4_2400.trc
+        assert DDR4_2400.trefw == 64 * NS_PER_MS  # original untouched
+
+
+class TestValidation:
+    def test_rejects_negative_parameter(self):
+        with pytest.raises(ValueError):
+            DramTimings(trc=-1.0)
+
+    def test_rejects_trfc_exceeding_trefi(self):
+        with pytest.raises(ValueError):
+            DramTimings(trfc=10_000.0, trefi=7_800.0)
+
+    def test_rejects_trefi_exceeding_trefw(self):
+        with pytest.raises(ValueError):
+            DramTimings(trefi=1e9)

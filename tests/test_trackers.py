@@ -1,0 +1,172 @@
+"""Tests for the alternative frequent-elements trackers (Section VI)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trackers import (
+    CountMinSketch,
+    LossyCountingTable,
+    SpaceSavingTable,
+    tracker_table_bits,
+)
+
+
+class TestSpaceSaving:
+    def test_exact_until_full(self):
+        table = SpaceSavingTable(4)
+        for item, times in (("a", 3), ("b", 2)):
+            for _ in range(times):
+                table.observe(item)
+        assert table.estimated_count("a") == 3
+        assert table.guaranteed_count("a") == 3
+
+    def test_replacement_inherits_minimum(self):
+        table = SpaceSavingTable(2)
+        for _ in range(5):
+            table.observe("a")
+        table.observe("b")
+        result = table.observe("c")  # evicts b (count 1)
+        assert result == 2
+        assert "b" not in table
+        assert table.guaranteed_count("c") == 1  # error recorded
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=25), max_size=600),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_overestimate_property(self, stream, capacity):
+        """Estimated >= actual for tracked items; heavy hitters with
+        count > W/capacity are always tracked."""
+        table = SpaceSavingTable(capacity)
+        actual: Counter = Counter()
+        for item in stream:
+            table.observe(item)
+            actual[item] += 1
+        for item, estimate in table.tracked().items():
+            assert estimate >= actual[item]
+        cutoff = table.observations / capacity
+        for item, count in actual.items():
+            if count > cutoff:
+                assert item in table
+
+    @given(st.lists(st.integers(min_value=0, max_value=12), max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_per_item_estimate_monotone(self, stream):
+        """The safety property the tracker-backed engine relies on: a
+        row's estimate never decreases across its tenures."""
+        table = SpaceSavingTable(3)
+        last_seen: dict[int, int] = {}
+        for item in stream:
+            estimate = table.observe(item)
+            assert estimate >= last_seen.get(item, 0) + 1
+            last_seen[item] = estimate
+
+    def test_reset(self):
+        table = SpaceSavingTable(2)
+        table.observe("a")
+        table.reset()
+        assert len(table) == 0
+        assert table.observations == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSavingTable(0)
+
+
+class TestLossyCounting:
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            LossyCountingTable(0.0)
+        with pytest.raises(ValueError):
+            LossyCountingTable(1.0)
+
+    def test_frequent_item_survives_pruning(self):
+        table = LossyCountingTable(epsilon=0.1)  # bucket width 10
+        for i in range(100):
+            table.observe("hot")
+            if i % 3 == 0:
+                table.observe(f"cold{i}")
+        assert "hot" in table
+        assert table.estimated_count("hot") >= 100
+
+    def test_rare_items_pruned(self):
+        table = LossyCountingTable(epsilon=0.1)
+        table.observe("once")
+        for i in range(50):
+            table.observe(f"filler{i % 7}")
+        assert "once" not in table
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=500))
+    @settings(max_examples=40, deadline=None)
+    def test_overestimate_property(self, stream):
+        table = LossyCountingTable(epsilon=0.05)
+        actual: Counter = Counter()
+        for item in stream:
+            estimate = table.observe(item)
+            actual[item] += 1
+            assert estimate >= actual[item] or item not in table
+        # Guarantee: true count > epsilon * W implies tracked.
+        for item, count in actual.items():
+            if count > 0.05 * len(stream):
+                assert item in table
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(width=64, depth=4)
+        actual: Counter = Counter()
+        for i in range(2_000):
+            item = i % 37
+            sketch.observe(item)
+            actual[item] += 1
+        for item, count in actual.items():
+            assert sketch.estimated_count(item) >= count
+
+    def test_exact_when_sparse(self):
+        sketch = CountMinSketch(width=1024, depth=4)
+        for _ in range(50):
+            sketch.observe("x")
+        assert sketch.estimated_count("x") == 50
+
+    def test_collisions_inflate_small_width(self):
+        sketch = CountMinSketch(width=2, depth=1)
+        for i in range(100):
+            sketch.observe(i)
+        # With 2 counters and 100 distinct items, estimates are heavily
+        # inflated but never below the true count (1).
+        assert sketch.estimated_count(0) >= 1
+        assert sketch.estimated_count(0) > 10
+
+    def test_reset(self):
+        sketch = CountMinSketch(width=16, depth=2)
+        sketch.observe("x")
+        sketch.reset()
+        assert sketch.estimated_count("x") == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+
+
+class TestTableBits:
+    def test_space_saving_bits(self):
+        bits = tracker_table_bits(SpaceSavingTable(81), 16, 14)
+        assert bits == 81 * (16 + 28)
+
+    def test_count_min_bits(self):
+        sketch = CountMinSketch(width=128, depth=4)
+        assert tracker_table_bits(sketch, 16, 14) == 128 * 4 * 32
+
+    def test_lossy_counting_bits_positive(self):
+        table = LossyCountingTable(epsilon=0.01)
+        assert tracker_table_bits(table, 16, 14) > 0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            tracker_table_bits(object(), 16, 14)

@@ -1,0 +1,152 @@
+"""Tests for the TWiCe and CRA counter-based baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.timing import DDR4_2400
+from repro.mitigations.cra import CRA
+from repro.mitigations.twice import TWiCe
+
+
+class TestTwice:
+    def make(self, threshold=400, **kw) -> TWiCe:
+        return TWiCe(bank=0, rows=1024, hammer_threshold=threshold, **kw)
+
+    def test_threshold_trigger_and_rearm(self):
+        engine = self.make()
+        t_act = engine.act_threshold
+        directives = []
+        for i in range(2 * t_act):
+            directives.extend(engine.on_activate(100, float(i)))
+        assert len(directives) == 2
+        assert directives[0].victim_rows == (99, 101)
+
+    def test_act_threshold_is_quarter_of_trh(self):
+        assert self.make(threshold=50_000).act_threshold == 12_500
+
+    def test_pruning_drops_slow_rows(self):
+        engine = self.make(threshold=50_000)
+        engine.on_activate(100, 0.0)
+        assert engine.occupancy == 1
+        # One ACT cannot sustain the required rate: pruned at the first
+        # interval where count < life * pruning_rate.
+        for tick in range(3):
+            engine.on_refresh_command(float(tick))
+        assert engine.occupancy == 0
+        assert engine.pruned_entries == 1
+
+    def test_fast_rows_survive_pruning(self):
+        engine = self.make(threshold=50_000)
+        # Sustain well above the pruning rate (~1.53/interval).
+        for tick in range(50):
+            for i in range(10):
+                engine.on_activate(100, tick * 100.0 + i)
+            engine.on_refresh_command(tick * 100.0 + 99)
+        assert engine.occupancy == 1
+        assert engine.tracked()[100] == 500
+
+    def test_life_max_retires_entries(self):
+        engine = self.make(threshold=50_000)
+        life_max = engine.life_max
+        # Keep the entry above the pruning line every interval, then
+        # stop: it retires at life_max regardless.
+        rate = int(engine.pruning_rate) + 1
+        for tick in range(life_max + 1):
+            for i in range(rate):
+                engine.on_activate(100, tick * 1000.0 + i)
+            engine.on_refresh_command(tick * 1000.0 + 999)
+        assert engine.occupancy <= 1  # either pruned or freshly re-added
+
+    def test_blast_radius_extends_victims(self):
+        engine = TWiCe(
+            bank=0, rows=1024, hammer_threshold=400, blast_radius=2
+        )
+        directives = []
+        for i in range(engine.act_threshold):
+            directives.extend(engine.on_activate(100, float(i)))
+        assert directives[0].victim_rows == (99, 101, 98, 102)
+
+    def test_capacity_accounting(self):
+        engine = self.make(threshold=50_000, max_entries=4)
+        for row in range(6):
+            engine.on_activate(row * 3, 0.0)
+        assert engine.peak_occupancy == 6
+        assert engine.capacity_violations == 2
+
+    def test_default_entry_budget_matches_area_model(self):
+        assert self.make(threshold=50_000).max_entries == 1_138
+
+    def test_table_bits_positive(self):
+        assert self.make(threshold=50_000).table_bits() > 0
+
+
+class TestCra:
+    def make(self, threshold=400, cache=4, **kw) -> CRA:
+        return CRA(
+            bank=0, rows=1024, hammer_threshold=threshold,
+            cache_entries=cache, **kw,
+        )
+
+    def test_threshold_trigger(self):
+        engine = self.make()
+        directives = []
+        for i in range(engine.act_threshold):
+            directives.extend(engine.on_activate(100, float(i)))
+        assert len(directives) == 1
+        assert directives[0].victim_rows == (99, 101)
+
+    def test_cache_hits_on_locality(self):
+        engine = self.make(cache=4)
+        for i in range(100):
+            engine.on_activate(100, float(i))
+        assert engine.cache_misses == 1
+        assert engine.cache_hits == 99
+
+    def test_cache_thrash_on_low_locality(self):
+        engine = self.make(cache=4)
+        for i in range(100):
+            engine.on_activate((i * 17) % 1024, float(i))
+        assert engine.miss_rate > 0.9
+
+    def test_counts_survive_eviction(self):
+        """The DRAM-backed counter must not lose state on cache miss."""
+        engine = self.make(cache=2)
+        for _ in range(10):
+            engine.on_activate(100, 0.0)
+        # Thrash the cache so row 100 gets written back and refetched.
+        for row in (200, 300, 400, 500):
+            engine.on_activate(row, 1.0)
+        for _ in range(engine.act_threshold - 10):
+            directives = engine.on_activate(100, 2.0)
+        assert directives, "count lost across eviction"
+
+    def test_writeback_accounting(self):
+        engine = self.make(cache=2)
+        for row in (1, 5, 9, 13):
+            engine.on_activate(row, 0.0)
+        assert engine.writebacks == 2
+        assert engine.extra_dram_accesses() == engine.cache_misses + 2
+
+    def test_window_reset_clears_counters(self):
+        engine = self.make()
+        for _ in range(50):
+            engine.on_activate(100, 0.0)
+        engine.on_activate(100, DDR4_2400.trefw + 1.0)  # 1 ACT, new window
+        # Fresh window: needs the full threshold again.
+        directives = []
+        for i in range(engine.act_threshold - 2):
+            directives.extend(
+                engine.on_activate(100, DDR4_2400.trefw + 2.0 + i)
+            )
+        assert directives == []
+
+    def test_table_bits_covers_cache_only(self):
+        engine = self.make(cache=512)
+        assert engine.table_bits() == 512 * (10 + 7)  # 1024 rows, T=100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(threshold=2)
+        with pytest.raises(ValueError):
+            self.make(cache=0)

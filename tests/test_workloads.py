@@ -1,0 +1,196 @@
+"""Tests for the trace model and all workload generators."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.config import GrapheneConfig
+from repro.dram.timing import DDR4_2400
+from repro.workloads import (
+    ActEvent,
+    collect_stats,
+    double_sided_rows,
+    graphene_worst_case_rows,
+    merge_streams,
+    mrloc_killer_rows,
+    pace,
+    profile_events,
+    prohit_killer_rows,
+    read_trace,
+    s1_rows,
+    s2_rows,
+    s3_rows,
+    s4_rows,
+    synthetic_events,
+    take_until,
+    write_trace,
+)
+from repro.workloads.spec_like import REALISTIC_PROFILES, WorkloadProfile
+
+
+class TestTraceModel:
+    def test_pace_enforces_trc(self):
+        with pytest.raises(ValueError):
+            list(pace([1, 2], interval_ns=10.0))
+
+    def test_pace_skips_refresh_blackouts(self):
+        events = list(
+            pace(
+                itertools.repeat(5, 500),
+                interval_ns=DDR4_2400.trc,
+                honor_refresh_gaps=True,
+            )
+        )
+        for event in events:
+            offset = event.time_ns % DDR4_2400.trefi
+            assert offset >= DDR4_2400.trfc - 1e-9 or event.time_ns == 0.0
+
+    def test_merge_streams_sorted(self):
+        a = [ActEvent(float(i) * 100, 0, i) for i in range(10)]
+        b = [ActEvent(float(i) * 100 + 50, 1, i) for i in range(10)]
+        merged = list(merge_streams(iter(a), iter(b)))
+        times = [e.time_ns for e in merged]
+        assert times == sorted(times)
+        assert len(merged) == 20
+
+    def test_take_until(self):
+        events = (ActEvent(float(i), 0, i) for i in range(100))
+        taken = list(take_until(events, 10.0))
+        assert len(taken) == 10
+
+    def test_trace_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        events = [ActEvent(1.5, 0, 7), ActEvent(46.5, 1, 9)]
+        assert write_trace(events, path) == 2
+        assert list(read_trace(path)) == events
+
+    def test_read_trace_rejects_malformed(self, tmp_path):
+        path = str(tmp_path / "bad.txt")
+        with open(path, "w") as handle:
+            handle.write("1.0 2\n")
+        with pytest.raises(ValueError):
+            list(read_trace(path))
+
+    def test_collect_stats(self):
+        events = [ActEvent(float(i) * 50, 0, i % 4) for i in range(100)]
+        stats = collect_stats(iter(events))
+        assert stats.total_acts == 100
+        assert stats.banks == 1
+        assert stats.distinct_rows == 4
+        assert stats.max_row_acts_per_window == 25
+
+
+class TestSyntheticPatterns:
+    def test_s1_cycles_n_rows(self):
+        rows = list(itertools.islice(s1_rows(10, seed=1), 40))
+        assert len(set(rows)) == 10
+        assert rows[:10] == rows[10:20]
+
+    def test_s1_rows_are_spread(self):
+        rows = sorted(set(itertools.islice(s1_rows(10, seed=1), 10)))
+        gaps = [b - a for a, b in zip(rows, rows[1:])]
+        assert min(gaps) > 2  # distinct victim neighborhoods
+
+    def test_s2_mixes_random_rows(self):
+        rows = list(itertools.islice(s2_rows(10, random_every=5, seed=1), 500))
+        assert len(set(rows)) > 10
+
+    def test_s3_single_target(self):
+        rows = set(itertools.islice(s3_rows(target=123), 100))
+        assert rows == {123}
+
+    def test_s4_mixture(self):
+        rows = list(itertools.islice(s4_rows(target=123, seed=2), 1000))
+        hammer_share = rows.count(123) / len(rows)
+        assert 0.3 < hammer_share < 0.7
+
+    def test_worst_case_rows_count(self):
+        config = GrapheneConfig.paper_optimized()
+        rows = set(itertools.islice(
+            graphene_worst_case_rows(config, seed=1), 200
+        ))
+        assert len(rows) == config.max_refresh_events_per_window
+
+    def test_synthetic_events_rate_bounded_by_w(self):
+        """A maximal attacker gets at most ~W ACTs per window."""
+        duration = DDR4_2400.trefw / 16
+        events = list(
+            synthetic_events(s3_rows(target=5), duration_ns=duration)
+        )
+        w_fraction = DDR4_2400.max_activations_per_refresh_window / 16
+        assert len(events) == pytest.approx(w_fraction, rel=0.01)
+
+
+class TestAdversarialPatterns:
+    def test_prohit_killer_period(self):
+        rows = list(itertools.islice(prohit_killer_rows(x=1000), 9))
+        assert rows == [996, 998, 998, 1000, 1000, 1000, 1002, 1002, 1004]
+
+    def test_prohit_killer_validation(self):
+        with pytest.raises(ValueError):
+            prohit_killer_rows(x=2)
+
+    def test_mrloc_killer_victim_count(self):
+        rows = set(itertools.islice(mrloc_killer_rows(count=8, base=100), 16))
+        assert len(rows) == 8
+        victims = {r + d for r in rows for d in (-1, 1)}
+        assert len(victims) == 16  # one more than the 15-entry queue
+
+    def test_double_sided_alternates(self):
+        rows = list(itertools.islice(double_sided_rows(victim=50), 4))
+        assert rows == [49, 51, 49, 51]
+
+
+class TestRealisticProfiles:
+    def test_all_16_paper_workloads_present(self):
+        assert len(REALISTIC_PROFILES) == 16
+        for name in ("mcf", "milc", "lbm", "mix-high", "mix-blend",
+                     "MICA", "PageRank", "RADIX", "FFT", "Canneal"):
+            assert name in REALISTIC_PROFILES
+
+    def test_events_sorted_and_in_range(self):
+        events = list(profile_events(
+            REALISTIC_PROFILES["mcf"], duration_ns=1e6, banks=2, seed=1
+        ))
+        times = [e.time_ns for e in events]
+        assert times == sorted(times)
+        assert {e.bank for e in events} == {0, 1}
+        assert all(0 <= e.row < 65536 for e in events)
+
+    def test_intensity_calibration(self):
+        """Generated rate must match the profile's declared rate."""
+        profile = REALISTIC_PROFILES["lbm"]
+        events = list(profile_events(profile, duration_ns=4e6, seed=3))
+        rate = len(events) / 4e-3  # acts per second
+        assert rate == pytest.approx(
+            profile.acts_per_second_per_bank, rel=0.1
+        )
+
+    def test_no_row_approaches_graphene_threshold(self):
+        """The paper's key property: realistic per-row concentration
+        stays far below T = 8,333 per 64 ms window."""
+        for name in ("mcf", "MICA", "lbm"):
+            events = profile_events(
+                REALISTIC_PROFILES[name],
+                duration_ns=DDR4_2400.trefw / 2,
+                seed=7,
+            )
+            stats = collect_stats(events, window_ns=DDR4_2400.trefw / 2)
+            assert stats.max_row_acts_per_window < 8_333 * 0.8, name
+
+    def test_reproducible_with_seed(self):
+        first = list(profile_events(
+            REALISTIC_PROFILES["FFT"], duration_ns=5e5, seed=11
+        ))
+        second = list(profile_events(
+            REALISTIC_PROFILES["FFT"], duration_ns=5e5, seed=11
+        ))
+        assert first == second
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "multiprogrammed", -1.0, 10, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "multiprogrammed", 1e6, 10, 0.5, 1.5)
