@@ -4,18 +4,81 @@ Each ``bench_*`` module regenerates one table or figure of the paper.
 Simulation-heavy benches run scaled-down traces by default so the whole
 suite finishes in a few minutes; set ``GRAPHENE_BENCH_FULL=1`` to run
 full refresh-window traces (the numbers reported in EXPERIMENTS.md).
+
+The suite routes every experiment through the shared runner
+(:mod:`repro.experiments.runner`):
+
+* ``GRAPHENE_BENCH_JOBS=N`` fans simulation cells across N worker
+  processes (default 1 -- serial timings stay comparable release to
+  release);
+* ``GRAPHENE_BENCH_CACHE=DIR`` enables the on-disk result cache at
+  ``DIR`` (off by default: a bench that hits the cache measures pickle
+  loads, not the simulator);
+* after the session, the accumulated runner statistics (jobs, cache
+  hits, computed cells, wall clock) are written to
+  ``BENCH_runner.json`` next to this file's repo root, so the perf
+  trajectory of the harness itself is tracked from run to run.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.dram.timing import DDR4_2400
+from repro.experiments.runner import ExperimentRunner, using_runner
+from repro.sim.cache import ResultCache
 
 #: Full scale = one complete refresh window per run.
 FULL_SCALE = bool(int(os.environ.get("GRAPHENE_BENCH_FULL", "0")))
+
+#: Worker processes for simulation cells (see module docstring).
+BENCH_JOBS = int(os.environ.get("GRAPHENE_BENCH_JOBS", "1"))
+
+#: Optional result-cache directory ("" keeps caching off).
+BENCH_CACHE = os.environ.get("GRAPHENE_BENCH_CACHE", "")
+
+#: Where the session's runner statistics land.
+STATS_PATH = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+
+_session_runner: ExperimentRunner | None = None
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_runner():
+    """Install one runner for the whole bench session and collect stats."""
+    global _session_runner
+    cache = ResultCache(BENCH_CACHE) if BENCH_CACHE else None
+    _session_runner = ExperimentRunner(jobs=BENCH_JOBS, cache=cache)
+    with using_runner(_session_runner):
+        yield _session_runner
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump runner statistics for the perf-trajectory record."""
+    if _session_runner is None:
+        return
+    stats = _session_runner.stats
+    payload = {
+        "jobs": stats.jobs,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.computed,
+        "wall_seconds": round(stats.wall_seconds, 3),
+        "batches": stats.batches,
+        "workers": _session_runner.jobs,
+        "full_scale": FULL_SCALE,
+        "cache_dir": BENCH_CACHE or None,
+    }
+    try:
+        STATS_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    except OSError:
+        pass
 
 
 @pytest.fixture(scope="session")

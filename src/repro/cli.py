@@ -3,7 +3,11 @@
 Commands:
 
 * ``list`` -- show available experiments, workloads and schemes;
-* ``experiment <name>`` -- regenerate one paper table/figure;
+* ``experiment <name>`` -- regenerate one paper table/figure (or
+  ``all`` of them) through the shared runner: ``--jobs N`` fans
+  simulation cells across CPU cores, results are cached on disk under
+  ``--cache-dir`` (disable with ``--no-cache``), and a wall-clock /
+  cache-hit summary is printed after the tables;
 * ``derive --trh N [--k K] [--radius N]`` -- print a Graphene
   configuration for arbitrary parameters;
 * ``attack --pattern P --scheme S`` -- run one attack/defense pair on
@@ -20,13 +24,25 @@ from .analysis.scaling import scheme_factories
 from .core.config import GrapheneConfig
 from .dram.faults import CouplingProfile
 from .experiments import EXPERIMENT_NAMES, load
+from .experiments.runner import ExperimentRunner, using_runner
 from .mitigations import no_mitigation_factory
+from .sim.cache import ResultCache, default_cache_dir
 from .sim.simulator import simulate
 from .workloads.spec_like import REALISTIC_PROFILES, profile_events
 from .workloads.synthetic import SYNTHETIC_PATTERNS, synthetic_events
 from .workloads.trace import write_trace
 
 __all__ = ["main", "build_parser"]
+
+
+def _job_count(text: str) -> int:
+    """argparse type for ``--jobs``: non-negative int (0 = all cores)."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all CPU cores), got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,9 +58,30 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("list", help="list experiments/workloads/schemes")
 
     experiment = commands.add_parser(
-        "experiment", help="regenerate one paper table/figure"
+        "experiment", help="regenerate one paper table/figure (or all)"
     )
-    experiment.add_argument("name", choices=sorted(EXPERIMENT_NAMES))
+    experiment.add_argument(
+        "name", choices=sorted(EXPERIMENT_NAMES) + ["all"],
+        help="experiment id, or 'all' for every table/figure",
+    )
+    experiment.add_argument(
+        "--jobs", type=_job_count, default=1, metavar="N",
+        help="worker processes for simulation cells "
+             "(1 = serial, 0 = all CPU cores; default 1)",
+    )
+    experiment.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell, bypassing the on-disk result cache",
+    )
+    experiment.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-graphene)",
+    )
+    experiment.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-job progress lines on stderr",
+    )
 
     derive = commands.add_parser(
         "derive", help="derive a Graphene configuration"
@@ -93,6 +130,28 @@ def _command_list() -> int:
     print("\nadversarial patterns:", ", ".join(sorted(SYNTHETIC_PATTERNS)))
     print("schemes: none, para, prohit, mrloc, cbt, twice, cra, graphene, "
           "refresh-rate")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    cache = (
+        None
+        if args.no_cache
+        else ResultCache(args.cache_dir or default_cache_dir())
+    )
+    runner = ExperimentRunner(
+        jobs=args.jobs, cache=cache, progress=not args.quiet
+    )
+    names = (
+        sorted(EXPERIMENT_NAMES) if args.name == "all" else [args.name]
+    )
+    with using_runner(runner):
+        for index, name in enumerate(names):
+            if len(names) > 1:
+                prefix = "\n" if index else ""
+                print(f"{prefix}=== {name} ===")
+            load(name).main()
+    print(f"\n[{runner.stats.summary()}]")
     return 0
 
 
@@ -156,8 +215,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _command_list()
     if args.command == "experiment":
-        load(args.name).main()
-        return 0
+        return _command_experiment(args)
     if args.command == "derive":
         return _command_derive(args)
     if args.command == "attack":

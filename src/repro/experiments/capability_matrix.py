@@ -25,10 +25,8 @@ from ..mitigations import (
     prohit_factory,
     twice_factory,
 )
-from ..sim.simulator import simulate
-from ..workloads.spec_like import REALISTIC_PROFILES, profile_events
-from ..workloads.synthetic import s3_rows, synthetic_events
 from .common import format_table, percent
+from .runner import get_runner, sim_job
 
 __all__ = ["run", "main", "SCHEMES"]
 
@@ -66,23 +64,43 @@ def run(
 
     Uses a scaled threshold so the attack completes quickly; guarantee
     verdicts are threshold-scale-independent (the mechanisms are).
+    Each scheme's attack and benign runs are independent jobs on the
+    shared runner -- the whole matrix fans out and caches per cell.
     """
+    jobs = []
+    for name in SCHEMES:
+        jobs.append(
+            sim_job(
+                trace={"kind": "s3_target", "target": 500},
+                factory=["capability", name],
+                scheme=name,
+                workload="S3",
+                duration_ns=duration_ns,
+                hammer_threshold=hammer_threshold,
+                track_faults=True,
+                label=f"S3/{name}",
+            )
+        )
+        jobs.append(
+            sim_job(
+                trace={"kind": "realistic", "label": "omnetpp"},
+                factory=["capability", name],
+                scheme=name,
+                workload="benign",
+                duration_ns=duration_ns,
+                seed=seed,
+                hammer_threshold=hammer_threshold,
+                track_faults=False,
+                label=f"benign/{name}",
+            )
+        )
+    results = iter(get_runner().run(jobs))
+
     out: dict[str, dict[str, object]] = {}
-    benign_profile = REALISTIC_PROFILES["omnetpp"]
     for name, (build, deterministic) in SCHEMES.items():
-        factory = build(hammer_threshold)
-        attack = simulate(
-            synthetic_events(s3_rows(target=500), duration_ns=duration_ns),
-            factory, name, "S3",
-            hammer_threshold=hammer_threshold, duration_ns=duration_ns,
-        )
-        benign = simulate(
-            profile_events(benign_profile, duration_ns, seed=seed),
-            factory, name, "benign",
-            hammer_threshold=hammer_threshold, duration_ns=duration_ns,
-            track_faults=False,
-        )
-        engine = factory(0, 65536)
+        attack = next(results)
+        benign = next(results)
+        engine = build(hammer_threshold)(0, 65536)
         out[name] = {
             "deterministic": deterministic,
             "attack_flips": attack.bit_flips,

@@ -9,7 +9,12 @@ Every experiment module exposes:
   the paper reports (invoked by ``python -m repro.experiments.<name>``).
 
 This module supplies the tiny text-table renderer they share and the
-standard (workload x scheme) sweep harness used by Figs. 8 and 9.
+standard (workload x scheme) sweep harness used by Figs. 8 and 9.  The
+sweep is expressed as declarative jobs for the shared
+:mod:`~repro.experiments.runner`, so every cell can be cached on disk
+and fanned out across CPU cores; :func:`matrix_jobs` /
+:func:`assemble_matrix` expose the two halves separately for
+experiments (Fig. 9) that batch several matrices into one fan-out.
 """
 
 from __future__ import annotations
@@ -17,21 +22,26 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Sequence
 
 from ..dram.timing import DDR4_2400, DramTimings
-from ..mitigations.base import MitigationFactory
-from ..mitigations import no_mitigation_factory
 from ..sim.metrics import SimulationResult
 from ..sim.performance import performance_overhead
-from ..sim.simulator import simulate
 from ..workloads.spec_like import REALISTIC_PROFILES, profile_events
 from ..workloads.synthetic import SYNTHETIC_PATTERNS, synthetic_events
+from .runner import ExperimentRunner, Job, get_runner, sim_job
 
 __all__ = [
+    "DEFAULT_SCHEMES",
     "format_table",
     "percent",
+    "matrix_jobs",
+    "assemble_matrix",
     "run_workload_matrix",
     "realistic_trace",
     "synthetic_trace",
 ]
+
+#: Scheme labels of the Fig. 8/9 comparison set (factory spec
+#: ``["scaling", <scheme>]`` -- see :func:`repro.experiments.runner.build_factory`).
+DEFAULT_SCHEMES = ("para", "cbt", "twice", "graphene")
 
 
 def format_table(
@@ -84,73 +94,104 @@ def synthetic_trace(
     return synthetic_events(rows, duration_ns=duration_ns, timings=timings)
 
 
-def run_workload_matrix(
+def matrix_jobs(
     workloads: Mapping[str, str],
-    factories: Mapping[str, MitigationFactory],
+    schemes: Sequence[str],
     duration_ns: float,
     seed: int = 42,
     timings: DramTimings = DDR4_2400,
     rows_per_bank: int = 65536,
     hammer_threshold: float = 50_000,
     track_faults: bool = False,
+    label_prefix: str = "",
+) -> list[Job]:
+    """Declarative jobs for every (workload, scheme) pair + baselines.
+
+    Per workload, the job order is the unprotected baseline followed by
+    ``schemes``; :func:`assemble_matrix` relies on that layout.
+    """
+    jobs: list[Job] = []
+    for label, kind in workloads.items():
+        trace = {"kind": kind, "label": label}
+        for scheme in ("none", *schemes):
+            factory = ["none"] if scheme == "none" else ["scaling", scheme]
+            jobs.append(
+                sim_job(
+                    trace=trace,
+                    factory=factory,
+                    scheme=scheme,
+                    workload=label,
+                    duration_ns=duration_ns,
+                    seed=seed,
+                    timings=timings,
+                    rows_per_bank=rows_per_bank,
+                    hammer_threshold=hammer_threshold,
+                    track_faults=track_faults,
+                    label=f"{label_prefix}{label}/{scheme}",
+                )
+            )
+    return jobs
+
+
+def assemble_matrix(
+    results: Sequence[SimulationResult],
+    workloads: Mapping[str, str],
+    schemes: Sequence[str],
+) -> dict[str, dict[str, object]]:
+    """Fold a :func:`matrix_jobs` result list back into the matrix dict."""
+    matrix: dict[str, dict[str, object]] = {}
+    cursor = iter(results)
+    for label in workloads:
+        baseline = next(cursor)
+        entry: dict[str, object] = {"none": baseline}
+        overheads: dict[str, float] = {}
+        for scheme in schemes:
+            result = next(cursor)
+            entry[scheme] = result
+            overheads[scheme] = performance_overhead(result, baseline)
+        entry["perf"] = overheads
+        matrix[label] = entry
+    return matrix
+
+
+def run_workload_matrix(
+    workloads: Mapping[str, str],
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    duration_ns: float = DDR4_2400.trefw,
+    seed: int = 42,
+    timings: DramTimings = DDR4_2400,
+    rows_per_bank: int = 65536,
+    hammer_threshold: float = 50_000,
+    track_faults: bool = False,
+    runner: ExperimentRunner | None = None,
 ) -> dict[str, dict[str, object]]:
     """Run every (workload, scheme) pair plus the unprotected baseline.
 
     Args:
         workloads: ``{label: kind}`` where kind is "realistic" or
             "synthetic" (selects the trace source for the label).
-        factories: ``{scheme label: factory}``.
+        schemes: Scheme labels from the Fig. 8/9 comparison set.
         duration_ns: Trace length per run.
         seed: Shared trace seed -- every scheme sees the same stream.
         track_faults: Enable the fault referee (slower; used by the
             protection-guarantee experiments).
+        runner: Executes the cells (default: the session runner, so
+            CLI ``--jobs``/caching apply automatically).
 
     Returns:
         ``{workload: {scheme: SimulationResult, ..., "perf": {scheme:
         overhead}}}`` -- results plus per-scheme performance overheads
         versus the baseline.
     """
-
-    def trace(label: str, kind: str):
-        if kind == "realistic":
-            return realistic_trace(
-                label, duration_ns, seed, timings, rows_per_bank
-            )
-        if kind == "synthetic":
-            return synthetic_trace(
-                label, duration_ns, seed, timings, rows_per_bank
-            )
-        raise ValueError(f"unknown workload kind {kind!r}")
-
-    matrix: dict[str, dict[str, object]] = {}
-    for label, kind in workloads.items():
-        baseline = simulate(
-            trace(label, kind),
-            no_mitigation_factory(),
-            scheme="none",
-            workload=label,
-            rows_per_bank=rows_per_bank,
-            timings=timings,
-            hammer_threshold=hammer_threshold,
-            track_faults=track_faults,
-            duration_ns=duration_ns,
-        )
-        entry: dict[str, object] = {"none": baseline}
-        overheads: dict[str, float] = {}
-        for scheme, factory in factories.items():
-            result = simulate(
-                trace(label, kind),
-                factory,
-                scheme=scheme,
-                workload=label,
-                rows_per_bank=rows_per_bank,
-                timings=timings,
-                hammer_threshold=hammer_threshold,
-                track_faults=track_faults,
-                duration_ns=duration_ns,
-            )
-            entry[scheme] = result
-            overheads[scheme] = performance_overhead(result, baseline)
-        entry["perf"] = overheads
-        matrix[label] = entry
-    return matrix
+    runner = runner or get_runner()
+    jobs = matrix_jobs(
+        workloads,
+        schemes,
+        duration_ns=duration_ns,
+        seed=seed,
+        timings=timings,
+        rows_per_bank=rows_per_bank,
+        hammer_threshold=hammer_threshold,
+        track_faults=track_faults,
+    )
+    return assemble_matrix(runner.run(jobs), workloads, schemes)

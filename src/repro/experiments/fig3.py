@@ -25,6 +25,7 @@ from ..core.config import GrapheneConfig
 from ..core.graphene import GrapheneEngine
 from ..dram.faults import HammerFaultModel
 from ..dram.timing import DDR4_2400, DramTimings
+from .runner import get_runner
 
 __all__ = ["run", "main"]
 
@@ -39,6 +40,16 @@ def run(
     Returns the per-phase ACT counts, triggered refreshes, the victim's
     final disturbance and the margin to the Row Hammer threshold.
     """
+    return get_runner().call(
+        "repro.experiments.fig3:_compute", label="fig3",
+        hammer_threshold=hammer_threshold, timings=timings,
+        rows_per_bank=rows_per_bank,
+    )
+
+
+def _compute(
+    hammer_threshold: int, timings: DramTimings, rows_per_bank: int
+) -> dict[str, object]:
     config = GrapheneConfig(
         hammer_threshold=hammer_threshold,
         timings=timings,

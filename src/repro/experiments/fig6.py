@@ -17,6 +17,7 @@ from __future__ import annotations
 from ..analysis.worst_case import ResetWindowPoint, reset_window_tradeoff
 from ..dram.timing import DDR4_2400, DramTimings
 from .common import format_table, percent
+from .runner import get_runner
 
 __all__ = ["run", "main"]
 
@@ -25,6 +26,16 @@ def run(
     hammer_threshold: int = 50_000,
     max_k: int = 10,
     timings: DramTimings = DDR4_2400,
+) -> list[ResetWindowPoint]:
+    """Tabulate the reset-window trade-off for k = 1..``max_k``."""
+    return get_runner().call(
+        "repro.experiments.fig6:_compute", label="fig6",
+        hammer_threshold=hammer_threshold, max_k=max_k, timings=timings,
+    )
+
+
+def _compute(
+    hammer_threshold: int, max_k: int, timings: DramTimings
 ) -> list[ResetWindowPoint]:
     return reset_window_tradeoff(
         hammer_threshold=hammer_threshold,

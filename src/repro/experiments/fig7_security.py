@@ -34,12 +34,40 @@ from ..analysis.security import (
 )
 from ..mitigations.para import PAPER_PARA_P, PAPER_PARA_P_SERIES
 from .common import format_table, percent
+from .runner import Job, get_runner
 
 __all__ = ["run", "main", "calibrate_prohit_budget"]
 
 #: PARA-0.00145's expected extra refreshes per bank per tREFW at the
 #: maximal attack rate (p x W) -- the budget PRoHIT is pinned to.
 PARA_BUDGET_PER_WINDOW = 1972
+
+
+def _prohit_point(
+    q: float,
+    refresh_period: int,
+    hammer_threshold: int,
+    trials: int,
+    seed: int,
+) -> dict[str, float]:
+    """One PRoHIT Monte-Carlo point (the runner's job target)."""
+    outcome = simulate_prohit_attack(
+        hammer_threshold,
+        insert_probability=q,
+        refresh_period=refresh_period,
+        trials=trials,
+        seed=seed,
+    )
+    return {
+        "q": q,
+        "flip_probability": outcome.flip_probability,
+        "refreshes_per_window": outcome.refreshes_per_window,
+    }
+
+
+def _mrloc_hit_rate(aggressors: int, acts: int, seed: int) -> float:
+    """One MRLoc queue-analysis point (the runner's job target)."""
+    return mrloc_hit_rate_under_pattern(aggressors, acts=acts, seed=seed)
 
 
 def calibrate_prohit_budget(
@@ -53,25 +81,20 @@ def calibrate_prohit_budget(
 
     The refresh drain period (every 4th REF ~ 2,048 refreshes/window)
     pins the budget to PARA-0.00145's; ``q`` is the remaining free
-    constant of the design.
+    constant of the design.  Each ``q`` is an independent Monte-Carlo
+    job on the shared runner.
     """
-    results = []
-    for q in q_values:
-        outcome = simulate_prohit_attack(
-            hammer_threshold,
-            insert_probability=q,
-            refresh_period=refresh_period,
-            trials=trials,
-            seed=seed,
+    return get_runner().run([
+        Job(
+            fn="repro.experiments.fig7_security:_prohit_point",
+            kwargs=dict(
+                q=q, refresh_period=refresh_period,
+                hammer_threshold=hammer_threshold, trials=trials, seed=seed,
+            ),
+            label=f"prohit q={q}",
         )
-        results.append(
-            {
-                "q": q,
-                "flip_probability": outcome.flip_probability,
-                "refreshes_per_window": outcome.refreshes_per_window,
-            }
-        )
-    return results
+        for q in q_values
+    ])
 
 
 def run(
@@ -97,13 +120,18 @@ def run(
     prohit = calibrate_prohit_budget(
         prohit_q_values, trials=trials, seed=seed
     )
+    runner = get_runner()
+    hit_8, hit_6 = runner.run([
+        Job(
+            fn="repro.experiments.fig7_security:_mrloc_hit_rate",
+            kwargs=dict(aggressors=n, acts=mrloc_acts, seed=seed),
+            label=f"mrloc {n} aggressors",
+        )
+        for n in (8, 6)
+    ])
     mrloc = {
-        "hit_rate_8_aggressors": mrloc_hit_rate_under_pattern(
-            8, acts=mrloc_acts, seed=seed
-        ),
-        "hit_rate_6_aggressors": mrloc_hit_rate_under_pattern(
-            6, acts=mrloc_acts, seed=seed
-        ),
+        "hit_rate_8_aggressors": hit_8,
+        "hit_rate_6_aggressors": hit_6,
     }
     return {"para": para_rows, "prohit": prohit, "mrloc": mrloc}
 

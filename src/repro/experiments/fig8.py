@@ -19,11 +19,11 @@ purely the schemes' victim refreshes.
 
 from __future__ import annotations
 
-from ..analysis.scaling import scheme_factories
 from ..dram.timing import DDR4_2400, DramTimings
 from ..workloads.spec_like import REALISTIC_PROFILES
 from ..workloads.synthetic import SYNTHETIC_PATTERNS
 from .common import format_table, percent, run_workload_matrix
+from .runner import get_runner
 
 __all__ = ["run", "main", "SCHEME_ORDER"]
 
@@ -54,12 +54,11 @@ def run(
     if adversarial is None:
         adversarial = tuple(SYNTHETIC_PATTERNS)
 
-    factories = scheme_factories(hammer_threshold, timings=timings)
     workloads = {name: "realistic" for name in realistic}
     workloads.update({name: "synthetic" for name in adversarial})
     matrix = run_workload_matrix(
         workloads,
-        factories,
+        SCHEME_ORDER,
         duration_ns=duration_ns,
         seed=seed,
         timings=timings,

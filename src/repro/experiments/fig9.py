@@ -17,10 +17,11 @@ paper's averages).
 
 from __future__ import annotations
 
-from ..analysis.scaling import PAPER_THRESHOLD_SWEEP, scheme_factories
+from ..analysis.scaling import PAPER_THRESHOLD_SWEEP
 from ..core.area import table_size_series
 from ..dram.timing import DDR4_2400, DramTimings
-from .common import format_table, percent, run_workload_matrix
+from .common import assemble_matrix, format_table, matrix_jobs, percent
+from .runner import get_runner
 
 __all__ = ["run", "main", "SCHEME_ORDER"]
 
@@ -56,17 +57,33 @@ def run(
     energy_adversarial: dict[int, dict[str, float]] = {}
     perf_normal: dict[int, dict[str, float]] = {}
 
+    workloads = {name: "realistic" for name in normal}
+    workloads.update({name: "synthetic" for name in adversarial})
+
+    # One flat batch across the whole sweep: every (threshold,
+    # workload, scheme) cell is independent, so the runner can fan the
+    # entire figure out at once.
+    jobs = []
     for trh in thresholds:
-        factories = scheme_factories(trh, timings=timings)
-        workloads = {name: "realistic" for name in normal}
-        workloads.update({name: "synthetic" for name in adversarial})
-        matrix = run_workload_matrix(
+        jobs.extend(
+            matrix_jobs(
+                workloads,
+                SCHEME_ORDER,
+                duration_ns=duration_ns,
+                seed=seed,
+                timings=timings,
+                hammer_threshold=trh,
+                label_prefix=f"trh={trh}/",
+            )
+        )
+    results = get_runner().run(jobs)
+    per_threshold = len(jobs) // len(thresholds)
+
+    for position, trh in enumerate(thresholds):
+        matrix = assemble_matrix(
+            results[position * per_threshold:(position + 1) * per_threshold],
             workloads,
-            factories,
-            duration_ns=duration_ns,
-            seed=seed,
-            timings=timings,
-            hammer_threshold=trh,
+            SCHEME_ORDER,
         )
         energy_normal[trh] = {
             scheme: sum(

@@ -20,6 +20,7 @@ from ..core.graphene import GrapheneEngine
 from ..dram.faults import CouplingProfile, HammerFaultModel
 from ..dram.timing import DDR4_2400, DramTimings
 from .common import format_table, percent
+from .runner import Job, get_runner
 
 __all__ = ["run", "main", "distance_two_attack"]
 
@@ -78,7 +79,19 @@ def run(
     hammer_threshold: int = 50_000,
     max_radius: int = 4,
 ) -> dict[str, object]:
-    """Cost tables for both coupling models plus the +-2 attack demo."""
+    """Cost tables for both coupling models plus the +-2 attack demo.
+
+    The two simulated attack demos are independent jobs on the shared
+    runner; the analytic cost tables are computed inline.
+    """
+    attack_r1, attack_r2 = get_runner().run([
+        Job(
+            fn="repro.experiments.non_adjacent:distance_two_attack",
+            kwargs=dict(protect_radius=radius),
+            label=f"distance-2 attack vs +-{radius}",
+        )
+        for radius in (1, 2)
+    ])
     return {
         "inverse_square": graphene_non_adjacent_costs(
             hammer_threshold, max_radius, model="inverse_square"
@@ -86,8 +99,8 @@ def run(
         "uniform": graphene_non_adjacent_costs(
             hammer_threshold, max_radius, model="uniform"
         ),
-        "attack_radius1": distance_two_attack(protect_radius=1),
-        "attack_radius2": distance_two_attack(protect_radius=2),
+        "attack_radius1": attack_r1,
+        "attack_radius2": attack_r2,
     }
 
 

@@ -1,0 +1,418 @@
+"""The shared experiment runner: parallel fan-out + result caching.
+
+Every figure- and table-regenerating experiment decomposes into
+independent jobs -- mostly :func:`repro.sim.simulator.simulate` calls
+over (workload, scheme, config) tuples.  This module gives them one
+substrate:
+
+* a :class:`Job` names a top-level function (``"module:callable"``)
+  plus picklable keyword arguments, so the *same* description can be
+  hashed for the on-disk cache and shipped to a worker process;
+* :class:`ExperimentRunner` executes a batch of jobs -- serially, or
+  fanned out across CPU cores with ``jobs=N`` -- consulting a
+  :class:`~repro.sim.cache.ResultCache` first and emitting per-job
+  progress lines plus a wall-clock/cache-hit summary;
+* :func:`run_sim_spec` is the declarative form of ``simulate()``: the
+  trace and the mitigation factory are described as specs (not live
+  objects), which is what makes simulation jobs cacheable and
+  process-portable;
+* a module-level default runner (:func:`get_runner` /
+  :func:`configure`) lets the CLI turn parallelism and caching on for
+  every experiment without threading runner handles through each
+  ``run()`` signature.
+
+Results are bit-identical between serial and parallel execution: every
+job is a pure function of its kwargs (explicit seeds everywhere), and
+batch results are returned in submission order.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from importlib import import_module
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from ..dram.timing import DDR4_2400, DramTimings
+from ..sim.cache import MISS, ResultCache, cache_key
+from ..sim.metrics import SimulationResult
+from ..sim.simulator import simulate
+
+__all__ = [
+    "Job",
+    "RunnerStats",
+    "ExperimentRunner",
+    "get_runner",
+    "set_runner",
+    "configure",
+    "using_runner",
+    "run_sim_spec",
+    "sim_job",
+    "build_factory",
+]
+
+
+# ----------------------------------------------------------------------
+# Job description
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of work: a named top-level function plus its kwargs.
+
+    Attributes:
+        fn: ``"package.module:callable"`` path; the callable must be
+            importable from a fresh process (no closures).
+        kwargs: Keyword arguments; must be picklable, and hashable via
+            :func:`repro.sim.cache.canonical` for cache addressing.
+        label: Short human label for progress lines.
+        cacheable: Disable for jobs whose outputs are not worth disk
+            space or are inherently unstable.
+    """
+
+    fn: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+    cacheable: bool = True
+
+    def key(self) -> str:
+        """The job's content-addressed cache key."""
+        return cache_key({"fn": self.fn, "kwargs": dict(self.kwargs)})
+
+
+def _resolve(path: str) -> Callable[..., Any]:
+    """Import ``"module:callable"`` and return the callable."""
+    module_name, _, attr = path.partition(":")
+    if not attr:
+        raise ValueError(f"job fn must be 'module:callable', got {path!r}")
+    fn = getattr(import_module(module_name), attr, None)
+    if not callable(fn):
+        raise ValueError(f"{path!r} does not name a callable")
+    return fn
+
+
+def _execute(job: Job) -> Any:
+    """Worker entry point: run one job (also used on the serial path)."""
+    return _resolve(job.fn)(**job.kwargs)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RunnerStats:
+    """Counters accumulated across every batch a runner executes."""
+
+    jobs: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+    wall_seconds: float = 0.0
+    batches: int = 0
+
+    def summary(self) -> str:
+        """One-line report for experiment footers and the CLI."""
+        return (
+            f"runner: {self.jobs} job{'s' if self.jobs != 1 else ''} "
+            f"({self.cache_hits} cached, {self.computed} computed) "
+            f"in {self.wall_seconds:.2f}s"
+        )
+
+
+class ExperimentRunner:
+    """Executes job batches with optional parallelism and caching.
+
+    Args:
+        jobs: Worker-process count; ``1`` runs in-process (the default
+            and the reference semantics), ``0`` means all CPU cores.
+        cache: Result cache, or ``None`` to recompute everything.
+        progress: Emit per-job lines to stderr while a batch runs.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        progress: bool = False,
+    ) -> None:
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        self.jobs = jobs or (os.cpu_count() or 1)
+        self.cache = cache
+        self.progress = progress
+        self.stats = RunnerStats()
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, index: int, total: int, job: Job, status: str) -> None:
+        if not self.progress:
+            return
+        label = job.label or job.fn.rsplit(":", 1)[-1]
+        print(
+            f"  [{index + 1}/{total}] {label}: {status}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    def run(self, batch: Sequence[Job]) -> list[Any]:
+        """Execute every job; results come back in submission order."""
+        started = time.perf_counter()
+        total = len(batch)
+        results: list[Any] = [None] * total
+
+        pending: list[int] = []
+        keys: dict[int, str] = {}
+        for index, job in enumerate(batch):
+            if self.cache is not None and job.cacheable:
+                key = job.key()
+                keys[index] = key
+                value = self.cache.get(key)
+                if value is not MISS:
+                    results[index] = value
+                    self.stats.cache_hits += 1
+                    self._emit(index, total, job, "cache hit")
+                    continue
+            pending.append(index)
+
+        if len(pending) > 1 and self.jobs > 1:
+            self._run_parallel(batch, pending, results, total)
+        else:
+            for index in pending:
+                job_started = time.perf_counter()
+                results[index] = _execute(batch[index])
+                self._emit(
+                    index, total, batch[index],
+                    f"computed in {time.perf_counter() - job_started:.2f}s",
+                )
+
+        for index in pending:
+            if self.cache is not None and batch[index].cacheable:
+                self.cache.put(keys[index], results[index])
+        self.stats.jobs += total
+        self.stats.computed += len(pending)
+        self.stats.batches += 1
+        self.stats.wall_seconds += time.perf_counter() - started
+        return results
+
+    def _run_parallel(
+        self,
+        batch: Sequence[Job],
+        pending: Sequence[int],
+        results: list[Any],
+        total: int,
+    ) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute, batch[index]): (
+                    index, time.perf_counter(),
+                )
+                for index in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, job_started = futures[future]
+                    results[index] = future.result()
+                    self._emit(
+                        index, total, batch[index],
+                        "computed in "
+                        f"{time.perf_counter() - job_started:.2f}s",
+                    )
+
+    def call(
+        self,
+        fn: str,
+        label: str = "",
+        cacheable: bool = True,
+        **kwargs: Any,
+    ) -> Any:
+        """Run one job through the runner (cache-aware convenience)."""
+        return self.run([Job(fn, kwargs, label=label, cacheable=cacheable)])[0]
+
+
+# ----------------------------------------------------------------------
+# Default runner plumbing
+# ----------------------------------------------------------------------
+
+#: Library default: serial, uncached -- experiments behave exactly as
+#: plain function calls until the CLI (or a test) configures otherwise.
+_default_runner = ExperimentRunner()
+
+
+def get_runner() -> ExperimentRunner:
+    """The runner experiments use when none is passed explicitly."""
+    return _default_runner
+
+
+def set_runner(runner: ExperimentRunner) -> ExperimentRunner:
+    """Install ``runner`` as the default; returns it."""
+    global _default_runner
+    _default_runner = runner
+    return _default_runner
+
+
+def configure(
+    jobs: int = 1,
+    use_cache: bool = False,
+    cache_dir: str | Path | None = None,
+    progress: bool = False,
+) -> ExperimentRunner:
+    """Build and install a default runner from CLI-style knobs."""
+    cache = ResultCache(cache_dir) if use_cache else None
+    return set_runner(ExperimentRunner(jobs=jobs, cache=cache,
+                                       progress=progress))
+
+
+@contextlib.contextmanager
+def using_runner(runner: ExperimentRunner) -> Iterator[ExperimentRunner]:
+    """Temporarily install ``runner`` as the default (tests, scripts)."""
+    previous = get_runner()
+    set_runner(runner)
+    try:
+        yield runner
+    finally:
+        set_runner(previous)
+
+
+# ----------------------------------------------------------------------
+# Declarative simulate() jobs
+# ----------------------------------------------------------------------
+
+
+def _build_trace(
+    trace: Mapping[str, Any],
+    workload: str,
+    duration_ns: float,
+    seed: int,
+    timings: DramTimings,
+    rows_per_bank: int,
+):
+    """Materialize the ACT stream a trace spec describes."""
+    kind = trace["kind"]
+    label = trace.get("label", workload)
+    if kind == "realistic":
+        from ..workloads.spec_like import REALISTIC_PROFILES, profile_events
+
+        return profile_events(
+            REALISTIC_PROFILES[label],
+            duration_ns,
+            rows_per_bank=rows_per_bank,
+            seed=seed,
+            timings=timings,
+        )
+    if kind == "synthetic":
+        from ..workloads.synthetic import SYNTHETIC_PATTERNS, synthetic_events
+
+        rows = SYNTHETIC_PATTERNS[label](rows_per_bank, seed)
+        return synthetic_events(rows, duration_ns=duration_ns,
+                                timings=timings)
+    if kind == "s3_target":
+        from ..workloads.synthetic import s3_rows, synthetic_events
+
+        rows = s3_rows(target=trace["target"])
+        return synthetic_events(rows, duration_ns=duration_ns,
+                                timings=timings)
+    raise ValueError(f"unknown trace kind {kind!r}")
+
+
+def build_factory(
+    spec: Sequence[Any],
+    hammer_threshold: float,
+    timings: DramTimings,
+):
+    """Resolve a factory spec into a live per-bank engine factory.
+
+    Specs (lists so they canonicalize identically through JSON):
+
+    * ``["none"]`` -- the unprotected baseline;
+    * ``["scaling", scheme]`` -- the Fig. 8/9 comparison set, rebuilt
+      at the job's threshold via
+      :func:`repro.analysis.scaling.scheme_factories`;
+    * ``["capability", name]`` -- the full capability-matrix roster
+      (:data:`repro.experiments.capability_matrix.SCHEMES`).
+    """
+    kind = spec[0]
+    if kind == "none":
+        from ..mitigations import no_mitigation_factory
+
+        return no_mitigation_factory()
+    if kind == "scaling":
+        from ..analysis.scaling import scheme_factories
+
+        return scheme_factories(int(hammer_threshold),
+                                timings=timings)[spec[1]]
+    if kind == "capability":
+        from .capability_matrix import SCHEMES
+
+        return SCHEMES[spec[1]][0](int(hammer_threshold))
+    raise ValueError(f"unknown factory spec {spec!r}")
+
+
+def run_sim_spec(
+    *,
+    trace: Mapping[str, Any],
+    factory: Sequence[Any],
+    scheme: str,
+    workload: str,
+    duration_ns: float,
+    seed: int = 42,
+    timings: DramTimings = DDR4_2400,
+    rows_per_bank: int = 65536,
+    hammer_threshold: float = 50_000,
+    track_faults: bool = False,
+    banks: int = 1,
+) -> SimulationResult:
+    """Declarative ``simulate()``: every input is a picklable spec.
+
+    This is the function every cached/parallel simulation job resolves
+    to; its keyword dictionary *is* the cache key material.
+    """
+    events = _build_trace(
+        trace, workload, duration_ns, seed, timings, rows_per_bank
+    )
+    return simulate(
+        events,
+        build_factory(factory, hammer_threshold, timings),
+        scheme=scheme,
+        workload=workload,
+        banks=banks,
+        rows_per_bank=rows_per_bank,
+        timings=timings,
+        hammer_threshold=hammer_threshold,
+        track_faults=track_faults,
+        duration_ns=duration_ns,
+    )
+
+
+def sim_job(
+    *,
+    trace: Mapping[str, Any],
+    factory: Sequence[Any],
+    scheme: str,
+    workload: str,
+    duration_ns: float,
+    label: str = "",
+    **kwargs: Any,
+) -> Job:
+    """Build a :class:`Job` for one declarative simulation."""
+    return Job(
+        fn="repro.experiments.runner:run_sim_spec",
+        kwargs=dict(
+            trace=dict(trace),
+            factory=list(factory),
+            scheme=scheme,
+            workload=workload,
+            duration_ns=duration_ns,
+            **kwargs,
+        ),
+        label=label or f"{workload}/{scheme}",
+    )

@@ -9,12 +9,19 @@ from __future__ import annotations
 
 from ..dram.timing import DDR4_2400, DramTimings
 from .common import format_table
+from .runner import get_runner
 
 __all__ = ["run", "main"]
 
 
 def run(timings: DramTimings = DDR4_2400) -> dict[str, object]:
     """Produce the Table I rows and the derived quantities."""
+    return get_runner().call(
+        "repro.experiments.table1:_compute", label="table1", timings=timings
+    )
+
+
+def _compute(timings: DramTimings) -> dict[str, object]:
     return {
         "rows": [
             ("tREFI", "Refresh interval", f"{timings.trefi / 1000:.1f} us"),

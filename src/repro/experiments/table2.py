@@ -20,6 +20,7 @@ from __future__ import annotations
 from ..core.config import GrapheneConfig
 from ..dram.timing import DDR4_2400, DramTimings
 from .common import format_table
+from .runner import get_runner
 
 __all__ = ["run", "main", "PAPER_TABLE_II"]
 
@@ -31,6 +32,15 @@ def run(
     hammer_threshold: int = 50_000, timings: DramTimings = DDR4_2400
 ) -> dict[str, dict[str, object]]:
     """Derive the Table II parameters for both k = 1 and k = 2."""
+    return get_runner().call(
+        "repro.experiments.table2:_compute", label="table2",
+        hammer_threshold=hammer_threshold, timings=timings,
+    )
+
+
+def _compute(
+    hammer_threshold: int, timings: DramTimings
+) -> dict[str, dict[str, object]]:
     out: dict[str, dict[str, object]] = {}
     for k in (1, 2):
         config = GrapheneConfig(

@@ -4,11 +4,19 @@ from __future__ import annotations
 
 from ..sim.system import PAPER_SYSTEM, SystemConfig, table3_rows
 from .common import format_table
+from .runner import get_runner
 
 __all__ = ["run", "main"]
 
 
 def run(config: SystemConfig = PAPER_SYSTEM) -> list[tuple[str, str]]:
+    """Produce the Table III parameter rows."""
+    return get_runner().call(
+        "repro.experiments.table3:_compute", label="table3", config=config
+    )
+
+
+def _compute(config: SystemConfig) -> list[tuple[str, str]]:
     return table3_rows(config)
 
 

@@ -26,12 +26,20 @@ from ..core.area import (
     TwiceAreaModel,
 )
 from .common import format_table
+from .runner import get_runner
 
 __all__ = ["run", "main"]
 
 
 def run(hammer_threshold: int = 50_000) -> dict[str, TableArea]:
     """Compute each scheme's per-bank table footprint."""
+    return get_runner().call(
+        "repro.experiments.table4:_compute", label="table4",
+        hammer_threshold=hammer_threshold,
+    )
+
+
+def _compute(hammer_threshold: int) -> dict[str, TableArea]:
     return {
         "CBT-128": CbtAreaModel(hammer_threshold=hammer_threshold).area(),
         "TWiCe": TwiceAreaModel(hammer_threshold=hammer_threshold).area(),

@@ -11,6 +11,7 @@ from __future__ import annotations
 from ..core.config import GrapheneConfig
 from ..core.energy_model import GrapheneEnergyModel
 from .common import format_table, percent
+from .runner import get_runner
 
 __all__ = ["run", "main"]
 
@@ -19,6 +20,16 @@ def run(
     hammer_threshold: int = 50_000, reset_window_divisor: int = 2
 ) -> dict[str, float]:
     """Compute the Table V cells and derived ratios."""
+    return get_runner().call(
+        "repro.experiments.table5:_compute", label="table5",
+        hammer_threshold=hammer_threshold,
+        reset_window_divisor=reset_window_divisor,
+    )
+
+
+def _compute(
+    hammer_threshold: int, reset_window_divisor: int
+) -> dict[str, float]:
     model = GrapheneEnergyModel(
         config=GrapheneConfig(
             hammer_threshold=hammer_threshold,

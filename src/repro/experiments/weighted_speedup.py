@@ -16,15 +16,37 @@ from __future__ import annotations
 from ..analysis.scaling import scheme_factories
 from ..mitigations import no_mitigation_factory
 from ..sim.closed_loop import (
+    ClosedLoopResult,
     core_profile_for,
     run_closed_loop,
     weighted_speedup_reduction,
 )
 from .common import format_table, percent
+from .runner import Job, get_runner
 
 __all__ = ["run", "main"]
 
 SCHEME_ORDER = ("para", "cbt", "twice", "graphene")
+
+
+def closed_loop_cell(
+    workload: str,
+    scheme: str,
+    duration_ns: float,
+    hammer_threshold: int,
+    cores: int,
+    seed: int,
+) -> ClosedLoopResult:
+    """One declarative closed-loop run (the runner's job target)."""
+    if scheme == "none":
+        factory = no_mitigation_factory()
+    else:
+        factory = scheme_factories(hammer_threshold)[scheme]
+    return run_closed_loop(
+        core_profile_for(workload, cores=cores), factory, scheme,
+        duration_ns, cores=cores, hammer_threshold=hammer_threshold,
+        seed=seed,
+    )
 
 
 def run(
@@ -35,22 +57,27 @@ def run(
     seed: int = 5,
 ) -> dict[str, dict[str, float]]:
     """Weighted-speedup reduction per (workload, scheme)."""
-    factories = scheme_factories(hammer_threshold)
+    jobs = [
+        Job(
+            fn="repro.experiments.weighted_speedup:closed_loop_cell",
+            kwargs=dict(
+                workload=workload, scheme=scheme, duration_ns=duration_ns,
+                hammer_threshold=hammer_threshold, cores=cores, seed=seed,
+            ),
+            label=f"{workload}/{scheme}",
+        )
+        for workload in workloads
+        for scheme in ("none", *SCHEME_ORDER)
+    ]
+    cells = iter(get_runner().run(jobs))
+
     results: dict[str, dict[str, float]] = {}
     for workload in workloads:
-        profile = core_profile_for(workload, cores=cores)
-        baseline = run_closed_loop(
-            profile, no_mitigation_factory(), "none", duration_ns,
-            cores=cores, hammer_threshold=hammer_threshold, seed=seed,
-        )
-        row: dict[str, float] = {}
-        for scheme in SCHEME_ORDER:
-            result = run_closed_loop(
-                profile, factories[scheme], scheme, duration_ns,
-                cores=cores, hammer_threshold=hammer_threshold, seed=seed,
-            )
-            row[scheme] = weighted_speedup_reduction(result, baseline)
-        results[workload] = row
+        baseline = next(cells)
+        results[workload] = {
+            scheme: weighted_speedup_reduction(next(cells), baseline)
+            for scheme in SCHEME_ORDER
+        }
     return results
 
 

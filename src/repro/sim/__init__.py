@@ -1,5 +1,6 @@
 """Trace-driven memory-system simulation: harness, metrics, performance."""
 
+from .cache import ResultCache, cache_key, default_cache_dir
 from .metrics import SimulationResult
 from .performance import (
     memory_intensity,
@@ -18,6 +19,9 @@ from .system_runner import BankAssignment, SystemResult, run_system
 from .system import PAPER_SYSTEM, SystemConfig, table3_rows
 
 __all__ = [
+    "ResultCache",
+    "cache_key",
+    "default_cache_dir",
     "SimulationResult",
     "simulate",
     "build_device",

@@ -1,0 +1,203 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Every experiment in :mod:`repro.experiments` is a pile of pure
+functions of declarative inputs -- (trace spec, scheme, mitigation
+config, device geometry, timings) -- so their results can be cached
+across process invocations and re-running a figure after an unrelated
+edit becomes a directory of hits instead of a half-hour recompute.
+
+Keys are SHA-256 digests of a *canonical* rendering of the job spec
+(see :func:`cache_key`) salted with the package version and a cache
+schema version, so a published code change invalidates everything at
+once while day-to-day edits that do not touch results keep their hits.
+
+Values are arbitrary picklable Python objects (usually
+:class:`~repro.sim.metrics.SimulationResult` bundles).  Writes are
+atomic (temp file + ``os.replace``), and any unreadable entry --
+truncated file, stale pickle, wrong schema -- is treated as a miss and
+evicted rather than raised, so a corrupted cache can never break an
+experiment, only slow it down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "MISS",
+    "ResultCache",
+    "cache_key",
+    "canonical",
+    "default_cache_dir",
+]
+
+#: Bump to invalidate every existing cache entry (result-format changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+MISS = object()
+
+
+def _version_salt() -> str:
+    """Package-version component of every key.
+
+    Importing lazily avoids a cycle (``repro`` imports ``repro.sim``
+    transitively at package-init time).
+    """
+    from .. import __version__
+
+    return f"repro-{__version__}/schema-{CACHE_SCHEMA_VERSION}"
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-stable structure for hashing.
+
+    Handles the spec vocabulary the experiments use: dataclasses
+    (e.g. :class:`~repro.dram.timing.DramTimings`) become
+    ``[class-name, {field: value}]``, mappings get sorted keys, tuples
+    and lists flatten to lists, and scalars pass through.  Anything
+    else falls back to ``repr`` -- stable for the frozen value objects
+    in this codebase.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return [type(value).__qualname__, fields]
+    if isinstance(value, dict):
+        return {str(k): canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        # repr round-trips exactly; avoids JSON float formatting drift.
+        return f"f:{value!r}"
+    return f"r:{value!r}"
+
+
+def cache_key(payload: Any) -> str:
+    """SHA-256 digest of ``payload``'s canonical form plus version salt."""
+    rendered = json.dumps(
+        [_version_salt(), canonical(payload)],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-graphene``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-graphene"
+
+
+class ResultCache:
+    """A directory of pickled results addressed by spec digest.
+
+    Attributes:
+        directory: Cache root (created lazily on first store).
+        hits / misses / stores / evictions: Session counters; the
+            runner folds these into its wall-clock summary.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directory listings manageable for
+        # full-sweep caches (hundreds of entries).
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """Return the cached value for ``key``, or :data:`MISS`.
+
+        Unreadable entries (truncation, schema drift, unpicklable
+        payloads) are evicted and reported as misses -- corruption must
+        only ever cost a recompute.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return MISS
+        except Exception:
+            self.evictions += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically (best effort).
+
+        A cache that cannot write (read-only filesystem, quota) must
+        not break the experiment; failures are swallowed.
+        """
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            return
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+
+    def entries(self) -> Iterator[Path]:
+        """Iterate the entry files currently on disk."""
+        if not self.directory.is_dir():
+            return
+        yield from self.directory.glob("*/*.pkl")
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self.entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

@@ -100,6 +100,7 @@ class TestDocsConsistency:
         "docs/architecture.md",
         "docs/algorithm.md",
         "docs/baselines.md",
+        "docs/performance.md",
         "docs/reproduction-guide.md",
     ]
 
