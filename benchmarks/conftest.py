@@ -71,6 +71,16 @@ def pytest_sessionfinish(session, exitstatus):
         "workers": _session_runner.jobs,
         "full_scale": FULL_SCALE,
         "cache_dir": BENCH_CACHE or None,
+        # Per-job elapsed/cache breakdown, in submission order, so the
+        # perf trajectory of individual cells is tracked run to run.
+        "per_job": [
+            {
+                "label": record.label,
+                "seconds": round(record.seconds, 4),
+                "source": record.source,
+            }
+            for record in stats.records
+        ],
     }
     try:
         STATS_PATH.write_text(

@@ -7,18 +7,27 @@ Commands:
   ``all`` of them) through the shared runner: ``--jobs N`` fans
   simulation cells across CPU cores, results are cached on disk under
   ``--cache-dir`` (disable with ``--no-cache``), and a wall-clock /
-  cache-hit summary is printed after the tables;
+  cache-hit summary (with per-job elapsed/cache breakdown) is printed
+  after the tables.  ``--telemetry`` collects engine-event telemetry
+  for every computed cell; ``--trace-out DIR`` additionally writes the
+  merged JSONL event log and Chrome trace there;
 * ``derive --trh N [--k K] [--radius N]`` -- print a Graphene
   configuration for arbitrary parameters;
 * ``attack --pattern P --scheme S`` -- run one attack/defense pair on
   the simulator and report flips/refreshes;
-* ``trace --workload W --out FILE`` -- generate and save an ACT trace.
+* ``trace <workload> <scheme>`` -- run one traced simulation with
+  telemetry on and export a JSONL event log plus a Chrome
+  ``trace_event`` file (open in ``chrome://tracing`` or Perfetto);
+  the legacy form ``trace --workload W --out FILE`` still exports a
+  raw ACT trace.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
+from pathlib import Path
 
 from .analysis.scaling import scheme_factories
 from .core.config import GrapheneConfig
@@ -28,9 +37,28 @@ from .experiments.runner import ExperimentRunner, using_runner
 from .mitigations import no_mitigation_factory
 from .sim.cache import ResultCache, default_cache_dir
 from .sim.simulator import simulate
+from .telemetry import (
+    TelemetryBus,
+    TimeSeriesSampler,
+    session as telemetry_session,
+    summarize,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .workloads.adversarial import double_sided_rows
 from .workloads.spec_like import REALISTIC_PROFILES, profile_events
 from .workloads.synthetic import SYNTHETIC_PATTERNS, synthetic_events
 from .workloads.trace import write_trace
+
+#: Traceable workloads: every realistic profile, every synthetic
+#: pattern, plus the canonical double-sided hammer.
+TRACE_WORKLOADS = (
+    sorted(REALISTIC_PROFILES)
+    + sorted(SYNTHETIC_PATTERNS)
+    + ["double-sided"]
+)
+
+TRACE_SCHEMES = ["none", "para", "cbt", "twice", "graphene"]
 
 __all__ = ["main", "build_parser"]
 
@@ -82,6 +110,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-job progress lines on stderr",
     )
+    experiment.add_argument(
+        "--telemetry", action="store_true",
+        help="collect engine-event telemetry for every computed cell "
+             "and print a summary after the tables",
+    )
+    experiment.add_argument(
+        "--trace-out", default=None, metavar="DIR",
+        help="write merged telemetry artifacts (events.jsonl, "
+             "trace.json) to DIR; implies --telemetry",
+    )
+    experiment.add_argument(
+        "--sample-interval-us", type=float, default=100.0, metavar="US",
+        help="telemetry time-series sampling interval in simulated "
+             "microseconds (default 100)",
+    )
 
     derive = commands.add_parser(
         "derive", help="derive a Graphene configuration"
@@ -109,13 +152,62 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--seed", type=int, default=42)
 
     trace = commands.add_parser(
-        "trace", help="generate a workload ACT trace file"
+        "trace",
+        help="run a traced simulation (telemetry) or export an ACT "
+             "trace file (legacy --out mode)",
     )
-    trace.add_argument("--workload", choices=sorted(REALISTIC_PROFILES),
-                       default="mcf")
-    trace.add_argument("--duration-ms", type=float, default=4.0)
+    trace.add_argument(
+        "workload", nargs="?", choices=TRACE_WORKLOADS, default=None,
+        help="workload to trace (realistic profile, adversarial "
+             "pattern, or 'double-sided')",
+    )
+    trace.add_argument(
+        "scheme", nargs="?", choices=TRACE_SCHEMES, default="graphene",
+        help="mitigation scheme (default graphene)",
+    )
+    trace.add_argument("--trh", type=int, default=3_000,
+                       help="Row Hammer threshold (scaled default 3000)")
+    trace.add_argument(
+        "--k", type=int, default=8, dest="k",
+        help="reset-window divisor; the default 8 gives an 8 ms window "
+             "so short traces still cross a WindowReset boundary",
+    )
+    trace.add_argument(
+        "--duration-ms", type=float, default=None,
+        help="simulated time (default 12 for telemetry traces, 4 for "
+             "legacy --out mode)",
+    )
     trace.add_argument("--seed", type=int, default=42)
-    trace.add_argument("--out", required=True, help="output path")
+    trace.add_argument(
+        "--sample-interval-us", type=float, default=10.0, metavar="US",
+        help="time-series sampling interval in simulated microseconds "
+             "(default 10)",
+    )
+    trace.add_argument(
+        "--max-events", type=int, default=1_000_000,
+        help="event-retention cap; overflow is counted, not silently "
+             "dropped (default 1000000)",
+    )
+    trace.add_argument(
+        "--jsonl-out", default=None, metavar="FILE",
+        help="JSONL event-log path "
+             "(default trace-<workload>-<scheme>.jsonl)",
+    )
+    trace.add_argument(
+        "--chrome-out", default=None, metavar="FILE",
+        help="Chrome trace_event path "
+             "(default trace-<workload>-<scheme>.trace.json)",
+    )
+    trace.add_argument(
+        "--workload", dest="workload_flag", default=None,
+        metavar="W", choices=sorted(REALISTIC_PROFILES),
+        help="legacy flag form: workload profile for --out export",
+    )
+    trace.add_argument(
+        "--out", default=None,
+        help="legacy mode: write a raw ACT trace of the workload to "
+             "this path instead of running a traced simulation",
+    )
     return parser
 
 
@@ -139,19 +231,42 @@ def _command_experiment(args: argparse.Namespace) -> int:
         if args.no_cache
         else ResultCache(args.cache_dir or default_cache_dir())
     )
+    telemetry_on = args.telemetry or args.trace_out is not None
     runner = ExperimentRunner(
-        jobs=args.jobs, cache=cache, progress=not args.quiet
+        jobs=args.jobs,
+        cache=cache,
+        progress=not args.quiet,
+        sample_interval_ns=(
+            args.sample_interval_us * 1e3 if telemetry_on else None
+        ),
     )
     names = (
         sorted(EXPERIMENT_NAMES) if args.name == "all" else [args.name]
     )
-    with using_runner(runner):
-        for index, name in enumerate(names):
-            if len(names) > 1:
-                prefix = "\n" if index else ""
-                print(f"{prefix}=== {name} ===")
-            load(name).main()
+    bus = TelemetryBus() if telemetry_on else None
+    with telemetry_session(bus) if bus is not None else nullcontext():
+        with using_runner(runner):
+            for index, name in enumerate(names):
+                if len(names) > 1:
+                    prefix = "\n" if index else ""
+                    print(f"{prefix}=== {name} ===")
+                load(name).main()
     print(f"\n[{runner.stats.summary()}]")
+    for line in runner.stats.breakdown():
+        print(f"  {line}")
+    if bus is not None:
+        print()
+        print(summarize(bus.events, bus.registry.snapshot(), bus.dropped))
+        if args.trace_out is not None:
+            out_dir = Path(args.trace_out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            lines = write_jsonl(bus.events, out_dir / "events.jsonl")
+            entries = write_chrome_trace(
+                bus.events, out_dir / "trace.json",
+                samples=bus.all_samples(), trace_name="repro-experiment",
+            )
+            print(f"wrote {lines:,} JSONL lines and a Chrome trace "
+                  f"({entries:,} entries) to {out_dir}/")
     return 0
 
 
@@ -199,14 +314,86 @@ def _command_attack(args: argparse.Namespace) -> int:
     return 1 if result.bit_flips else 0
 
 
-def _command_trace(args: argparse.Namespace) -> int:
-    events = profile_events(
-        REALISTIC_PROFILES[args.workload],
-        duration_ns=args.duration_ms * 1e6,
-        seed=args.seed,
+def _trace_events(workload: str, duration_ns: float, seed: int):
+    """ACT stream for any traceable workload name."""
+    if workload == "double-sided":
+        rows = double_sided_rows(rows_per_bank=65536, seed=seed)
+        return synthetic_events(rows, duration_ns=duration_ns)
+    if workload in SYNTHETIC_PATTERNS:
+        rows = SYNTHETIC_PATTERNS[workload](65536, seed)
+        return synthetic_events(rows, duration_ns=duration_ns)
+    return profile_events(
+        REALISTIC_PROFILES[workload], duration_ns=duration_ns, seed=seed
     )
-    count = write_trace(events, args.out)
-    print(f"wrote {count:,} ACT events to {args.out}")
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    # Legacy mode: export a raw ACT trace, no telemetry.
+    if args.out is not None:
+        workload = args.workload_flag or args.workload or "mcf"
+        if workload not in REALISTIC_PROFILES:
+            print(f"error: --out export needs a realistic profile, "
+                  f"not {workload!r}", file=sys.stderr)
+            return 2
+        duration_ms = 4.0 if args.duration_ms is None else args.duration_ms
+        events = profile_events(
+            REALISTIC_PROFILES[workload],
+            duration_ns=duration_ms * 1e6,
+            seed=args.seed,
+        )
+        count = write_trace(events, args.out)
+        print(f"wrote {count:,} ACT events to {args.out}")
+        return 0
+
+    # Telemetry mode: run one simulation with the event bus installed.
+    if args.workload is None:
+        print("error: trace needs a workload (or --out for the legacy "
+              "ACT-trace export)", file=sys.stderr)
+        return 2
+    duration_ms = 12.0 if args.duration_ms is None else args.duration_ms
+    duration_ns = duration_ms * 1e6
+    if args.scheme == "none":
+        factory = no_mitigation_factory()
+    else:
+        factory = scheme_factories(
+            args.trh, reset_window_divisor=args.k
+        )[args.scheme]
+    sampler = TimeSeriesSampler(args.sample_interval_us * 1e3)
+    bus = TelemetryBus(sampler=sampler, max_events=args.max_events)
+    with telemetry_session(bus):
+        result = simulate(
+            _trace_events(args.workload, duration_ns, args.seed),
+            factory,
+            scheme=args.scheme,
+            workload=args.workload,
+            hammer_threshold=args.trh,
+            duration_ns=duration_ns,
+        )
+    sampler.finish()
+
+    stem = f"trace-{args.workload}-{args.scheme}"
+    jsonl_path = Path(args.jsonl_out or f"{stem}.jsonl")
+    chrome_path = Path(args.chrome_out or f"{stem}.trace.json")
+    lines = write_jsonl(
+        bus.events, jsonl_path, run_summary=result.to_dict()
+    )
+    entries = write_chrome_trace(
+        bus.events, chrome_path, samples=bus.all_samples(),
+        trace_name=stem,
+    )
+
+    print(f"workload={args.workload} scheme={args.scheme} "
+          f"T_RH={args.trh:,} k={args.k} duration={duration_ms:g}ms")
+    print(f"  ACTs issued:          {result.acts:,}")
+    print(f"  victim refreshes:     {result.victim_refresh_directives:,} "
+          f"({result.victim_rows_refreshed:,} rows)")
+    print(f"  bit flips:            {result.bit_flips}")
+    print()
+    print(summarize(bus.events, bus.registry.snapshot(), bus.dropped))
+    print()
+    print(f"wrote {lines:,} JSONL lines to {jsonl_path}")
+    print(f"wrote Chrome trace ({entries:,} entries) to {chrome_path} "
+          f"-- open in chrome://tracing or https://ui.perfetto.dev")
     return 0
 
 

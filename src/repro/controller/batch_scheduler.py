@@ -32,6 +32,8 @@ from ..dram.device import DramDevice
 from ..dram.geometry import DramGeometry
 from ..dram.timing import DDR4_2400, DramTimings
 from ..mitigations.base import MitigationFactory
+from ..telemetry import runtime as _telemetry
+from ..telemetry.events import NrrEmit, SchedStall
 
 __all__ = ["MemRequest", "BatchSchedulerResult", "run_batch_scheduler"]
 
@@ -218,6 +220,7 @@ def run_batch_scheduler(
                 acts += 1
                 run_length[bank_index] = 0
                 request.finish_ns = now_ns + service_miss
+                bus = _telemetry.BUS
                 for ref_event in bank_model.drain_refresh_events():
                     for directive in engines[bank_index].on_refresh_command(
                         ref_event.time_ns
@@ -229,6 +232,16 @@ def run_batch_scheduler(
                         if bank_model.faults is not None:
                             bank_model.faults.on_refresh_range(rows)
                         nrr_rows += len(rows)
+                        if bus is not None:
+                            bus.publish(
+                                NrrEmit(
+                                    time_ns=ref_event.time_ns,
+                                    bank=bank_index,
+                                    aggressor_row=directive.aggressor_row,
+                                    victim_rows=len(rows),
+                                    reason=directive.reason,
+                                )
+                            )
                 for directive in engines[bank_index].on_activate(
                     request.row, now_ns
                 ):
@@ -237,6 +250,27 @@ def run_batch_scheduler(
                     if bank_model.faults is not None:
                         bank_model.faults.on_refresh_range(rows)
                     nrr_rows += len(rows)
+                    if bus is not None:
+                        bus.publish(
+                            NrrEmit(
+                                time_ns=now_ns,
+                                bank=bank_index,
+                                aggressor_row=directive.aggressor_row,
+                                victim_rows=len(rows),
+                                reason=directive.reason,
+                            )
+                        )
+                if request.start_ns > request.arrival_ns:
+                    if bus is not None:
+                        bus.publish(
+                            SchedStall(
+                                time_ns=request.arrival_ns,
+                                bank=bank_index,
+                                row=request.row,
+                                delay_ns=request.start_ns
+                                - request.arrival_ns,
+                            )
+                        )
             completed.append(request)
             progressed = True
         if not progressed:

@@ -23,10 +23,36 @@ from typing import Iterable
 from ..dram.device import DramDevice
 from ..dram.faults import BitFlip
 from ..mitigations.base import MitigationEngine, MitigationFactory, RefreshDirective
+from ..telemetry import runtime as _telemetry
+from ..telemetry.events import NrrEmit, SchedStall
 from ..workloads.trace import ActEvent
 from .scheduler import LatencySummary, LatencyTracker
 
 __all__ = ["ControllerCounters", "MemoryController"]
+
+
+def _engine_probe(engine: MitigationEngine):
+    """Build a sampler probe reading one engine's live tracking state.
+
+    Works for any scheme: table-backed engines (Graphene wraps a
+    :class:`~repro.core.misra_gries.MisraGriesTable` behind an
+    ``engine.table`` attribute) report occupancy and spillover;
+    everything reports cumulative refresh work from the shared stats.
+    """
+    inner = getattr(engine, "engine", engine)
+    table = getattr(inner, "table", None)
+
+    def probe() -> dict[str, float]:
+        snapshot: dict[str, float] = {
+            "rows_refreshed": engine.stats.rows_refreshed,
+            "directives": engine.stats.refresh_directives,
+        }
+        if table is not None:
+            snapshot["occupancy"] = len(table)
+            snapshot["spillover"] = getattr(table, "spillover", 0)
+        return snapshot
+
+    return probe
 
 
 @dataclass
@@ -68,6 +94,10 @@ class MemoryController:
         self.directive_log: list[RefreshDirective] | None = (
             [] if keep_directive_log else None
         )
+        bus = _telemetry.BUS
+        if bus is not None and bus.sampler is not None:
+            for bank, engine in enumerate(self.engines):
+                bus.sampler.add_probe(f"bank{bank}", _engine_probe(engine))
 
     # ------------------------------------------------------------------
     # Execution
@@ -86,7 +116,19 @@ class MemoryController:
         # 1. Schedule the ACT at the first legal time; the wait (bank
         #    blocked by refresh/NRR/tRC) is the performance overhead.
         issue_ns = bank_model.earliest_activate(event.time_ns)
-        self.latency.record(issue_ns - event.time_ns)
+        delay_ns = issue_ns - event.time_ns
+        self.latency.record(delay_ns)
+        if delay_ns > 0:
+            bus = _telemetry.BUS
+            if bus is not None:
+                bus.publish(
+                    SchedStall(
+                        time_ns=event.time_ns,
+                        bank=event.bank,
+                        row=event.row,
+                        delay_ns=delay_ns,
+                    )
+                )
         flips = bank_model.activate(event.row, issue_ns)
         if flips:
             self.bit_flips.extend(flips)
@@ -118,6 +160,17 @@ class MemoryController:
             bank_model.faults.on_refresh_range(rows)
         self.counters.nrr_commands += 1
         self.counters.nrr_rows += len(rows)
+        bus = _telemetry.BUS
+        if bus is not None:
+            bus.publish(
+                NrrEmit(
+                    time_ns=now_ns,
+                    bank=directive.bank,
+                    aggressor_row=directive.aggressor_row,
+                    victim_rows=len(rows),
+                    reason=directive.reason,
+                )
+            )
         if self.directive_log is not None:
             self.directive_log.append(directive)
 

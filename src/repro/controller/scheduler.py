@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..telemetry import runtime as _telemetry
+
 __all__ = ["LatencyTracker", "LatencySummary"]
 
 
@@ -61,6 +63,12 @@ class LatencyTracker:
         if delay_ns < 0:
             raise ValueError(f"negative delay {delay_ns}")
         self._count += 1
+        bus = _telemetry.BUS
+        if bus is not None:
+            bus.registry.counter("sched.acts").inc()
+            if delay_ns > 0:
+                bus.registry.counter("sched.delayed_acts").inc()
+                bus.registry.histogram("sched.delay_ns").observe(delay_ns)
         if delay_ns > 0:
             self._delayed += 1
             self._total += delay_ns

@@ -17,6 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..telemetry import runtime as _telemetry
+from ..telemetry.events import (
+    SpilloverBump,
+    TableEvict,
+    TableInsert,
+    WindowReset,
+)
 from .config import GrapheneConfig
 from .misra_gries import MisraGriesTable
 
@@ -103,15 +110,48 @@ class GrapheneEngine:
         self._maybe_reset(time_ns)
         self.stats.activations += 1
 
-        was_tracked = row in self.table
-        new_count = self.table.observe(row)
+        table = self.table
+        was_tracked = row in table
+        # Telemetry rides behind one branch: with no bus installed the
+        # hot path allocates nothing and does no extra work.
+        bus = _telemetry.BUS
+        was_full = bus is not None and len(table) >= table.capacity
+        new_count = table.observe(row)
         if new_count is None:
             self.stats.spillover_increments += 1
+            if bus is not None:
+                bus.publish(
+                    SpilloverBump(
+                        time_ns=time_ns,
+                        bank=self.bank,
+                        row=row,
+                        spillover=table.spillover,
+                    )
+                )
             return []
         if was_tracked:
             self.stats.table_hits += 1
         else:
             self.stats.table_insertions += 1
+            if bus is not None:
+                if was_full:
+                    bus.publish(
+                        TableEvict(
+                            time_ns=time_ns,
+                            bank=self.bank,
+                            row=table.last_evicted,
+                            inherited_count=new_count - 1,
+                            new_row=row,
+                        )
+                    )
+                bus.publish(
+                    TableInsert(
+                        time_ns=time_ns,
+                        bank=self.bank,
+                        row=row,
+                        count=new_count,
+                    )
+                )
 
         if new_count % self.threshold != 0:
             return []
@@ -149,6 +189,17 @@ class GrapheneEngine:
                     f"time moved backwards across windows: window {window} "
                     f"after window {self._current_window}"
                 )
+            bus = _telemetry.BUS
+            if bus is not None:
+                bus.publish(
+                    WindowReset(
+                        time_ns=time_ns,
+                        bank=self.bank,
+                        window=window,
+                        tracked_rows=len(self.table),
+                        spillover=self.table.spillover,
+                    )
+                )
             self.table.reset()
             self.stats.window_resets += 1
             self._current_window = window
@@ -176,9 +227,13 @@ class GrapheneEngine:
         return self.table.tracked()
 
     def hottest_rows(self, limit: int = 10) -> list[tuple[int, int]]:
-        """The ``limit`` highest-estimated rows, hottest first."""
+        """The ``limit`` highest-estimated rows, hottest first.
+
+        Ties break on the row address (ascending) so snapshots are
+        stable across Python hash seeds and interpreter runs.
+        """
         ranked = sorted(
-            self.table.tracked().items(), key=lambda kv: kv[1], reverse=True
+            self.table.tracked().items(), key=lambda kv: (-kv[1], kv[0])
         )
         return ranked[:limit]
 

@@ -42,7 +42,14 @@ class MisraGriesTable:
     addresses (ints).
     """
 
-    __slots__ = ("capacity", "_counts", "_buckets", "spillover", "observations")
+    __slots__ = (
+        "capacity",
+        "_counts",
+        "_buckets",
+        "spillover",
+        "observations",
+        "last_evicted",
+    )
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -58,6 +65,10 @@ class MisraGriesTable:
         #: Number of items observed since the last reset (the stream
         #: length W in the paper's analysis).
         self.observations = 0
+        #: The item displaced by the most recent replacement, read by
+        #: telemetry right after an insert-with-eviction.  Purely
+        #: observational; never consulted by the algorithm.
+        self.last_evicted: Hashable | None = None
 
     # ------------------------------------------------------------------
     # Stream processing
@@ -96,6 +107,7 @@ class MisraGriesTable:
             evicted = min(replaceable)
             self._remove(evicted, self.spillover)
             self._insert(item, self.spillover + 1)
+            self.last_evicted = evicted
             return self.spillover + 1
 
         # Miss with no replaceable entry: only the spillover count grows.
@@ -113,6 +125,7 @@ class MisraGriesTable:
         self._buckets.clear()
         self.spillover = 0
         self.observations = 0
+        self.last_evicted = None
 
     # ------------------------------------------------------------------
     # Queries

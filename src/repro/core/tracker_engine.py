@@ -18,6 +18,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..telemetry import runtime as _telemetry
+from ..telemetry.events import (
+    NrrEmit,
+    SpilloverBump,
+    TableEvict,
+    TableInsert,
+    WindowReset,
+)
 from .config import GrapheneConfig
 from .graphene import VictimRefreshRequest
 from .misra_gries import MisraGriesTable
@@ -69,6 +77,8 @@ class TrackerEngineStats:
     victim_refresh_requests: int = 0
     victim_rows_refreshed: int = 0
     window_resets: int = 0
+    #: Misra-Gries-only: observations that grew the spillover count.
+    spillover_bumps: int = 0
 
 
 class TrackerBackedEngine:
@@ -105,19 +115,63 @@ class TrackerBackedEngine:
     def on_activate(self, row: int, time_ns: float) -> list[VictimRefreshRequest]:
         if not 0 <= row < self.rows:
             raise IndexError(f"row {row} out of range [0, {self.rows})")
+        bus = _telemetry.BUS
         window = int(time_ns // self._window_length_ns)
         if window != self._current_window:
             if window < self._current_window:
                 raise ValueError("time moved backwards across windows")
+            if bus is not None:
+                tracked = getattr(self.tracker, "__len__", None)
+                bus.publish(
+                    WindowReset(
+                        time_ns=time_ns,
+                        bank=self.bank,
+                        window=window,
+                        tracked_rows=tracked() if tracked else 0,
+                        spillover=getattr(self.tracker, "spillover", 0),
+                    )
+                )
             self.tracker.reset()
             self._strata.clear()
             self._current_window = window
             self.stats.window_resets += 1
         self.stats.activations += 1
 
+        if bus is not None:
+            was_tracked = row in self.tracker
+            capacity = getattr(self.tracker, "capacity", None)
+            was_full = (
+                capacity is not None and len(self.tracker) >= capacity
+            )
         estimate = self.tracker.observe(row)
         if estimate is None:
+            self.stats.spillover_bumps += 1
+            if bus is not None:
+                bus.publish(
+                    SpilloverBump(
+                        time_ns=time_ns,
+                        bank=self.bank,
+                        row=row,
+                        spillover=getattr(self.tracker, "spillover", 0),
+                    )
+                )
             return []
+        if bus is not None and not was_tracked and row in self.tracker:
+            if was_full:
+                bus.publish(
+                    TableEvict(
+                        time_ns=time_ns,
+                        bank=self.bank,
+                        row=getattr(self.tracker, "last_evicted", None),
+                        inherited_count=estimate - 1,
+                        new_row=row,
+                    )
+                )
+            bus.publish(
+                TableInsert(
+                    time_ns=time_ns, bank=self.bank, row=row, count=estimate
+                )
+            )
         stratum = estimate // self.threshold
         if stratum <= self._strata.get(row, 0):
             return []
@@ -125,6 +179,16 @@ class TrackerBackedEngine:
         victims = self.victim_rows_of(row)
         self.stats.victim_refresh_requests += 1
         self.stats.victim_rows_refreshed += len(victims)
+        if bus is not None:
+            bus.publish(
+                NrrEmit(
+                    time_ns=time_ns,
+                    bank=self.bank,
+                    aggressor_row=row,
+                    victim_rows=len(victims),
+                    reason=f"T x {stratum}",
+                )
+            )
         return [
             VictimRefreshRequest(
                 bank=self.bank,

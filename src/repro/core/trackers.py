@@ -75,7 +75,14 @@ class SpaceSavingTable:
     the same size to within one entry.
     """
 
-    __slots__ = ("capacity", "_counts", "_errors", "_buckets", "observations")
+    __slots__ = (
+        "capacity",
+        "_counts",
+        "_errors",
+        "_buckets",
+        "observations",
+        "last_evicted",
+    )
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -87,6 +94,9 @@ class SpaceSavingTable:
         #: pain point the paper alludes to).
         self._buckets: dict[int, set[Hashable]] = {}
         self.observations = 0
+        #: Item displaced by the most recent replacement (telemetry
+        #: introspection hook; never consulted by the algorithm).
+        self.last_evicted: Hashable | None = None
 
     def observe(self, item: Hashable) -> int:
         self.observations += 1
@@ -104,6 +114,7 @@ class SpaceSavingTable:
                       if bucket)
         evicted = min(self._buckets[minimum])
         self._remove(evicted, minimum)
+        self.last_evicted = evicted
         self._counts[item] = minimum + 1
         self._errors[item] = minimum
         self._buckets.setdefault(minimum + 1, set()).add(item)
@@ -130,6 +141,7 @@ class SpaceSavingTable:
         self._errors.clear()
         self._buckets.clear()
         self.observations = 0
+        self.last_evicted = None
 
     def check_invariants(self) -> None:
         """Sum of counts equals observations; errors bounded by min."""

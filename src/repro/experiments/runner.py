@@ -42,9 +42,11 @@ from ..dram.timing import DDR4_2400, DramTimings
 from ..sim.cache import MISS, ResultCache, cache_key
 from ..sim.metrics import SimulationResult
 from ..sim.simulator import simulate
+from ..telemetry import runtime as _telemetry
 
 __all__ = [
     "Job",
+    "JobRecord",
     "RunnerStats",
     "ExperimentRunner",
     "get_runner",
@@ -102,9 +104,45 @@ def _execute(job: Job) -> Any:
     return _resolve(job.fn)(**job.kwargs)
 
 
+def _execute_traced(
+    job: Job,
+    sample_interval_ns: float | None,
+    max_events: int | None,
+) -> tuple[Any, dict[str, Any]]:
+    """Run one job inside a fresh telemetry session.
+
+    Used whenever the *parent* has telemetry active: the job gets its
+    own bus (so worker processes don't publish into an inherited copy
+    that would be silently discarded) and the bus state rides home with
+    the result as a picklable dict for deterministic merging.  The same
+    wrapper runs on the serial path so serial and parallel executions
+    produce identical event streams.
+    """
+    from ..telemetry.runtime import TelemetryBus, session
+    from ..telemetry.sampler import TimeSeriesSampler
+
+    sampler = (
+        TimeSeriesSampler(sample_interval_ns) if sample_interval_ns else None
+    )
+    bus = TelemetryBus(sampler=sampler, max_events=max_events)
+    with session(bus):
+        result = _execute(job)
+    return result, bus.export_state()
+
+
 # ----------------------------------------------------------------------
 # Runner
 # ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Outcome of one job: how it resolved and how long it took."""
+
+    label: str
+    seconds: float
+    #: "cache" or "computed".
+    source: str
 
 
 @dataclass
@@ -116,6 +154,8 @@ class RunnerStats:
     computed: int = 0
     wall_seconds: float = 0.0
     batches: int = 0
+    #: Per-job outcomes in submission order (label, elapsed, source).
+    records: list[JobRecord] = field(default_factory=list)
 
     def summary(self) -> str:
         """One-line report for experiment footers and the CLI."""
@@ -124,6 +164,42 @@ class RunnerStats:
             f"({self.cache_hits} cached, {self.computed} computed) "
             f"in {self.wall_seconds:.2f}s"
         )
+
+    def breakdown(self, limit: int = 10) -> list[str]:
+        """Per-job elapsed-time and cache-hit lines for the summary.
+
+        The ``limit`` slowest computed jobs are listed individually;
+        cached jobs are aggregated (they all cost roughly one pickle
+        load).  Returns an empty list when there is nothing to report.
+        """
+        lines: list[str] = []
+        computed = [r for r in self.records if r.source == "computed"]
+        cached = [r for r in self.records if r.source == "cache"]
+        if computed:
+            slowest = sorted(
+                computed, key=lambda r: r.seconds, reverse=True
+            )[:limit]
+            total = sum(r.seconds for r in computed)
+            lines.append(
+                f"computed {len(computed)} job"
+                f"{'s' if len(computed) != 1 else ''} "
+                f"in {total:.2f}s of worker time; slowest:"
+            )
+            for record in slowest:
+                lines.append(f"  {record.seconds:8.2f}s  {record.label}")
+            if len(computed) > len(slowest):
+                rest = total - sum(r.seconds for r in slowest)
+                lines.append(
+                    f"  {rest:8.2f}s  ({len(computed) - len(slowest)} more)"
+                )
+        if cached:
+            hit_time = sum(r.seconds for r in cached)
+            lines.append(
+                f"cache hits: {len(cached)} job"
+                f"{'s' if len(cached) != 1 else ''} "
+                f"resolved from disk in {hit_time:.2f}s"
+            )
+        return lines
 
 
 class ExperimentRunner:
@@ -134,6 +210,13 @@ class ExperimentRunner:
             and the reference semantics), ``0`` means all CPU cores.
         cache: Result cache, or ``None`` to recompute everything.
         progress: Emit per-job lines to stderr while a batch runs.
+        sample_interval_ns: Simulated-time sampling interval for
+            per-job telemetry sessions (None disables sampling).  Only
+            consulted while a telemetry session is active in the
+            parent.
+        max_events_per_job: Event-retention cap per traced job; beyond
+            it events are counted but dropped (reported in summaries),
+            bounding memory for long traced sweeps.
     """
 
     def __init__(
@@ -141,12 +224,16 @@ class ExperimentRunner:
         jobs: int = 1,
         cache: ResultCache | None = None,
         progress: bool = False,
+        sample_interval_ns: float | None = None,
+        max_events_per_job: int | None = 200_000,
     ) -> None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
         self.jobs = jobs or (os.cpu_count() or 1)
         self.cache = cache
         self.progress = progress
+        self.sample_interval_ns = sample_interval_ns
+        self.max_events_per_job = max_events_per_job
         self.stats = RunnerStats()
 
     # ------------------------------------------------------------------
@@ -161,36 +248,83 @@ class ExperimentRunner:
             flush=True,
         )
 
+    @staticmethod
+    def _label(job: Job) -> str:
+        return job.label or job.fn.rsplit(":", 1)[-1]
+
     def run(self, batch: Sequence[Job]) -> list[Any]:
-        """Execute every job; results come back in submission order."""
+        """Execute every job; results come back in submission order.
+
+        When a telemetry session is active in the calling process,
+        every computed job runs inside its own telemetry session (in
+        the worker for parallel runs) and the per-job event streams,
+        metrics and samples are merged back into the active bus in
+        *submission order* -- so a ``--jobs 4`` trace is byte-identical
+        to a serial one.
+        """
         started = time.perf_counter()
         total = len(batch)
         results: list[Any] = [None] * total
+        bus = _telemetry.BUS
 
         pending: list[int] = []
         keys: dict[int, str] = {}
+        states: dict[int, dict[str, Any]] = {}
+        elapsed: dict[int, float] = {}
         for index, job in enumerate(batch):
             if self.cache is not None and job.cacheable:
                 key = job.key()
                 keys[index] = key
-                value = self.cache.get(key)
+                lookup_started = time.perf_counter()
+                value = self.cache.get(key, label=self._label(job))
                 if value is not MISS:
                     results[index] = value
                     self.stats.cache_hits += 1
+                    self.stats.records.append(
+                        JobRecord(
+                            label=self._label(job),
+                            seconds=time.perf_counter() - lookup_started,
+                            source="cache",
+                        )
+                    )
                     self._emit(index, total, job, "cache hit")
                     continue
             pending.append(index)
 
         if len(pending) > 1 and self.jobs > 1:
-            self._run_parallel(batch, pending, results, total)
+            self._run_parallel(
+                batch, pending, results, total, states, elapsed,
+                traced=bus is not None,
+            )
         else:
             for index in pending:
                 job_started = time.perf_counter()
-                results[index] = _execute(batch[index])
+                if bus is not None:
+                    results[index], states[index] = _execute_traced(
+                        batch[index],
+                        self.sample_interval_ns,
+                        self.max_events_per_job,
+                    )
+                else:
+                    results[index] = _execute(batch[index])
+                elapsed[index] = time.perf_counter() - job_started
                 self._emit(
                     index, total, batch[index],
-                    f"computed in {time.perf_counter() - job_started:.2f}s",
+                    f"computed in {elapsed[index]:.2f}s",
                 )
+
+        # Merge per-job telemetry and timing in submission order, so
+        # parallel completion order cannot leak into any output.
+        for index in pending:
+            self.stats.records.append(
+                JobRecord(
+                    label=self._label(batch[index]),
+                    seconds=elapsed.get(index, 0.0),
+                    source="computed",
+                )
+            )
+            if bus is not None and index in states:
+                bus.absorb(states[index], job=self._label(batch[index]))
 
         for index in pending:
             if self.cache is not None and batch[index].cacheable:
@@ -207,25 +341,42 @@ class ExperimentRunner:
         pending: Sequence[int],
         results: list[Any],
         total: int,
+        states: dict[int, dict[str, Any]],
+        elapsed: dict[int, float],
+        traced: bool = False,
     ) -> None:
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute, batch[index]): (
-                    index, time.perf_counter(),
-                )
-                for index in pending
-            }
+            if traced:
+                futures = {
+                    pool.submit(
+                        _execute_traced,
+                        batch[index],
+                        self.sample_interval_ns,
+                        self.max_events_per_job,
+                    ): (index, time.perf_counter())
+                    for index in pending
+                }
+            else:
+                futures = {
+                    pool.submit(_execute, batch[index]): (
+                        index, time.perf_counter(),
+                    )
+                    for index in pending
+                }
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
                     index, job_started = futures[future]
-                    results[index] = future.result()
+                    if traced:
+                        results[index], states[index] = future.result()
+                    else:
+                        results[index] = future.result()
+                    elapsed[index] = time.perf_counter() - job_started
                     self._emit(
                         index, total, batch[index],
-                        "computed in "
-                        f"{time.perf_counter() - job_started:.2f}s",
+                        f"computed in {elapsed[index]:.2f}s",
                     )
 
     def call(
@@ -265,11 +416,20 @@ def configure(
     use_cache: bool = False,
     cache_dir: str | Path | None = None,
     progress: bool = False,
+    sample_interval_ns: float | None = None,
+    max_events_per_job: int | None = 200_000,
 ) -> ExperimentRunner:
     """Build and install a default runner from CLI-style knobs."""
     cache = ResultCache(cache_dir) if use_cache else None
-    return set_runner(ExperimentRunner(jobs=jobs, cache=cache,
-                                       progress=progress))
+    return set_runner(
+        ExperimentRunner(
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
+            sample_interval_ns=sample_interval_ns,
+            max_events_per_job=max_events_per_job,
+        )
+    )
 
 
 @contextlib.contextmanager

@@ -12,11 +12,22 @@ schema version, so a published code change invalidates everything at
 once while day-to-day edits that do not touch results keep their hits.
 
 Values are arbitrary picklable Python objects (usually
-:class:`~repro.sim.metrics.SimulationResult` bundles).  Writes are
-atomic (temp file + ``os.replace``), and any unreadable entry --
+:class:`~repro.sim.metrics.SimulationResult` bundles).
+``SimulationResult`` values are stored through their
+:meth:`~repro.sim.metrics.SimulationResult.to_dict` form -- the same
+serialization the telemetry trace exporters embed in run summaries --
+so the cache payload is a stable field dict rather than an ad-hoc
+dataclass pickle, and survives cosmetic dataclass refactors.  Writes
+are atomic (temp file + ``os.replace``), and any unreadable entry --
 truncated file, stale pickle, wrong schema -- is treated as a miss and
 evicted rather than raised, so a corrupted cache can never break an
 experiment, only slow it down.
+
+When a telemetry session is active (:mod:`repro.telemetry.runtime`),
+every lookup publishes a :class:`~repro.telemetry.events.CacheHit` or
+:class:`~repro.telemetry.events.CacheMiss` event and bumps the
+``cache.hits`` / ``cache.misses`` counters, so run-level traces show
+which cells were recomputed and which came from disk.
 """
 
 from __future__ import annotations
@@ -30,6 +41,9 @@ import tempfile
 from pathlib import Path
 from typing import Any, Iterator
 
+from ..telemetry import runtime as _telemetry
+from ..telemetry.events import CacheHit, CacheMiss
+
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "MISS",
@@ -40,7 +54,10 @@ __all__ = [
 ]
 
 #: Bump to invalidate every existing cache entry (result-format changes).
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
+
+#: Tag marking a value stored through ``SimulationResult.to_dict()``.
+_SIM_RESULT_TAG = "repro/sim-result@1"
 
 #: Sentinel distinguishing "no entry" from a cached ``None``.
 MISS = object()
@@ -126,12 +143,25 @@ class ResultCache:
         # full-sweep caches (hundreds of entries).
         return self.directory / key[:2] / f"{key}.pkl"
 
-    def get(self, key: str) -> Any:
+    def _note(self, key: str, label: str, hit: bool) -> None:
+        """Publish the lookup outcome into an active telemetry session."""
+        bus = _telemetry.BUS
+        if bus is None:
+            return
+        if hit:
+            bus.registry.counter("cache.hits").inc()
+            bus.publish(CacheHit(time_ns=0.0, key=key, label=label))
+        else:
+            bus.registry.counter("cache.misses").inc()
+            bus.publish(CacheMiss(time_ns=0.0, key=key, label=label))
+
+    def get(self, key: str, label: str = "") -> Any:
         """Return the cached value for ``key``, or :data:`MISS`.
 
         Unreadable entries (truncation, schema drift, unpicklable
         payloads) are evicted and reported as misses -- corruption must
-        only ever cost a recompute.
+        only ever cost a recompute.  ``label`` names the job in
+        telemetry events only; it never affects addressing.
         """
         path = self._path(key)
         try:
@@ -139,6 +169,7 @@ class ResultCache:
                 value = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            self._note(key, label, hit=False)
             return MISS
         except Exception:
             self.evictions += 1
@@ -147,8 +178,31 @@ class ResultCache:
                 path.unlink()
             except OSError:
                 pass
+            self._note(key, label, hit=False)
             return MISS
         self.hits += 1
+        self._note(key, label, hit=True)
+        return self._decode(value)
+
+    @staticmethod
+    def _encode(value: Any) -> Any:
+        """Route ``SimulationResult`` values through ``to_dict()``."""
+        from .metrics import SimulationResult
+
+        if isinstance(value, SimulationResult):
+            return (_SIM_RESULT_TAG, value.to_dict())
+        return value
+
+    @staticmethod
+    def _decode(value: Any) -> Any:
+        if (
+            isinstance(value, tuple)
+            and len(value) == 2
+            and value[0] == _SIM_RESULT_TAG
+        ):
+            from .metrics import SimulationResult
+
+            return SimulationResult.from_dict(value[1])
         return value
 
     def put(self, key: str, value: Any) -> None:
@@ -159,13 +213,15 @@ class ResultCache:
         """
         path = self._path(key)
         try:
+            payload = self._encode(value)
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 dir=path.parent, prefix=".tmp-", suffix=".pkl"
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    pickle.dump(payload, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(tmp, path)
             except BaseException:
                 try:

@@ -13,7 +13,9 @@ Two numbers dominate the paper's evaluation (Figures 8 and 9):
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from ..controller.scheduler import LatencySummary
 from ..dram.bank import BankStats
@@ -108,6 +110,47 @@ class SimulationResult:
         if self.duration_ns <= 0 or self.banks == 0:
             return 0.0
         return self.bank_stats.nrr_busy_ns / (self.duration_ns * self.banks)
+
+    # ------------------------------------------------------------------
+    # Serialization (the one path trace exporters and the result cache
+    # share; see docs/observability.md)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flatten to a JSON-able dict that :meth:`from_dict` inverts.
+
+        Nested value objects (latency summary, bank stats, timings)
+        become plain field dicts; every leaf is an int, float, str or
+        bool, so the output round-trips through ``json`` as well as
+        ``pickle`` without loss (floats survive exactly under pickle
+        and via ``repr`` round-tripping under JSON).
+        """
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "banks": self.banks,
+            "rows_per_bank": self.rows_per_bank,
+            "duration_ns": self.duration_ns,
+            "acts": self.acts,
+            "victim_refresh_directives": self.victim_refresh_directives,
+            "victim_rows_refreshed": self.victim_rows_refreshed,
+            "largest_directive_rows": self.largest_directive_rows,
+            "bit_flips": self.bit_flips,
+            "latency": dataclasses.asdict(self.latency),
+            "bank_stats": dataclasses.asdict(self.bank_stats),
+            "timings": dataclasses.asdict(self.timings),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        payload = dict(data)
+        return cls(
+            latency=LatencySummary(**payload.pop("latency")),
+            bank_stats=BankStats(**payload.pop("bank_stats")),
+            timings=DramTimings(**payload.pop("timings")),
+            **payload,
+        )
 
     def summary_row(self) -> dict[str, object]:
         """Flat dict for tabular reports."""

@@ -1,0 +1,266 @@
+"""Trace exporters: JSONL event logs, Chrome trace JSON, terminal text.
+
+Three consumers, one event stream:
+
+* :func:`write_jsonl` -- one JSON object per line, greppable and
+  streamable; the canonical machine-readable artifact.  An optional
+  trailing ``RunSummary`` record embeds the run's
+  :meth:`~repro.sim.metrics.SimulationResult.to_dict` so a single file
+  carries both the event log and the end-of-run aggregates.
+* :func:`write_chrome_trace` -- the Chrome ``trace_event`` JSON Array
+  Format, loadable in ``chrome://tracing`` and https://ui.perfetto.dev.
+  Simulation events become instant events (``"ph": "i"``) on one track
+  per (job, bank); sampler rows become counter tracks (``"ph": "C"``)
+  so table occupancy / spillover / NRR rate render as area charts.
+  Timestamps are microseconds per the format; events are sorted so the
+  output is monotonically non-decreasing regardless of merge order.
+* :func:`summarize` -- a terminal digest: per-type event counts,
+  per-bank NRR totals, drop counts and headline metrics.
+
+All exporters consume the picklable event objects straight off a
+:class:`~repro.telemetry.runtime.TelemetryBus`; none of them import
+simulation modules, so they stay usable for offline reprocessing of a
+saved JSONL log (:func:`iter_jsonl`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from .events import (
+    CacheHit,
+    CacheMiss,
+    NrrEmit,
+    TelemetryEvent,
+    event_from_record,
+    event_record,
+)
+
+__all__ = [
+    "write_jsonl",
+    "iter_jsonl",
+    "write_chrome_trace",
+    "summarize",
+]
+
+
+def write_jsonl(
+    events: Iterable[TelemetryEvent],
+    path: str | Path,
+    run_summary: Mapping[str, Any] | None = None,
+) -> int:
+    """Write events as JSON Lines; returns the number of lines written.
+
+    Args:
+        events: The event stream (written in the order given).
+        path: Output file.
+        run_summary: Optional JSON-able dict appended as a final
+            ``{"type": "RunSummary", ...}`` record (conventionally a
+            ``SimulationResult.to_dict()``).
+    """
+    path = Path(path)
+    lines = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event_record(event), sort_keys=True))
+            handle.write("\n")
+            lines += 1
+        if run_summary is not None:
+            handle.write(
+                json.dumps(
+                    {"type": "RunSummary", **dict(run_summary)},
+                    sort_keys=True,
+                )
+            )
+            handle.write("\n")
+            lines += 1
+    return lines
+
+
+def iter_jsonl(path: str | Path) -> Iterator[TelemetryEvent | dict[str, Any]]:
+    """Re-read a JSONL log; yields events (``RunSummary`` rows as dicts)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "RunSummary":
+                yield record
+            else:
+                yield event_from_record(record)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event format
+# ----------------------------------------------------------------------
+
+#: Host-side events have no simulated bank; park them on one track.
+_HOST_TRACK = "host"
+
+
+def _event_args(record: dict[str, Any]) -> dict[str, Any]:
+    return {
+        key: value
+        for key, value in record.items()
+        if key not in ("type", "time_ns", "bank", "job") and value is not None
+    }
+
+
+def write_chrome_trace(
+    events: Sequence[TelemetryEvent],
+    path: str | Path,
+    samples: Sequence[Mapping[str, Any]] = (),
+    trace_name: str = "repro",
+) -> int:
+    """Write a Chrome ``trace_event`` JSON file; returns event count.
+
+    Layout: one *process* per job label (pid 0 for unlabelled events),
+    one *thread* per bank within it.  Sampler rows emit one counter
+    event per probe per numeric field, named ``<probe>.<field>``, which
+    Perfetto draws as per-track area charts.  All timestamps are in
+    microseconds and sorted non-decreasing.
+    """
+    path = Path(path)
+    jobs: dict[str | None, int] = {None: 0}
+    trace_events: list[dict[str, Any]] = []
+
+    def pid_of(job: str | None) -> int:
+        if job not in jobs:
+            jobs[job] = len(jobs)
+        return jobs[job]
+
+    for event in events:
+        record = event_record(event)
+        job = record.get("job")
+        bank = record.get("bank")
+        tid = bank if isinstance(bank, int) and bank >= 0 else 0
+        if isinstance(event, (CacheHit, CacheMiss)):
+            tid = 0
+        trace_events.append(
+            {
+                "name": record["type"],
+                "ph": "i",
+                "s": "t",
+                "ts": record.get("time_ns", 0.0) / 1000.0,
+                "pid": pid_of(job),
+                "tid": tid,
+                "args": _event_args(record),
+            }
+        )
+
+    for sample in samples:
+        ts = sample.get("time_ns", 0.0) / 1000.0
+        pid = pid_of(sample.get("job"))
+        for probe_name, value in sample.items():
+            if probe_name in ("time_ns", "job"):
+                continue
+            if isinstance(value, Mapping):
+                series = {
+                    k: v for k, v in value.items()
+                    if isinstance(v, (int, float))
+                }
+                if series:
+                    trace_events.append(
+                        {
+                            "name": probe_name,
+                            "ph": "C",
+                            "ts": ts,
+                            "pid": pid,
+                            "tid": 0,
+                            "args": series,
+                        }
+                    )
+            elif isinstance(value, (int, float)):
+                trace_events.append(
+                    {
+                        "name": f"sample.{probe_name}",
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {probe_name: value},
+                    }
+                )
+
+    trace_events.sort(key=lambda entry: entry["ts"])
+
+    metadata: list[dict[str, Any]] = []
+    for job, pid in sorted(jobs.items(), key=lambda kv: kv[1]):
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": job or trace_name},
+            }
+        )
+
+    payload = {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"generator": "repro.telemetry"},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return len(trace_events)
+
+
+# ----------------------------------------------------------------------
+# Terminal summary
+# ----------------------------------------------------------------------
+
+
+def summarize(
+    events: Sequence[TelemetryEvent],
+    metrics: Mapping[str, Any] | None = None,
+    dropped: int = 0,
+) -> str:
+    """Human-readable digest of an event stream for terminal output."""
+    lines: list[str] = []
+    type_counts = TallyCounter(type(event).__name__ for event in events)
+    lines.append(f"telemetry: {len(events):,} events"
+                 + (f" (+{dropped:,} dropped)" if dropped else ""))
+    for name, count in sorted(type_counts.items(),
+                              key=lambda kv: (-kv[1], kv[0])):
+        lines.append(f"  {name:16s} {count:>10,}")
+
+    nrr_by_bank: dict[int, list[int]] = {}
+    for event in events:
+        if type(event) is NrrEmit:
+            nrr_by_bank.setdefault(event.bank, []).append(event.victim_rows)
+    if nrr_by_bank:
+        lines.append("NRR activity by bank:")
+        for bank in sorted(nrr_by_bank):
+            rows = nrr_by_bank[bank]
+            lines.append(
+                f"  bank {bank:>3d}: {len(rows):>8,} commands, "
+                f"{sum(rows):>9,} victim rows"
+            )
+
+    if metrics:
+        counters = metrics.get("counters", {})
+        interesting = {
+            name: value
+            for name, value in counters.items()
+            if not name.startswith("events.")
+        }
+        if interesting:
+            lines.append("metrics:")
+            for name, value in sorted(interesting.items()):
+                lines.append(f"  {name:24s} {value:>12,}")
+        histograms = metrics.get("histograms", {})
+        for name, data in sorted(histograms.items()):
+            count = data.get("count", 0)
+            if not count:
+                continue
+            mean = data.get("total", 0.0) / count
+            lines.append(
+                f"  {name:24s} n={count:,} mean={mean:,.1f} "
+                f"max={data.get('max', 0.0):,.1f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,252 @@
+"""Lightweight metrics primitives for the telemetry subsystem.
+
+Three metric kinds cover everything the engines and the runner need to
+report:
+
+* :class:`Counter` -- a monotonically increasing tally (ACTs observed,
+  NRRs emitted, cache hits);
+* :class:`Gauge` -- a last-write-wins level (current table occupancy);
+* :class:`Histogram` -- a bounded-memory log2-bucketed distribution
+  (queueing delays), the same scheme
+  :class:`~repro.controller.scheduler.LatencyTracker` uses so traces of
+  hundreds of millions of samples summarize in O(1) memory.
+
+The design constraint is the *disabled* path, not the enabled one: the
+ACT loop in :meth:`repro.core.graphene.GrapheneEngine.on_activate` runs
+millions of times per simulated window, so a disabled registry must
+cost nothing.  A :class:`MetricsRegistry` built with ``enabled=False``
+hands out one shared :data:`NULL_METRIC` singleton whose mutators are
+no-ops -- instrumented code holds a metric reference and calls it
+unconditionally, and the identity check ``registry.counter("x") is
+NULL_METRIC`` is how tests pin the fast path down.  (Engine hot loops
+go one step further and skip telemetry entirely behind a single
+``BUS is not None`` branch; see :mod:`repro.telemetry.runtime`.)
+
+Registries snapshot to plain JSON-able dicts and merge snapshot-wise,
+which is how per-job metrics cross the ProcessPool boundary in
+:mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NullMetric",
+]
+
+
+class NullMetric:
+    """Shared no-op stand-in for every metric kind when disabled.
+
+    All mutators discard their arguments; all accessors read as empty.
+    A single module-level instance (:data:`NULL_METRIC`) is handed out
+    for every name, so disabled-mode lookups allocate nothing.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> int:
+        return 0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullMetric()"
+
+
+#: The one instance every disabled registry returns.
+NULL_METRIC = NullMetric()
+
+
+class Counter:
+    """Monotonically increasing integer tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """Last-write-wins level."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Log2-bucketed distribution with O(1) memory.
+
+    Bucket ``0`` holds zero-valued samples; bucket ``i`` (1-based)
+    holds samples in ``[2^(i-1), 2^i)`` up to a terminal catch-all.
+    Matches the resolution philosophy of the latency tracker: exact
+    sub-bucket values are irrelevant, population shape is not.
+    """
+
+    __slots__ = ("name", "count", "total", "max", "buckets")
+
+    _MAX_EXPONENT = 40
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.buckets = [0] * (self._MAX_EXPONENT + 2)
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name!r}: negative sample {value}")
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        if value < 1.0:
+            self.buckets[0] += 1
+            return
+        exponent = min(self._MAX_EXPONENT, int(value).bit_length() - 1)
+        self.buckets[exponent + 1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Upper bound of the bucket containing the given percentile."""
+        if self.count == 0:
+            return 0.0
+        target = fraction * self.count
+        running = 0
+        for index, bucket in enumerate(self.buckets):
+            running += bucket
+            if running >= target:
+                return 0.0 if index == 0 else float(2**index)
+        return self.max
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.1f})"
+
+
+class MetricsRegistry:
+    """Name-addressed store of counters, gauges and histograms.
+
+    Args:
+        enabled: When False, every lookup returns :data:`NULL_METRIC`
+            and the registry records nothing -- the zero-cost mode.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Lookup (get-or-create)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter | NullMetric:
+        if not self.enabled:
+            return NULL_METRIC
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge | NullMetric:
+        if not self.enabled:
+            return NULL_METRIC
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram | NullMetric:
+        if not self.enabled:
+            return NULL_METRIC
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # ------------------------------------------------------------------
+    # Serialization / merging (process-boundary crossing)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able dump of every metric's current state."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "total": h.total,
+                    "max": h.max,
+                    "buckets": list(h.buckets),
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histograms add; gauges take the incoming value
+        (last-write-wins across the merge order the caller chooses).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            if isinstance(histogram, NullMetric):
+                continue
+            histogram.count += data["count"]
+            histogram.total += data["total"]
+            histogram.max = max(histogram.max, data["max"])
+            incoming = data["buckets"]
+            for index in range(min(len(histogram.buckets), len(incoming))):
+                histogram.buckets[index] += incoming[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry(enabled={self.enabled}, "
+            f"counters={len(self._counters)}, gauges={len(self._gauges)}, "
+            f"histograms={len(self._histograms)})"
+        )

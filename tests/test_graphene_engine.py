@@ -145,6 +145,17 @@ class TestValidationAndStats:
         assert hottest[0] == (3, 8)
         assert hottest[1] == (1, 5)
 
+    def test_hottest_rows_ties_break_on_row_address(self):
+        # Equal counts must rank by ascending row so snapshots are
+        # stable across Python hash seeds and interpreter runs.
+        engine = make_engine()
+        pattern = [9, 2, 7, 4] * 3  # four rows, all at count 3
+        for time_ns, r in act_stream(pattern):
+            engine.on_activate(r, time_ns)
+        assert engine.hottest_rows(limit=4) == [
+            (2, 3), (4, 3), (7, 3), (9, 3)
+        ]
+
     def test_table_bits_matches_config(self, paper_config):
         engine = GrapheneEngine(paper_config)
         assert engine.table_bits == 2_511
