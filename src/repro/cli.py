@@ -19,7 +19,12 @@ Commands:
   telemetry on and export a JSONL event log plus a Chrome
   ``trace_event`` file (open in ``chrome://tracing`` or Perfetto);
   the legacy form ``trace --workload W --out FILE`` still exports a
-  raw ACT trace.
+  raw ACT trace;
+* ``verify fuzz|replay|corpus`` -- adversarial verification
+  (:mod:`repro.verify`): run a differential-fuzzing campaign against
+  the exact-count protection oracle (``fuzz``), re-run a saved
+  reproducer artifact (``replay``), or replay the committed regression
+  corpus (``corpus``).  Non-zero exit on any oracle violation.
 """
 
 from __future__ import annotations
@@ -207,6 +212,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="legacy mode: write a raw ACT trace of the workload to "
              "this path instead of running a traced simulation",
+    )
+
+    verify = commands.add_parser(
+        "verify",
+        help="differential fuzzing against the protection oracle",
+    )
+    verify_sub = verify.add_subparsers(dest="verify_command", required=True)
+
+    fuzz = verify_sub.add_parser(
+        "fuzz", help="run a budgeted fuzz campaign (exit 1 on violations)"
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=50, metavar="N",
+        help="number of fuzz cells; generators and probabilistic "
+             "schemes rotate round-robin (default 50)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (default 0)")
+    fuzz.add_argument(
+        "--length", type=int, default=1000, metavar="N",
+        help="ACTs per generated stream (default 1000)",
+    )
+    fuzz.add_argument(
+        "--jobs", type=_job_count, default=1, metavar="N",
+        help="worker processes for fuzz cells "
+             "(1 = serial, 0 = all CPU cores; default 1)",
+    )
+    fuzz.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell, bypassing the on-disk result cache",
+    )
+    fuzz.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro-graphene)",
+    )
+    fuzz.add_argument(
+        "--artifact-dir", default="verify-artifacts", metavar="DIR",
+        help="where shrunken failing-stream reproducers are written "
+             "(default verify-artifacts/)",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging of failing streams",
+    )
+    fuzz.add_argument(
+        "--telemetry", action="store_true",
+        help="collect telemetry (OracleViolation events included) and "
+             "print a summary",
+    )
+    fuzz.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-cell progress lines on stderr",
+    )
+
+    replay = verify_sub.add_parser(
+        "replay", help="re-run saved reproducer artifacts"
+    )
+    replay.add_argument(
+        "artifact", nargs="+",
+        help="artifact JSON path(s) written by 'verify fuzz'",
+    )
+
+    corpus = verify_sub.add_parser(
+        "corpus", help="replay the committed regression corpus"
+    )
+    corpus.add_argument(
+        "--dir", default="tests/corpus", metavar="DIR",
+        help="corpus directory of artifact JSONs (default tests/corpus)",
     )
     return parser
 
@@ -397,6 +471,68 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_paths(paths) -> int:
+    """Replay artifacts; print one verdict line each; exit 1 on any FAIL."""
+    from .verify import artifact_verdict, replay_artifact
+
+    paths = list(paths)
+    failures = 0
+    for path in paths:
+        report, artifact = replay_artifact(path)
+        ok, message = artifact_verdict(report, artifact)
+        status = "ok" if ok else "FAIL"
+        print(
+            f"{status:4s} {path}: {message} "
+            f"[{artifact['acts']} ACTs, {artifact['generator']} "
+            f"seed {artifact['seed']}]"
+        )
+        failures += not ok
+    print(f"{len(paths) - failures}/{len(paths)} artifacts ok")
+    return 1 if failures else 0
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    from .verify import run_campaign
+
+    if args.verify_command == "fuzz":
+        cache = (
+            None
+            if args.no_cache
+            else ResultCache(args.cache_dir or default_cache_dir())
+        )
+        runner = ExperimentRunner(
+            jobs=args.jobs, cache=cache, progress=not args.quiet
+        )
+        bus = TelemetryBus() if args.telemetry else None
+        with telemetry_session(bus) if bus is not None else nullcontext():
+            report = run_campaign(
+                args.budget,
+                args.seed,
+                length=args.length,
+                runner=runner,
+                shrink=not args.no_shrink,
+                artifact_dir=args.artifact_dir,
+            )
+        for line in report.summary():
+            print(line)
+        print(f"[{runner.stats.summary()}]")
+        if bus is not None:
+            print()
+            print(summarize(bus.events, bus.registry.snapshot(),
+                            bus.dropped))
+        return 0 if report.ok else 1
+    if args.verify_command == "replay":
+        return _replay_paths(args.artifact)
+    if args.verify_command == "corpus":
+        paths = sorted(str(p) for p in Path(args.dir).glob("*.json"))
+        if not paths:
+            print(f"error: no artifact JSONs under {args.dir}/",
+                  file=sys.stderr)
+            return 2
+        return _replay_paths(paths)
+    raise AssertionError("unreachable")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -409,6 +545,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_attack(args)
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "verify":
+        return _command_verify(args)
     raise AssertionError("unreachable")
 
 

@@ -23,6 +23,21 @@ executable-style in :mod:`repro.core.guarantees`):
 The implementation keeps an inverted count->keys index so the
 "find an entry whose count equals the spillover count" step is O(1),
 mirroring the single CAM search of the hardware design (Section IV-B).
+
+**Determinism contract.**  When several entries are replaceable (their
+estimated counts all equal the spillover count), the algorithm is free
+to evict any of them -- the guarantees hold either way -- but *this*
+implementation always evicts the **smallest key** (``min`` over the
+candidate set).  The choice is part of the public contract: it is what
+keeps this logical model bit-identical to the CAM-level
+:class:`~repro.core.hardware_table.HardwareGrapheneTable` (whose
+priority encoder picks the empty slot first, then the smallest
+address), it makes every fuzz stream and regression reproducer replay
+to the same table state, and -- because keys are compared by value,
+never by hash-table iteration order -- it is stable across processes
+and ``PYTHONHASHSEED`` values.  Keys must therefore be mutually
+orderable (row addresses and ``(bank, row)`` tuples both are).  The
+tie-break order is pinned by tests in ``tests/test_misra_gries.py``.
 """
 
 from __future__ import annotations
@@ -102,8 +117,11 @@ class MisraGriesTable:
             # Miss with a replaceable entry: the CAM reports an entry
             # whose count equals the spillover count.  Evict it and
             # carry its count over to the incoming item.  Ties are
-            # broken deterministically (smallest key) so the logical
-            # and CAM-level models stay bit-identical.
+            # broken deterministically (smallest key, by value -- never
+            # by set iteration order, which would vary with the process
+            # hash seed) so the logical and CAM-level models stay
+            # bit-identical; see the module docstring's determinism
+            # contract.
             evicted = min(replaceable)
             self._remove(evicted, self.spillover)
             self._insert(item, self.spillover + 1)

@@ -38,6 +38,7 @@ from .events import (
     CacheHit,
     CacheMiss,
     NrrEmit,
+    OracleViolation,
     SchedStall,
     SpilloverBump,
     TableEvict,
@@ -69,6 +70,7 @@ __all__ = [
     "SchedStall",
     "CacheHit",
     "CacheMiss",
+    "OracleViolation",
     "EVENT_TYPES",
     "event_record",
     "event_from_record",

@@ -17,7 +17,10 @@ guarantees live in:
 * :class:`SchedStall` -- an ACT delayed because its bank was blocked
   (the paper's entire performance-overhead mechanism);
 * :class:`CacheHit` / :class:`CacheMiss` -- result-cache outcomes in
-  the experiment runner (host-side; ``time_ns`` is 0).
+  the experiment runner (host-side; ``time_ns`` is 0);
+* :class:`OracleViolation` -- the adversarial-verification subsystem
+  (:mod:`repro.verify`) caught an implementation disagreeing with the
+  exact-count protection oracle (host-side; ``time_ns`` is 0).
 
 Every event carries an optional ``job`` label, stamped when per-job
 event streams are merged across the process-pool boundary so a merged
@@ -43,6 +46,7 @@ __all__ = [
     "SchedStall",
     "CacheHit",
     "CacheMiss",
+    "OracleViolation",
     "EVENT_TYPES",
     "event_record",
     "event_from_record",
@@ -153,6 +157,32 @@ class CacheMiss:
     job: str | None = None
 
 
+@dataclass(frozen=True, slots=True)
+class OracleViolation:
+    """A differential-fuzzing check failed against the exact oracle.
+
+    Published by :mod:`repro.verify` campaigns so traced fuzz runs
+    surface failures inside the same event stream as everything else.
+    """
+
+    time_ns: float
+    #: Which implementation failed ("graphene", "tracker:count-min",
+    #: "hardware-vs-logical", "mitigation:twice", ...).
+    subject: str
+    #: Violation class ("theorem", "lemma1", "lemma2", "gap",
+    #: "divergence", "bit-flips", "crash").
+    kind: str
+    #: Generator that produced the offending stream.
+    generator: str
+    #: Stream seed (replays the failure deterministically).
+    seed: int
+    #: Stream index at which the violation was detected (None when the
+    #: check only runs at end of stream).
+    step: int | None = None
+    detail: str = ""
+    job: str | None = None
+
+
 TelemetryEvent = (
     TableInsert
     | TableEvict
@@ -162,6 +192,7 @@ TelemetryEvent = (
     | SchedStall
     | CacheHit
     | CacheMiss
+    | OracleViolation
 )
 
 #: Name -> class, for deserialization and exporter dispatch.
@@ -176,6 +207,7 @@ EVENT_TYPES: dict[str, type] = {
         SchedStall,
         CacheHit,
         CacheMiss,
+        OracleViolation,
     )
 }
 

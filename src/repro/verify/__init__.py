@@ -1,0 +1,64 @@
+"""Adversarial verification: differential fuzzing against the oracle.
+
+The paper's headline claim is a *proof* (Section III-C): the
+Misra-Gries estimate never undercounts by more than the spillover
+bound, so no row reaches ``T_RH`` activations undetected.
+:mod:`repro.core.guarantees` encodes that oracle; this package hammers
+every implementation in the repository against it at scale:
+
+* :mod:`~repro.verify.generators` -- seeded adversarial ACT-stream
+  generators (random, eviction-targeting, decoy-churn, reset-window
+  straddling, multi-bank interleaved), reproducible from
+  ``(generator, seed, length)``;
+* :mod:`~repro.verify.differential` -- the differential executor: one
+  stream through :class:`~repro.core.graphene.GrapheneEngine`, the
+  Section-VI tracker engines, the CAM-level hardware table, the
+  rank-level shared table and every scheme in :mod:`repro.mitigations`,
+  checked per-ACT against exact ground-truth counts;
+* :mod:`~repro.verify.shrink` -- a greedy delta-debugging shrinker that
+  reduces failing streams to minimal replayable reproducers;
+* :mod:`~repro.verify.campaign` -- the campaign runner (reuses the
+  parallel experiment runner and telemetry), JSON artifact replay, and
+  the regression corpus under ``tests/corpus/``.
+
+CLI: ``python -m repro verify fuzz|replay|corpus``.  See
+``docs/testing.md`` for the test-tier and seed-management conventions.
+"""
+
+from .campaign import (
+    CampaignReport,
+    artifact_verdict,
+    load_artifact,
+    replay_artifact,
+    run_campaign,
+    save_artifact,
+)
+from .differential import (
+    DEFAULT_SCALE,
+    StreamReport,
+    VerifyScale,
+    Violation,
+    core_subjects,
+    run_stream,
+)
+from .generators import GENERATOR_NAMES, StreamSpec, generate_stream
+from .shrink import shrink_stream
+
+__all__ = [
+    "GENERATOR_NAMES",
+    "StreamSpec",
+    "generate_stream",
+    "VerifyScale",
+    "DEFAULT_SCALE",
+    "Violation",
+    "StreamReport",
+    "core_subjects",
+    "run_stream",
+    "shrink_stream",
+    "CampaignReport",
+    "run_campaign",
+    "save_artifact",
+    "load_artifact",
+    "replay_artifact",
+    "artifact_verdict",
+]

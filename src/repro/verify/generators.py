@@ -1,0 +1,330 @@
+"""Seeded adversarial ACT-stream generators for differential fuzzing.
+
+Every generator is a pure function of ``(seed, length, scale)`` and
+produces a time-sorted list of :class:`~repro.workloads.trace.ActEvent`
+designed to stress one failure mode of frequent-elements trackers:
+
+* ``random``    -- mixed hot-set / uniform background traffic;
+* ``eviction``  -- Misra-Gries eviction targeting: cycles of just over
+  ``N_entry`` distinct rows so every miss exercises the
+  replace-with-carry-over or spillover path;
+* ``decoy``     -- decoy churn: a stream of one-shot rows inflates the
+  spillover count while one or two focus rows ride the inherited
+  counts toward the threshold;
+* ``straddle``  -- bursts positioned to straddle reset-window
+  boundaries at ``tREFW/k`` multiples, attacking the table-reset edge;
+* ``interleave`` -- multi-bank round-robin double-sided hammering,
+  exercising per-bank isolation and the rank-level shared table.
+
+Streams stay inside the **guarantee domain**: the Misra-Gries theorem
+only binds while each window's ACT count is within the ``W`` the table
+was sized for (Inequality 1), so :class:`_StreamBuilder` enforces the
+per-bank and per-rank ACT budgets per reset window -- when a budget is
+exhausted the stream jumps to the next window instead of emitting an
+out-of-domain ACT.  A violation reported on one of these streams is
+therefore always an implementation bug, never a sizing artifact.
+
+:class:`VerifyScale` derives the scaled-down verification parameters
+through the *production* config classes (custom ``DramTimings`` with a
+0.4 ms refresh window), so the engines under test run completely stock
+-- no private-attribute overrides.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.config import GrapheneConfig
+from ..core.rank_table import RankTableConfig
+from ..dram.timing import DramTimings
+from ..workloads.trace import ActEvent
+
+__all__ = [
+    "VERIFY_TIMINGS",
+    "VerifyScale",
+    "DEFAULT_SCALE",
+    "StreamSpec",
+    "GENERATORS",
+    "GENERATOR_NAMES",
+    "generate_stream",
+]
+
+#: DDR4-like timings with a 0.4 ms refresh window and a slow tRC, so
+#: the *derived* Graphene parameters come out tiny (T = 24, N_entry =
+#: 5, 200 us reset windows) and threshold crossings, evictions and
+#: window resets all happen within a ~1000-ACT stream.
+VERIFY_TIMINGS = DramTimings(
+    trefi=7_800.0,
+    trfc=350.0,
+    trc=1_330.0,
+    trefw=400_000.0,
+    tfaw=2_800.0,
+)
+
+
+@dataclass(frozen=True)
+class VerifyScale:
+    """The scaled parameter set all fuzz subjects are built at.
+
+    Everything is derived through :class:`GrapheneConfig` /
+    :class:`RankTableConfig` from :data:`VERIFY_TIMINGS`, exactly like
+    production configurations -- the verification domain is a genuine
+    (if small) Graphene sizing, not a hand-patched table.
+    """
+
+    hammer_threshold: int = 144
+    rows_per_bank: int = 512
+    banks: int = 4
+    reset_window_divisor: int = 2
+    timings: DramTimings = field(default_factory=lambda: VERIFY_TIMINGS)
+    #: Pacing of generated streams (simulated ns between ACTs).
+    act_interval_ns: float = 500.0
+    #: T_RH used for the full-system mitigation layer (which runs at
+    #: real DDR4 timings, repaced by the differential executor).  Low
+    #: enough that the unprotected control arm takes bit flips on
+    #: hammering generators at the default stream length -- the
+    #: streams demonstrably have teeth -- while every deterministic-
+    #: guarantee scheme must still hold the line at zero.
+    mitigation_trh: int = 250
+
+    @property
+    def config(self) -> GrapheneConfig:
+        """Per-bank Graphene config (T=24, N_entry=5 at the defaults)."""
+        return GrapheneConfig(
+            hammer_threshold=self.hammer_threshold,
+            timings=self.timings,
+            rows_per_bank=self.rows_per_bank,
+            reset_window_divisor=self.reset_window_divisor,
+        )
+
+    @property
+    def rank_config(self) -> RankTableConfig:
+        """Shared rank-level table config over the same window."""
+        return RankTableConfig(
+            hammer_threshold=self.hammer_threshold,
+            timings=self.timings,
+            banks_per_rank=self.banks,
+            rows_per_bank=self.rows_per_bank,
+            reset_window_divisor=self.reset_window_divisor,
+        )
+
+    @property
+    def threshold(self) -> int:
+        """The scaled tracking threshold ``T``."""
+        return self.config.tracking_threshold
+
+    @property
+    def window_ns(self) -> float:
+        return self.config.reset_window_ns
+
+    @property
+    def bank_budget(self) -> int:
+        """``W``: in-domain ACTs per bank per reset window."""
+        return self.config.max_activations_per_window
+
+    @property
+    def rank_budget(self) -> int:
+        """``W_rank``: in-domain ACTs per rank per reset window."""
+        return self.rank_config.max_activations_per_window
+
+    def describe(self) -> dict[str, object]:
+        """Scale summary embedded in artifacts (cache/replay sanity)."""
+        return {
+            "hammer_threshold": self.hammer_threshold,
+            "rows_per_bank": self.rows_per_bank,
+            "banks": self.banks,
+            "k": self.reset_window_divisor,
+            "T": self.threshold,
+            "N_entry": self.config.num_entries,
+            "window_ns": self.window_ns,
+            "bank_budget": self.bank_budget,
+            "rank_budget": self.rank_budget,
+            "mitigation_trh": self.mitigation_trh,
+        }
+
+
+DEFAULT_SCALE = VerifyScale()
+
+
+class _StreamBuilder:
+    """Emits in-domain ACT events with automatic window-budget rollover."""
+
+    def __init__(self, scale: VerifyScale) -> None:
+        self.scale = scale
+        self.interval = scale.act_interval_ns
+        self.window_ns = scale.window_ns
+        self.time = 0.0
+        self.events: list[ActEvent] = []
+        self._window = 0
+        self._bank_counts: Counter = Counter()
+        self._total = 0
+
+    def _roll_window(self) -> None:
+        window = int(self.time // self.window_ns)
+        if window != self._window:
+            self._window = window
+            self._bank_counts.clear()
+            self._total = 0
+
+    def emit(self, bank: int, row: int) -> None:
+        """Emit one ACT, jumping to the next window if budgets are spent."""
+        self._roll_window()
+        if (
+            self._total >= self.scale.rank_budget
+            or self._bank_counts[bank] >= self.scale.bank_budget
+        ):
+            self.time = (self._window + 1) * self.window_ns
+            self._roll_window()
+        self._bank_counts[bank] += 1
+        self._total += 1
+        self.events.append(ActEvent(self.time, bank, row))
+        self.time += self.interval
+
+    def jump_to(self, time_ns: float) -> None:
+        """Advance (never rewind) the stream clock."""
+        if time_ns > self.time:
+            self.time = time_ns
+
+    @property
+    def next_boundary_ns(self) -> float:
+        return (int(self.time // self.window_ns) + 1) * self.window_ns
+
+
+Generator = Callable[[random.Random, VerifyScale, int, "_StreamBuilder"], None]
+
+
+def _gen_random(
+    rng: random.Random, scale: VerifyScale, length: int, out: _StreamBuilder
+) -> None:
+    """Hot-set plus uniform background across all banks."""
+    hot = [
+        (rng.randrange(scale.banks), rng.randrange(1, scale.rows_per_bank - 1))
+        for _ in range(3)
+    ]
+    for _ in range(length):
+        if rng.random() < 0.6:
+            bank, row = rng.choice(hot)
+        else:
+            bank = rng.randrange(scale.banks)
+            row = rng.randrange(scale.rows_per_bank)
+        out.emit(bank, row)
+
+
+def _gen_eviction(
+    rng: random.Random, scale: VerifyScale, length: int, out: _StreamBuilder
+) -> None:
+    """Keep the table churning: cycle just over ``N_entry`` distinct
+    rows so misses constantly hit the replace/spillover paths, with a
+    focus row riding the carried-over counts."""
+    capacity = scale.config.num_entries
+    bank = rng.randrange(scale.banks)
+    base = rng.randrange(8, scale.rows_per_bank - 8 - 2 * capacity)
+    cycle = [base + 2 * i for i in range(capacity + 1 + rng.randint(0, 2))]
+    focus = base + 2 * len(cycle)
+    index = 0
+    for _ in range(length):
+        if rng.random() < 0.25:
+            out.emit(bank, focus)
+        else:
+            out.emit(bank, cycle[index % len(cycle)])
+            index += 1
+
+
+def _gen_decoy(
+    rng: random.Random, scale: VerifyScale, length: int, out: _StreamBuilder
+) -> None:
+    """One-shot decoys inflate the spillover count while one or two
+    focus rows approach the threshold through inherited counts."""
+    bank = rng.randrange(scale.banks)
+    focus = [rng.randrange(4, scale.rows_per_bank - 4)
+             for _ in range(rng.randint(1, 2))]
+    decoy = 0
+    for _ in range(length):
+        if rng.random() < 0.4:
+            out.emit(bank, rng.choice(focus))
+        else:
+            out.emit(bank, decoy)
+            decoy = (decoy + 1) % scale.rows_per_bank
+            if decoy in focus:
+                decoy = (decoy + 1) % scale.rows_per_bank
+
+
+def _gen_straddle(
+    rng: random.Random, scale: VerifyScale, length: int, out: _StreamBuilder
+) -> None:
+    """Bursts placed across ``tREFW/k`` multiples: half the hammering
+    lands just before a table reset, half just after, attacking any
+    off-by-one in the lazy window-reset logic."""
+    bank = rng.randrange(scale.banks)
+    emitted = 0
+    while emitted < length:
+        focus = rng.randrange(2, scale.rows_per_bank - 2)
+        burst = min(length - emitted, rng.randint(16, 48))
+        # Park the burst so roughly half of it crosses the boundary.
+        lead = (burst // 2) * out.interval
+        out.jump_to(out.next_boundary_ns - lead)
+        for i in range(burst):
+            row = focus + (1 if i % 2 else -1) if rng.random() < 0.5 else focus
+            out.emit(bank, row)
+        emitted += burst
+
+
+def _gen_interleave(
+    rng: random.Random, scale: VerifyScale, length: int, out: _StreamBuilder
+) -> None:
+    """Round-robin double-sided hammering across every bank at once."""
+    focus = [
+        rng.randrange(2, scale.rows_per_bank - 2) for _ in range(scale.banks)
+    ]
+    for index in range(length):
+        bank = index % scale.banks
+        side = 1 if (index // scale.banks) % 2 else -1
+        row = focus[bank] + side if rng.random() < 0.8 else focus[bank]
+        out.emit(bank, row)
+
+
+GENERATORS: dict[str, Generator] = {
+    "random": _gen_random,
+    "eviction": _gen_eviction,
+    "decoy": _gen_decoy,
+    "straddle": _gen_straddle,
+    "interleave": _gen_interleave,
+}
+
+GENERATOR_NAMES: tuple[str, ...] = tuple(sorted(GENERATORS))
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Reproducible description of one fuzz stream."""
+
+    generator: str
+    seed: int
+    length: int = 1000
+
+    def rng(self) -> random.Random:
+        """Stream RNG: hash-seed independent, unique per (gen, seed)."""
+        return random.Random(
+            self.seed * 1_000_003 + zlib.crc32(self.generator.encode())
+        )
+
+
+def generate_stream(
+    spec: StreamSpec, scale: VerifyScale = DEFAULT_SCALE
+) -> list[ActEvent]:
+    """Materialize the ACT stream a spec describes (always identical)."""
+    generator = GENERATORS.get(spec.generator)
+    if generator is None:
+        raise ValueError(
+            f"unknown generator {spec.generator!r}; "
+            f"choose one of {', '.join(GENERATOR_NAMES)}"
+        )
+    if spec.length < 1:
+        raise ValueError("stream length must be >= 1")
+    builder = _StreamBuilder(scale)
+    generator(spec.rng(), scale, spec.length, builder)
+    return builder.events

@@ -166,3 +166,87 @@ class TestGuaranteeProperties:
             table.observe(item)
             assert table.spillover >= previous
             previous = table.spillover
+
+
+class TestTieBreakDeterminism:
+    """The eviction tie-break contract: smallest key, always.
+
+    The module docstring promises that when several entries are
+    replaceable, the smallest key is evicted -- by value comparison,
+    never by hash-table iteration order.  These tests pin that order
+    and its stability across interpreter hash seeds.
+    """
+
+    @staticmethod
+    def _filled(keys):
+        table = MisraGriesTable(len(keys))
+        for key in keys:
+            table.observe(key)
+        table.observe("~spill~" if isinstance(keys[0], str) else -1)
+        return table  # spillover == 1, every original entry replaceable
+
+    def test_evicts_smallest_key_among_replaceable(self):
+        table = MisraGriesTable(3)
+        for row in (30, 10, 20):
+            table.observe(row)
+        assert table.observe(99) is None  # no replaceable yet: spill to 1
+        count = table.observe(40)  # all three entries now replaceable
+        assert count == 2  # inherited spillover + 1
+        assert table.last_evicted == 10
+        assert 10 not in table and 40 in table
+
+    def test_tie_break_independent_of_insertion_order(self):
+        from itertools import permutations
+
+        for order in permutations((5, 17, 3, 11)):
+            table = self._filled(list(order))
+            table.observe(200)
+            assert table.last_evicted == 3, order
+            assert table.tracked().keys() == {5, 17, 11, 200}
+
+    def test_repeated_evictions_walk_keys_in_ascending_order(self):
+        table = self._filled([40, 20, 60, 80])
+        evictions = []
+        for newcomer in (100, 101, 102):
+            table.observe(newcomer)
+            evictions.append(table.last_evicted)
+        # Newcomers enter with count spillover+1 = 2, so they are not
+        # themselves replaceable; the original count-1 entries go in
+        # ascending key order.
+        assert evictions == [20, 40, 60]
+
+    def test_eviction_sequence_stable_across_hash_seeds(self):
+        """String keys hash differently under each PYTHONHASHSEED; the
+        eviction order and final table must not care."""
+        import json
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = (
+            "import json, random\n"
+            "from repro.core.misra_gries import MisraGriesTable\n"
+            "rng = random.Random(99)\n"
+            "keys = ['row-%03d' % i for i in range(40)]\n"
+            "table = MisraGriesTable(4)\n"
+            "log = []\n"
+            "for _ in range(600):\n"
+            "    table.observe(rng.choice(keys))\n"
+            "    log.append(table.last_evicted)\n"
+            "print(json.dumps({'log': log, 'tracked': table.tracked(),\n"
+            "                  'spillover': table.spillover}))\n"
+        )
+        outputs = []
+        for seed in ("0", "1", "424242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = str(
+                Path(__file__).resolve().parents[1] / "src"
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            outputs.append(json.loads(proc.stdout))
+        assert outputs[0] == outputs[1] == outputs[2]

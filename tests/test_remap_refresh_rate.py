@@ -148,3 +148,93 @@ class TestRefreshRateIncrease:
             IncreasedRefreshRate(bank=0, rows=64, multiplier=1)
         with pytest.raises(ValueError):
             protection_of_rate_increase(0, 50_000)
+
+
+class TestRowRemapperEdges:
+    def test_full_swap_fraction_is_still_bijective(self):
+        remapper = RowRemapper(rows=256, swap_fraction=1.0, seed=5)
+        assert {remapper.physical(r) for r in range(256)} == set(range(256))
+        # All rows were sampled into pairs; with 128 swaps nearly every
+        # row moves (a pair can only coincide if sampled onto itself,
+        # which pairwise swapping makes impossible).
+        assert len(remapper.remapped_rows()) == 256
+
+    def test_same_seed_reproduces_identical_map(self):
+        first = RowRemapper(rows=512, swap_fraction=0.3, seed=11)
+        second = RowRemapper(rows=512, swap_fraction=0.3, seed=11)
+        assert [first.physical(r) for r in range(512)] == [
+            second.physical(r) for r in range(512)
+        ]
+
+    def test_different_seeds_produce_different_maps(self):
+        first = RowRemapper(rows=512, swap_fraction=0.3, seed=1)
+        second = RowRemapper(rows=512, swap_fraction=0.3, seed=2)
+        assert [first.physical(r) for r in range(512)] != [
+            second.physical(r) for r in range(512)
+        ]
+
+    def test_adjacency_preserved_for_untouched_interior_rows(self):
+        remapper = RowRemapper(rows=1024, swap_fraction=0.05, seed=9)
+        moved = set(remapper.remapped_rows())
+        untouched = [
+            r for r in range(2, 1022)
+            if {r - 1, r, r + 1}.isdisjoint(moved)
+        ]
+        assert untouched, "sparse remap must leave untouched neighborhoods"
+        for row in untouched[:32]:
+            assert not remapper.breaks_logical_adjacency(row)
+
+
+class TestRefreshRateWalker:
+    def test_walker_clips_at_the_top_of_the_bank(self):
+        """rows_per_tick rarely divides the row count; the final stride
+        before wrap-around must clip to the bank edge, never refresh
+        out-of-range rows, and resume from row 0."""
+        rows = 1001  # odd: the stride cannot divide the walk evenly
+        engine = IncreasedRefreshRate(bank=0, rows=rows, multiplier=3)
+        assert (rows - rows // 2) % engine.rows_per_tick != 0
+        seen: list[range] = []
+        for tick in range(2_000):
+            for directive in engine.on_refresh_command(float(tick)):
+                assert 0 <= directive.victim_rows.start
+                assert directive.victim_rows.stop <= rows
+                seen.append(directive.victim_rows)
+        clipped = [r for r in seen if len(r) < engine.rows_per_tick]
+        assert clipped, "the clipped final stride never happened"
+        for index, victims in enumerate(seen[:-1]):
+            if len(victims) < engine.rows_per_tick:
+                assert victims.stop == rows
+                assert seen[index + 1].start == 0
+
+    def test_directive_metadata(self):
+        engine = IncreasedRefreshRate(bank=3, rows=256, multiplier=2)
+        (directive,) = engine.on_refresh_command(17.0)
+        assert directive.bank == 3
+        assert directive.aggressor_row is None
+        assert directive.reason == "rate-x2"
+        assert directive.time_ns == 17.0
+
+    def test_factory_builds_configured_engines_per_bank(self):
+        from repro.mitigations.refresh_rate import (
+            increased_refresh_rate_factory,
+        )
+
+        factory = increased_refresh_rate_factory(multiplier=4)
+        engine = factory(2, 4096)
+        assert isinstance(engine, IncreasedRefreshRate)
+        assert engine.bank == 2
+        assert engine.rows == 4096
+        assert engine.multiplier == 4
+        assert engine.describe() == "refresh-rate(x4)"
+
+    def test_effective_per_row_period_matches_multiplier(self):
+        """Across one full walk, every row is refreshed exactly
+        (multiplier - 1) extra times per nominal window worth of REFs."""
+        engine = IncreasedRefreshRate(bank=0, rows=512, multiplier=2)
+        per_window = DDR4_2400.refreshes_per_window
+        counts = [0] * 512
+        for tick in range(per_window):
+            for directive in engine.on_refresh_command(float(tick)):
+                for row in directive.victim_rows:
+                    counts[row] += 1
+        assert min(counts) >= 1

@@ -1,0 +1,161 @@
+"""Property tests: CAM-level table == logical Misra-Gries table.
+
+Section IV-B's overflow-bit trick stores counts modulo ``T`` with a
+sticky overflow bit instead of full-width counts.  The claim is that
+this narrowing is *behaviorally invisible* inside the sizing domain:
+on any stream whose length stays within the window budget
+``W <= T * (N_entry + 1) - 1`` (Inequality 1 rearranged), the hardware
+model and the wide-count logical model make identical decisions at
+every step -- same trigger times, same spillover, same tracked set,
+same estimated counts.
+
+The domain restriction is essential, not cosmetic: past the budget the
+spillover count can reach ``T``, where it may numerically collide with
+an overflowed entry's wrapped count, and the two models may then
+legitimately diverge.  Every strategy here therefore derives its
+stream-length bound from (capacity, threshold), exactly like the fuzz
+generators in :mod:`repro.verify.generators`.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hardware_table import HardwareGrapheneTable
+from repro.core.misra_gries import MisraGriesTable
+
+
+def _count_bits(threshold: int) -> int:
+    """Smallest width with 2**bits > threshold (the Section IV-B sizing)."""
+    return max(1, int(threshold).bit_length())
+
+
+def _drive_and_compare(stream, capacity, threshold, tables=None):
+    """Run both models in lock step, asserting equivalence per ACT."""
+    if tables is None:
+        logical = MisraGriesTable(capacity)
+        hardware = HardwareGrapheneTable(
+            capacity, threshold, _count_bits(threshold)
+        )
+    else:
+        logical, hardware = tables
+    for step, row in enumerate(stream):
+        count = logical.observe(row)
+        logical_trigger = count is not None and count % threshold == 0
+        outcome = hardware.process_activation(row)
+        context = f"step {step} (row {row})"
+        assert outcome.triggered == logical_trigger, context
+        assert hardware.spillover == logical.spillover, context
+        assert hardware.tracked() == logical.tracked(), context
+        if count is None:
+            assert outcome.path == "spill", context
+        else:
+            assert outcome.estimated_count == count, context
+    return logical, hardware
+
+
+@st.composite
+def in_domain_case(draw):
+    """(stream, capacity, threshold) with length inside the budget."""
+    capacity = draw(st.integers(min_value=1, max_value=6))
+    threshold = draw(st.integers(min_value=2, max_value=40))
+    budget = threshold * (capacity + 1) - 1
+    length = draw(st.integers(min_value=0, max_value=min(budget, 300)))
+    stream = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=9),
+            min_size=length,
+            max_size=length,
+        )
+    )
+    return stream, capacity, threshold
+
+
+class TestDecisionEquivalence:
+    @given(in_domain_case())
+    @settings(max_examples=150, deadline=None)
+    def test_lockstep_equivalence_on_arbitrary_streams(self, case):
+        """Triggers, spillover, tracked sets and counts all agree at
+        every single step, for arbitrary in-domain streams."""
+        stream, capacity, threshold = case
+        _drive_and_compare(stream, capacity, threshold)
+
+    @given(in_domain_case(), in_domain_case())
+    @settings(max_examples=60, deadline=None)
+    def test_equivalence_survives_window_resets(self, first, second):
+        """A reset puts both models back into the same (empty) state;
+        equivalence must hold across the boundary too."""
+        stream, capacity, threshold = first
+        logical, hardware = _drive_and_compare(stream, capacity, threshold)
+        logical.reset()
+        hardware.reset()
+        budget = threshold * (capacity + 1) - 1
+        replay = second[0][:budget]
+        _drive_and_compare(replay, capacity, threshold,
+                           tables=(logical, hardware))
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=2, max_value=40),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_single_row_saturation_edge(self, capacity, threshold, laps):
+        """One row driven to exact multiples of T: the stored count
+        wraps to zero each lap but the reconstructed estimate, the
+        trigger cadence and the tracked set never diverge."""
+        acts = min(laps * threshold, threshold * (capacity + 1) - 1)
+        stream = [0] * acts
+        logical, hardware = _drive_and_compare(stream, capacity, threshold)
+        assert hardware.estimated_count(0) == acts
+        if acts >= threshold:
+            assert 0 in hardware.overflowed_addresses()
+
+
+class TestSaturationDirected:
+    """Hand-built count-saturation edges from the Section IV-B argument."""
+
+    def test_count_wraps_to_zero_with_sticky_overflow(self):
+        hardware = HardwareGrapheneTable(4, threshold=5, count_bits=3)
+        for index in range(5):
+            outcome = hardware.process_activation(7)
+            assert outcome.triggered == (index == 4)
+        # Stored count wrapped; true count is reconstructed via wraps.
+        assert hardware.estimated_count(7) == 5
+        assert hardware.overflowed_addresses() == [7]
+        # The next hit starts the second lap: no trigger until 2T.
+        assert not hardware.process_activation(7).triggered
+        assert hardware.estimated_count(7) == 6
+
+    def test_overflowed_entry_is_masked_from_replacement(self):
+        """After wrapping, an entry's stored count (0) equals a fresh
+        spillover value; the mask must keep it unevictable and both
+        models must keep it tracked through decoy churn."""
+        capacity, threshold = 2, 5  # budget = 14
+        stream = [0] * 5  # row 0 to exactly T: wrap + overflow
+        stream += [1]  # fill the second slot
+        stream += [2, 3, 4, 5]  # decoys: spill, then churn slot 2
+        logical, hardware = _drive_and_compare(stream, capacity, threshold)
+        assert 0 in logical and 0 in hardware
+        assert logical.estimated_count(0) == 5
+        assert hardware.estimated_count(0) == 5
+        # The churn replaced only the low-count slot.
+        assert logical.tracked() == hardware.tracked()
+        assert 1 not in hardware  # evicted by the decoy churn
+
+    def test_trigger_cadence_is_every_t_hits(self):
+        hardware = HardwareGrapheneTable(1, threshold=3, count_bits=2)
+        fired = [
+            hardware.process_activation(0).triggered for _ in range(5)
+        ]
+        # Budget for capacity 1 is 2T - 1 = 5 ACTs: triggers at 3 only
+        # (a second trigger would need act 6, outside the domain).
+        assert fired == [False, False, True, False, False]
+
+    def test_count_bits_sizing_is_enforced(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            HardwareGrapheneTable(4, threshold=8, count_bits=3)
+        HardwareGrapheneTable(4, threshold=7, count_bits=3)

@@ -415,3 +415,30 @@ def test_cli_experiment_telemetry_flags(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "[runner:" in out
     assert "telemetry:" in out
+
+
+def test_parallel_jsonl_export_is_byte_identical_to_serial(tmp_path):
+    """The end-to-end --jobs N promise: not just equal event objects,
+    but byte-identical merged JSONL files (and identical samples),
+    because ordering, job labels and float formatting all survive the
+    process-pool round trip."""
+    paths = {}
+    samples = {}
+    for jobs in (1, 2):
+        bus = TelemetryBus()
+        with session(bus):
+            runner = ExperimentRunner(
+                jobs=jobs, cache=None, progress=False,
+                sample_interval_ns=10_000.0,
+            )
+            results = runner.run(_tiny_jobs())
+        assert len(results) == 4
+        path = tmp_path / f"events-jobs{jobs}.jsonl"
+        write_jsonl(bus.events, path)
+        paths[jobs] = path
+        samples[jobs] = bus.all_samples()
+    serial = paths[1].read_bytes()
+    parallel = paths[2].read_bytes()
+    assert serial, "traced runs must produce events"
+    assert serial == parallel
+    assert samples[1] == samples[2]

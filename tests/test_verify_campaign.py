@@ -1,0 +1,351 @@
+"""Tests for the adversarial verification subsystem (repro.verify).
+
+The two hard promises checked here:
+
+* the current implementations survive every generator with **zero**
+  oracle violations (and the committed corpus replays clean, fast);
+* a deliberately broken engine (trigger threshold bumped to ``T+1``)
+  is *caught* by the exact-count oracle and *shrunk* to a minimal
+  reproducer of at most 50 ACTs -- the fuzzer demonstrably has teeth.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.cache import ResultCache
+from repro.telemetry import TelemetryBus, session
+from repro.verify import (
+    DEFAULT_SCALE,
+    GENERATOR_NAMES,
+    StreamSpec,
+    artifact_verdict,
+    generate_stream,
+    load_artifact,
+    replay_artifact,
+    run_campaign,
+    run_stream,
+    save_artifact,
+    shrink_stream,
+)
+from repro.verify.differential import (
+    DETERMINISTIC_SCHEMES,
+    core_subjects,
+    weakened_graphene_subject,
+)
+from repro.workloads.trace import ActEvent
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator", GENERATOR_NAMES)
+    def test_streams_are_reproducible(self, generator):
+        spec = StreamSpec(generator, seed=13, length=500)
+        assert generate_stream(spec) == generate_stream(spec)
+
+    @pytest.mark.parametrize("generator", GENERATOR_NAMES)
+    def test_distinct_seeds_give_distinct_streams(self, generator):
+        first = generate_stream(StreamSpec(generator, seed=1, length=300))
+        second = generate_stream(StreamSpec(generator, seed=2, length=300))
+        assert first != second
+
+    @pytest.mark.parametrize("generator", GENERATOR_NAMES)
+    def test_streams_stay_inside_the_guarantee_domain(self, generator):
+        """Per reset window: per-bank ACTs <= W and rank ACTs <= W_rank
+        -- outside those budgets the theorem would not apply and a
+        'violation' would be meaningless."""
+        scale = DEFAULT_SCALE
+        events = generate_stream(StreamSpec(generator, seed=5, length=1200))
+        assert len(events) == 1200
+        per_window_bank: dict = {}
+        per_window_rank: dict = {}
+        previous = -1.0
+        for event in events:
+            assert event.time_ns >= previous, "stream must be time-sorted"
+            previous = event.time_ns
+            window = int(event.time_ns // scale.window_ns)
+            key = (window, event.bank)
+            per_window_bank[key] = per_window_bank.get(key, 0) + 1
+            per_window_rank[window] = per_window_rank.get(window, 0) + 1
+        assert max(per_window_bank.values()) <= scale.bank_budget
+        assert max(per_window_rank.values()) <= scale.rank_budget
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(ValueError, match="unknown generator"):
+            generate_stream(StreamSpec("nope", seed=0))
+        with pytest.raises(ValueError, match="length"):
+            generate_stream(StreamSpec("random", seed=0, length=0))
+
+    def test_scale_derives_through_production_configs(self):
+        scale = DEFAULT_SCALE
+        assert scale.threshold == scale.config.tracking_threshold
+        assert scale.config.num_entries > (
+            scale.bank_budget / scale.threshold - 1
+        )  # Inequality 1 holds at the verification scale too
+
+
+# ----------------------------------------------------------------------
+# Differential executor
+# ----------------------------------------------------------------------
+
+
+class TestDifferentialExecutor:
+    @pytest.mark.parametrize("generator", GENERATOR_NAMES)
+    def test_all_core_subjects_clean_per_generator(self, generator):
+        events = generate_stream(StreamSpec(generator, seed=21, length=700))
+        report = run_stream(events, mitigation_schemes=())
+        assert report.ok, report.violations
+        assert set(report.subject_stats) == set(core_subjects())
+
+    def test_deterministic_mitigations_take_zero_flips(self):
+        events = generate_stream(StreamSpec("decoy", seed=2, length=1000))
+        report = run_stream(
+            events, subjects={},
+            mitigation_schemes=DETERMINISTIC_SCHEMES + ("none",),
+        )
+        assert report.ok, report.violations
+        # The control arm proves the stream hammers hard enough to
+        # matter -- zero flips under graphene is not vacuous.
+        assert report.subject_stats["mitigation:none"]["flips"] > 0
+        for scheme in DETERMINISTIC_SCHEMES:
+            assert report.subject_stats[f"mitigation:{scheme}"]["flips"] == 0
+
+    def test_weakened_engine_is_caught_by_the_gap_oracle(self):
+        """T+1 triggering passes the engine's own (bumped) self-checks
+        but cannot hide from the exact-count oracle."""
+        events = generate_stream(StreamSpec("eviction", seed=3, length=400))
+        violations, _ = weakened_graphene_subject(threshold_offset=1)(events)
+        assert violations, "the weakened engine must be flagged"
+        assert violations[0].kind == "gap"
+        assert f"T={DEFAULT_SCALE.threshold}" in violations[0].detail
+
+    def test_stock_engine_not_flagged_on_the_same_stream(self):
+        events = generate_stream(StreamSpec("eviction", seed=3, length=400))
+        violations, _ = weakened_graphene_subject(threshold_offset=0)(events)
+        assert violations == []
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+
+
+class TestShrinker:
+    @staticmethod
+    def _events(count):
+        return [ActEvent(float(i), 0, i) for i in range(count)]
+
+    def test_reduces_to_the_exact_failure_inducing_subset(self):
+        needles = {17, 61}
+
+        def failing(events):
+            rows = {event.row for event in events}
+            return needles <= rows
+
+        reduced = shrink_stream(self._events(100), failing)
+        assert sorted(event.row for event in reduced) == sorted(needles)
+
+    def test_preserves_original_timestamps_and_order(self):
+        def failing(events):
+            return any(event.row == 50 for event in events)
+
+        reduced = shrink_stream(self._events(80), failing)
+        assert [event.time_ns for event in reduced] == [50.0]
+
+    def test_rejects_a_passing_stream(self):
+        with pytest.raises(ValueError):
+            shrink_stream(self._events(10), lambda events: False)
+
+    def test_weakened_failure_shrinks_to_at_most_50_acts(self):
+        """The acceptance bar: a T+1 protection bug reduces to a
+        reproducer of <= 50 ACTs (ideally exactly T+1 = 25)."""
+        events = generate_stream(StreamSpec("decoy", seed=0, length=400))
+        subject = weakened_graphene_subject(threshold_offset=1)
+        assert subject(events)[0], "stream must expose the weakening"
+        reduced = shrink_stream(
+            events, lambda candidate: bool(subject(candidate)[0])
+        )
+        assert len(reduced) <= 50
+        assert subject(reduced)[0]
+        # 1-minimality: no single event is removable.
+        for index in range(len(reduced)):
+            candidate = reduced[:index] + reduced[index + 1:]
+            assert not subject(candidate)[0]
+
+
+# ----------------------------------------------------------------------
+# Campaigns
+# ----------------------------------------------------------------------
+
+
+class TestCampaign:
+    def test_clean_campaign_over_every_generator_and_scheme(self, tmp_path):
+        report = run_campaign(
+            5, seed=4, length=800,
+            runner=ExperimentRunner(jobs=1),
+            artifact_dir=tmp_path / "artifacts",
+        )
+        assert report.ok
+        assert report.artifacts == []
+        assert {c["generator"] for c in report.cells} == set(GENERATOR_NAMES)
+        assert report.total_acts == 5 * 800
+        assert "no violations" in "\n".join(report.summary())
+
+    def test_weakened_campaign_catches_shrinks_and_replays(self, tmp_path):
+        """End-to-end teeth test: campaign -> violation -> ddmin ->
+        artifact -> replay still reproduces, at <= 50 ACTs."""
+        report = run_campaign(
+            3, seed=0, length=400, threshold_offset=1,
+            runner=ExperimentRunner(jobs=1),
+            artifact_dir=tmp_path / "artifacts",
+        )
+        assert not report.ok
+        assert report.artifacts, "failures must produce reproducers"
+        for path in report.artifacts:
+            artifact = load_artifact(path)
+            assert artifact["expect"] == "fail"
+            assert artifact["acts"] <= 50
+            replay_report, loaded = replay_artifact(path)
+            ok, message = artifact_verdict(replay_report, loaded)
+            assert ok, message
+
+    def test_campaign_cells_hit_the_result_cache_on_rerun(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = ExperimentRunner(jobs=1, cache=cache)
+        run_campaign(4, seed=6, length=300, runner=first,
+                     artifact_dir=None)
+        assert first.stats.computed == 4
+        second = ExperimentRunner(jobs=1, cache=cache)
+        report = run_campaign(4, seed=6, length=300, runner=second,
+                              artifact_dir=None)
+        assert second.stats.cache_hits == 4
+        assert second.stats.computed == 0
+        assert report.ok
+
+    def test_failing_campaign_publishes_oracle_violation_events(self):
+        bus = TelemetryBus()
+        with session(bus):
+            report = run_campaign(
+                1, seed=0, length=400, threshold_offset=1,
+                runner=ExperimentRunner(jobs=1), artifact_dir=None,
+                shrink=False,
+            )
+        assert not report.ok
+        kinds = [type(e).__name__ for e in bus.events]
+        assert "OracleViolation" in kinds
+
+
+# ----------------------------------------------------------------------
+# Artifacts and the committed corpus
+# ----------------------------------------------------------------------
+
+
+class TestArtifacts:
+    def test_round_trip(self, tmp_path):
+        events = generate_stream(StreamSpec("random", seed=8, length=200))
+        path = save_artifact(
+            tmp_path / "round.json", events,
+            generator="random", seed=8, length=200, expect="pass",
+        )
+        artifact = load_artifact(path)
+        assert artifact["events"] == events
+        assert artifact["scale"] == DEFAULT_SCALE.describe()
+
+    def test_bad_expectation_and_schema_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="expect"):
+            save_artifact(
+                tmp_path / "x.json", [], generator="random", seed=0,
+                length=0, expect="maybe",
+            )
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"schema": 99, "kind": "verify-stream"}))
+        with pytest.raises(ValueError, match="schema"):
+            load_artifact(bogus)
+
+    def test_stale_scale_is_refused_on_replay(self, tmp_path):
+        events = generate_stream(StreamSpec("random", seed=8, length=50))
+        path = save_artifact(
+            tmp_path / "stale.json", events,
+            generator="random", seed=8, length=50, expect="pass",
+        )
+        payload = json.loads(path.read_text())
+        payload["scale"]["T"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="scale"):
+            replay_artifact(path)
+
+
+class TestCommittedCorpus:
+    def test_corpus_exists_and_covers_every_generator(self):
+        paths = sorted(CORPUS_DIR.glob("*.json"))
+        assert len(paths) >= len(GENERATOR_NAMES) + 1
+        generators = {load_artifact(p)["generator"] for p in paths}
+        assert generators == set(GENERATOR_NAMES)
+
+    def test_corpus_replays_clean_in_under_ten_seconds(self):
+        started = time.monotonic()
+        for path in sorted(CORPUS_DIR.glob("*.json")):
+            report, artifact = replay_artifact(path)
+            ok, message = artifact_verdict(report, artifact)
+            assert ok, f"{path.name}: {message}"
+        assert time.monotonic() - started < 10.0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestVerifyCli:
+    def test_fuzz_exits_zero_when_clean(self, tmp_path, capsys):
+        code = main([
+            "verify", "fuzz", "--budget", "2", "--seed", "3",
+            "--length", "500", "--no-cache", "--quiet",
+            "--artifact-dir", str(tmp_path / "artifacts"),
+        ])
+        assert code == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_corpus_command_replays_committed_corpus(self, capsys):
+        code = main(["verify", "corpus", "--dir", str(CORPUS_DIR)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "artifacts ok" in out and "FAIL" not in out
+
+    def test_replay_command_roundtrips_an_artifact(self, tmp_path, capsys):
+        events = generate_stream(StreamSpec("decoy", seed=7, length=300))
+        path = save_artifact(
+            tmp_path / "one.json", events,
+            generator="decoy", seed=7, length=300, expect="pass",
+        )
+        assert main(["verify", "replay", str(path)]) == 0
+        assert "1/1 artifacts ok" in capsys.readouterr().out
+
+    def test_replay_flags_expectation_mismatch(self, tmp_path, capsys):
+        """A 'fail' artifact whose bug no longer reproduces exits 1 --
+        the cue to refresh or retire the reproducer."""
+        events = generate_stream(StreamSpec("decoy", seed=7, length=100))
+        path = save_artifact(
+            tmp_path / "fixed.json", events,
+            generator="decoy", seed=7, length=100, expect="fail",
+            violations=[{"subject": "graphene", "kind": "gap",
+                         "detail": "synthetic", "step": 1}],
+            schemes=[],
+        )
+        assert main(["verify", "replay", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_corpus_command_errors_on_empty_directory(self, tmp_path):
+        assert main(["verify", "corpus", "--dir", str(tmp_path)]) == 2

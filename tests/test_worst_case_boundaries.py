@@ -1,0 +1,155 @@
+"""Worst-case analysis and reset-window boundary semantics.
+
+Covers :mod:`repro.analysis.worst_case` (the Fig. 6 trade-off curves
+and the simulated-vs-analytic refresh bound) and the engine's behavior
+exactly *at* ``tREFW / k`` multiples -- the edge the straddle fuzz
+generator attacks.  Runs at the verification scale
+(:data:`repro.verify.generators.VERIFY_TIMINGS`) so whole windows fit
+in a few hundred ACTs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.worst_case import (
+    ResetWindowPoint,
+    reset_window_tradeoff,
+    simulated_worst_case,
+)
+from repro.core.config import GrapheneConfig
+from repro.core.graphene import GrapheneEngine
+from repro.core.guarantees import InstrumentedGrapheneEngine
+from repro.verify.generators import VERIFY_TIMINGS
+
+
+def scaled_config(k: int = 2) -> GrapheneConfig:
+    return GrapheneConfig(
+        hammer_threshold=144,
+        timings=VERIFY_TIMINGS,
+        rows_per_bank=512,
+        reset_window_divisor=k,
+    )
+
+
+class TestResetWindowTradeoff:
+    def test_one_point_per_k_with_consistent_derivation(self):
+        points = reset_window_tradeoff(k_values=range(1, 11))
+        assert [p.k for p in points] == list(range(1, 11))
+        for point in points:
+            config = GrapheneConfig(reset_window_divisor=point.k)
+            assert point.num_entries == config.num_entries
+            assert point.tracking_threshold == config.tracking_threshold
+            assert point.worst_case_rows_per_trefw == (
+                config.max_victim_rows_refreshed_per_trefw()
+            )
+            assert point.relative_additional_refreshes == pytest.approx(
+                point.worst_case_rows_per_trefw / 65536
+            )
+
+    def test_entries_shrink_and_saturate_while_refreshes_grow(self):
+        """The Fig. 6 shape: N_entry(k) is non-increasing (the (k+1)/k
+        factor converges), worst-case refreshes keep growing with k
+        (T shrinks linearly in k+1)."""
+        points = reset_window_tradeoff(k_values=range(1, 11))
+        entries = [p.num_entries for p in points]
+        refreshes = [p.worst_case_rows_per_trefw for p in points]
+        assert all(a >= b for a, b in zip(entries, entries[1:]))
+        assert all(a < b for a, b in zip(refreshes, refreshes[1:]))
+
+    def test_fig6_headline_numbers(self):
+        """k=2 at the paper's parameters: the ~0.34% bound."""
+        (point,) = reset_window_tradeoff(k_values=[2])
+        assert isinstance(point, ResetWindowPoint)
+        assert 0.002 < point.relative_additional_refreshes < 0.005
+
+
+class TestSimulatedWorstCase:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_simulated_refreshes_never_exceed_bound(self, k):
+        refreshed, bound = simulated_worst_case(scaled_config(k), windows=1.0)
+        assert refreshed <= bound
+        assert refreshed > 0, "worst-case pattern must trigger refreshes"
+
+    @pytest.mark.parametrize("windows", [0.5, 1.0, 2.25])
+    def test_bound_scales_with_duration(self, windows):
+        refreshed, bound = simulated_worst_case(
+            scaled_config(2), windows=windows
+        )
+        assert refreshed <= bound
+        assert bound == round(
+            windows * scaled_config(2).max_victim_rows_refreshed_per_trefw()
+        )
+
+
+class TestWindowBoundarySemantics:
+    """ACTs landing exactly at t = m * (tREFW/k): the reset edge."""
+
+    def test_act_exactly_at_boundary_belongs_to_the_new_window(self):
+        config = scaled_config(2)
+        engine = GrapheneEngine(config)
+        window = config.reset_window_ns
+        threshold = config.tracking_threshold
+        row = 7
+        # T-1 ACTs just before the boundary: one short of a trigger.
+        for index in range(threshold - 1):
+            start = window - (threshold - 1 - index)
+            assert engine.on_activate(row, start) == []
+        # The ACT exactly at m*window resets the table first, so it is
+        # ACT #1 of the new window -- no trigger, fresh count.
+        assert engine.on_activate(row, window) == []
+        assert engine.table.estimated_count(row) == 1
+        # T-1 more inside the new window completes a full T there.
+        requests = []
+        for index in range(1, threshold):
+            requests.extend(engine.on_activate(row, window + index))
+        assert sum(len(r.victim_rows) > 0 for r in requests) == 1
+
+    @pytest.mark.parametrize("multiple", [1, 2, 3])
+    def test_every_boundary_multiple_resets(self, multiple):
+        config = scaled_config(2)
+        engine = GrapheneEngine(config)
+        window = config.reset_window_ns
+        row = 11
+        engine.on_activate(row, multiple * window - 1.0)
+        assert engine.table.estimated_count(row) == 1
+        engine.on_activate(row, multiple * window)
+        # The pre-boundary count was wiped, not carried.
+        assert engine.table.estimated_count(row) == 1
+        assert engine.current_window == multiple
+
+    def test_straddling_run_cannot_trigger_but_stays_within_guarantee(self):
+        """T ACTs split across a boundary trigger nothing (each window
+        sees < T), yet the instrumented engine confirms the guarantee
+        still holds -- the k+1-window victim budget absorbs straddles
+        by design."""
+        config = scaled_config(2)
+        engine = InstrumentedGrapheneEngine(config, check_every=1)
+        window = config.reset_window_ns
+        threshold = config.tracking_threshold
+        row = 9
+        half = threshold // 2
+        requests = []
+        for index in range(half):
+            requests.extend(
+                engine.on_activate(row, window - half + index)
+            )
+        for index in range(threshold - half):
+            requests.extend(engine.on_activate(row, window + index))
+        assert requests == []
+
+    def test_instrumented_engine_survives_boundary_hammering(self):
+        """Dense alternating hammering across several boundaries with
+        per-ACT Lemma/Theorem checks enabled."""
+        config = scaled_config(2)
+        engine = InstrumentedGrapheneEngine(config, check_every=1)
+        window = config.reset_window_ns
+        threshold = config.tracking_threshold
+        time_ns = window - 3 * threshold
+        for boundary in range(1, 4):
+            target = boundary * window
+            while time_ns < target + 3 * threshold:
+                engine.on_activate(3, time_ns)
+                engine.on_activate(4, time_ns + 0.25)
+                time_ns += 1.0
+            time_ns = (boundary + 1) * window - 3 * threshold
