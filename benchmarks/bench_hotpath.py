@@ -1,0 +1,132 @@
+"""Hot-path bench: the columnar fast engine vs the reference event loop.
+
+Times the same max-rate double-sided hammer trace through
+:func:`repro.sim.simulator.simulate` twice per scheme -- ``fast=False``
+(the per-event reference loop) and ``fast=True`` (the columnar batch
+engine of :mod:`repro.core.fastpath`) -- and records ACTs/second for
+both.  Graphene has a batched kernel, so its fast run must be at least
+2x the reference at any scale (>=5x at full tREFW scale, the ISSUE-4
+acceptance bar); PARA has no kernel, so its ``fast=True`` run documents
+the automatic fallback (speedup ~1x, same engine underneath).
+
+Either way the two runs must produce *identical* serialized
+``SimulationResult``s -- the bench doubles as a coarse differential
+check (the fine-grained one, with the fault referee and table-state
+comparison, is the ``fastpath`` subject in ``repro.verify``).
+
+Numbers land in ``BENCH_hotpath.json`` at the repo root; CI's
+``bench-smoke`` job runs this module at the default reduced scale and
+uploads the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import GrapheneConfig
+from repro.dram.timing import DDR4_2400
+from repro.sim.simulator import simulate
+from repro.workloads.columnar import TraceArray, pace_array
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+SCHEMA = 1
+
+#: Schemes to time; only graphene has a batched kernel today.
+SCHEMES = ("graphene", "para")
+
+
+def _factory(scheme: str):
+    from repro.analysis.scaling import para_probability_for
+    from repro.mitigations import graphene_factory, para_factory
+
+    if scheme == "graphene":
+        return graphene_factory(GrapheneConfig(hammer_threshold=50_000))
+    if scheme == "para":
+        return para_factory(para_probability_for(50_000), seed=1234)
+    raise ValueError(f"no bench factory for scheme {scheme!r}")
+
+
+def _hammer_trace(duration_ns: float) -> TraceArray:
+    """Max-rate double-sided hammer on one bank (the worst case for the
+    tracker: every ACT is a table hit and every tREFI ends in a REF
+    blackout the scheduler must honor)."""
+    acts = int(duration_ns / DDR4_2400.trc)
+    rows = np.where(np.arange(acts) % 2 == 0, 100, 102).astype(np.int64)
+    return pace_array(rows, DDR4_2400.trc)
+
+
+def _timed(trace: TraceArray, scheme: str, fast: bool) -> tuple[float, dict]:
+    start = time.perf_counter()
+    result = simulate(
+        trace,
+        _factory(scheme),
+        scheme=scheme,
+        workload="hammer-double-sided",
+        banks=1,
+        track_faults=False,
+        fast=fast,
+    )
+    return time.perf_counter() - start, result.to_dict()
+
+
+def run(duration_ns: float) -> dict:
+    """Time every scheme both ways; returns the JSON payload."""
+    trace = _hammer_trace(duration_ns)
+    schemes: dict[str, dict] = {}
+    for scheme in SCHEMES:
+        ref_seconds, ref_result = _timed(trace, scheme, fast=False)
+        fast_seconds, fast_result = _timed(trace, scheme, fast=True)
+        schemes[scheme] = {
+            "has_kernel": scheme == "graphene",
+            "identical": ref_result == fast_result,
+            "reference_seconds": round(ref_seconds, 4),
+            "fast_seconds": round(fast_seconds, 4),
+            "reference_acts_per_sec": round(len(trace) / ref_seconds),
+            "fast_acts_per_sec": round(len(trace) / fast_seconds),
+            "speedup": round(ref_seconds / fast_seconds, 2),
+        }
+    return {
+        "schema": SCHEMA,
+        "workload": "hammer-double-sided",
+        "duration_ns": duration_ns,
+        "acts": len(trace),
+        "banks": 1,
+        "timings": "DDR4_2400",
+        "schemes": schemes,
+    }
+
+
+def bench_hotpath(benchmark, bench_duration_ns):
+    payload = benchmark.pedantic(
+        run,
+        kwargs=dict(duration_ns=bench_duration_ns),
+        rounds=1,
+        iterations=1,
+    )
+    OUTPUT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    for scheme, entry in payload["schemes"].items():
+        # Both engines must serialize to the same result, always.
+        assert entry["identical"], f"{scheme}: fast != reference"
+    # The batched Graphene kernel must beat the reference by >=2x even
+    # at smoke scale (full tREFW scale lands near an order of magnitude).
+    assert payload["schemes"]["graphene"]["speedup"] >= 2.0, payload
+    # PARA exercises the automatic fallback: same engine, no miracles.
+    assert payload["schemes"]["para"]["speedup"] < 2.0, payload
+
+
+if __name__ == "__main__":
+    import sys
+
+    full = "--full" in sys.argv
+    duration = DDR4_2400.trefw if full else DDR4_2400.trefw / 8
+    payload = run(duration)
+    OUTPUT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(json.dumps(payload, indent=2, sort_keys=True))

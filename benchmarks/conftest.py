@@ -23,6 +23,7 @@ The suite routes every experiment through the shared runner
 from __future__ import annotations
 
 import json
+import math
 import os
 from pathlib import Path
 
@@ -57,12 +58,41 @@ def bench_runner():
         yield _session_runner
 
 
+def _label_summaries(records) -> dict[str, dict]:
+    """Aggregate per-job records into per-label summaries.
+
+    A full bench session accumulates thousands of job records; one
+    summary row per distinct label (count, total/mean/p95 seconds,
+    cache hits) keeps the artifact a few KB while still tracking each
+    cell family's perf trajectory run to run.
+    """
+    grouped: dict[str, list] = {}
+    for record in records:
+        grouped.setdefault(record.label, []).append(record)
+    summaries: dict[str, dict] = {}
+    for label, group in sorted(grouped.items()):
+        seconds = sorted(r.seconds for r in group)
+        count = len(seconds)
+        p95_index = max(0, math.ceil(0.95 * count) - 1)
+        summaries[label] = {
+            "count": count,
+            "total_seconds": round(sum(seconds), 4),
+            "mean_seconds": round(sum(seconds) / count, 4),
+            "p95_seconds": round(seconds[p95_index], 4),
+            "cache_hits": sum(1 for r in group if r.source == "cache"),
+        }
+    return summaries
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Dump runner statistics for the perf-trajectory record."""
     if _session_runner is None:
         return
     stats = _session_runner.stats
     payload = {
+        # Schema 2: per-label aggregates replaced the one-record-per-job
+        # "per_job" list of schema 1 (which grew to hundreds of KB).
+        "schema": 2,
         "jobs": stats.jobs,
         "cache_hits": stats.cache_hits,
         "cache_misses": stats.computed,
@@ -71,16 +101,7 @@ def pytest_sessionfinish(session, exitstatus):
         "workers": _session_runner.jobs,
         "full_scale": FULL_SCALE,
         "cache_dir": BENCH_CACHE or None,
-        # Per-job elapsed/cache breakdown, in submission order, so the
-        # perf trajectory of individual cells is tracked run to run.
-        "per_job": [
-            {
-                "label": record.label,
-                "seconds": round(record.seconds, 4),
-                "source": record.source,
-            }
-            for record in stats.records
-        ],
+        "labels": _label_summaries(stats.records),
     }
     try:
         STATS_PATH.write_text(

@@ -38,7 +38,7 @@ from .analysis.scaling import scheme_factories
 from .core.config import GrapheneConfig
 from .dram.faults import CouplingProfile
 from .experiments import EXPERIMENT_NAMES, load
-from .experiments.runner import ExperimentRunner, using_runner
+from .experiments.runner import ExperimentRunner, using_engine, using_runner
 from .mitigations import no_mitigation_factory
 from .sim.cache import ResultCache, default_cache_dir
 from .sim.simulator import simulate
@@ -110,6 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="result-cache directory (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro-graphene)",
+    )
+    experiment.add_argument(
+        "--fast", action="store_true",
+        help="route simulation cells through the columnar fast engine "
+             "(repro.core.fastpath); byte-identical results, cached "
+             "under distinct keys, automatic fallback for schemes "
+             "without a batched kernel",
     )
     experiment.add_argument(
         "--quiet", action="store_true",
@@ -317,9 +324,10 @@ def _command_experiment(args: argparse.Namespace) -> int:
     names = (
         sorted(EXPERIMENT_NAMES) if args.name == "all" else [args.name]
     )
+    engine = "fast" if args.fast else "reference"
     bus = TelemetryBus() if telemetry_on else None
     with telemetry_session(bus) if bus is not None else nullcontext():
-        with using_runner(runner):
+        with using_runner(runner), using_engine(engine):
             for index, name in enumerate(names):
                 if len(names) > 1:
                     prefix = "\n" if index else ""

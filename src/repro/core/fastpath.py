@@ -1,0 +1,660 @@
+"""Batched Graphene hot path: array kernel + chunk-dispatch controller.
+
+:func:`repro.sim.simulator.simulate` normally pushes every ACT through
+``MemoryController.step`` one :class:`~repro.workloads.trace.ActEvent`
+at a time -- per-ACT Python dispatch plus dict/set churn inside
+:class:`~repro.core.misra_gries.MisraGriesTable` is what makes
+full-tREFW runs minutes-long.  This module provides the same semantics
+in batch form:
+
+* :class:`FastMisraGries` -- the Misra-Gries summary over preallocated
+  key/count arrays (no per-ACT allocation), with the same smallest-key
+  eviction tie-break the reference documents as a public contract;
+* :class:`FastGrapheneBank` -- one bank's Graphene engine (window
+  resets, threshold multiples, NRR emission) over that kernel;
+* :class:`FastMemoryController` -- consumes a columnar
+  :class:`~repro.workloads.columnar.TraceArray` and dispatches whole
+  same-bank chunks between blocking events (NRR, REF, window reset),
+  falling back to exact scalar steps at every boundary.
+
+**Equivalence contract.**  Driven over the same stream, the fast
+controller produces *byte-identical* state to the reference stack:
+same :class:`~repro.sim.metrics.SimulationResult` (including float
+latency aggregates), same directive sequence, same Misra-Gries table
+contents, same bit flips.  This is possible because the scalar
+fallback replays ``MemoryController.step`` operation-for-operation on
+the *real* :class:`~repro.dram.device.DramBankModel` objects, and the
+vectorized regimes only engage when they provably reproduce the same
+sequence of float64 operations:
+
+* an ACT's issue time is either its trace time (bank idle: ``issue ==
+  t``) or chained off tRC (bank saturated: ``issue = prev_issue +
+  trc``); both recurrences vectorize exactly -- ``np.cumsum`` is a
+  sequential left-to-right accumulate, so seeding it with the live
+  accumulator reproduces the scalar loop's partial sums bit-for-bit
+  (never ``np.sum``, whose pairwise reduction rounds differently);
+* a vector segment is truncated before the first auto-refresh pop,
+  reset-window boundary, table miss, or threshold crossing; those
+  events take the scalar path, so all blocking/eviction/NRR decisions
+  are made by the exact reference logic.
+
+The vectorized path never runs when a telemetry bus is installed
+(per-event telemetry would be skipped) or for non-Graphene schemes;
+:func:`build_fast_controller` returns ``None`` and callers fall back
+to the reference engine.  ``docs/performance.md`` ("Hot path")
+documents the design and the measured speedups.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..controller.mc import ControllerCounters
+from ..controller.scheduler import LatencySummary, LatencyTracker
+from ..dram.device import DramDevice
+from ..dram.faults import BitFlip
+from ..mitigations.base import (
+    MitigationFactory,
+    MitigationStats,
+    RefreshDirective,
+)
+from ..mitigations.graphene import GrapheneMitigation
+from ..telemetry import runtime as _telemetry
+from ..workloads.columnar import TraceArray
+from .graphene import GrapheneStats
+
+__all__ = [
+    "FastMisraGries",
+    "FastGrapheneBank",
+    "FastMemoryController",
+    "build_fast_controller",
+]
+
+#: Maximum events examined per vector attempt (bounds temporary arrays).
+_SPAN = 4096
+#: Minimum remaining events for a vector attempt to be worth the setup.
+_MIN_VECTOR = 8
+#: After a failed vector attempt, process this many events scalar before
+#: trying again (keeps miss-heavy streams from paying the vector setup
+#: cost on every event).
+_SCALAR_RUN = 32
+#: Stay this far (ns) below a reset-window boundary in vector mode;
+#: boundary-adjacent ACTs take the scalar path where the reference
+#: ``int(t // window)`` decides.
+_WINDOW_MARGIN_NS = 1e-3
+
+
+class FastMisraGries:
+    """Misra-Gries summary over preallocated arrays.
+
+    Scalar :meth:`observe` matches
+    :meth:`repro.core.misra_gries.MisraGriesTable.observe` decision-for-
+    decision, including the smallest-key eviction tie-break (``min``
+    over entries whose count equals the spillover count); the vector
+    path in :class:`FastMemoryController` additionally bumps counts of
+    already-tracked rows in bulk.  All counts are exact integers, so
+    "bit-for-bit" here is simply "the same integers".
+    """
+
+    __slots__ = (
+        "capacity",
+        "keys",
+        "counts",
+        "slot_of",
+        "size",
+        "spillover",
+        "observations",
+        "last_evicted",
+    )
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.keys = np.zeros(capacity, dtype=np.int64)
+        self.counts = np.zeros(capacity, dtype=np.int64)
+        #: row -> slot index; the CAM lookup.
+        self.slot_of: dict[int, int] = {}
+        self.size = 0
+        self.spillover = 0
+        self.observations = 0
+        self.last_evicted: int | None = None
+
+    def observe(self, item: int) -> int | None:
+        """Process one row; mirrors ``MisraGriesTable.observe``."""
+        self.observations += 1
+        slot = self.slot_of.get(item)
+        if slot is not None:
+            new = int(self.counts[slot]) + 1
+            self.counts[slot] = new
+            return new
+        if self.size < self.capacity:
+            slot = self.size
+            self.keys[slot] = item
+            self.counts[slot] = 1
+            self.slot_of[item] = slot
+            self.size += 1
+            return 1
+        spillover = self.spillover
+        candidates = np.flatnonzero(self.counts[: self.size] == spillover)
+        if len(candidates):
+            # Smallest key among replaceable entries -- keys are
+            # distinct, so argmin picks the unique minimum, same as
+            # ``min(replaceable)`` over the reference's bucket set.
+            slot = int(candidates[np.argmin(self.keys[candidates])])
+            evicted = int(self.keys[slot])
+            del self.slot_of[evicted]
+            self.keys[slot] = item
+            self.counts[slot] = spillover + 1
+            self.slot_of[item] = slot
+            self.last_evicted = evicted
+            return spillover + 1
+        self.spillover = spillover + 1
+        return None
+
+    def reset(self) -> None:
+        self.slot_of.clear()
+        self.size = 0
+        self.spillover = 0
+        self.observations = 0
+        self.last_evicted = None
+
+    def __contains__(self, item: int) -> bool:
+        return item in self.slot_of
+
+    def __len__(self) -> int:
+        return self.size
+
+    def estimated_count(self, item: int) -> int:
+        slot = self.slot_of.get(item)
+        return 0 if slot is None else int(self.counts[slot])
+
+    def tracked(self) -> dict[int, int]:
+        """Snapshot identical to ``MisraGriesTable.tracked()``."""
+        return {
+            int(self.keys[i]): int(self.counts[i]) for i in range(self.size)
+        }
+
+
+class FastGrapheneBank:
+    """One bank's Graphene engine over the array kernel.
+
+    Replicates the ``MitigationEngine.on_activate`` ->
+    ``GrapheneMitigation._process_activation`` ->
+    ``GrapheneEngine.on_activate`` chain exactly (validation order,
+    stats increments, lazy window reset, directive fields), while
+    keeping the reference's two stats layers: :attr:`stats`
+    (:class:`~repro.mitigations.base.MitigationStats`, read by
+    ``simulate``) and :attr:`gstats`
+    (:class:`~repro.core.graphene.GrapheneStats`).
+    """
+
+    name = "graphene"
+
+    def __init__(self, mitigation: GrapheneMitigation) -> None:
+        self.config = mitigation.config
+        self.bank = mitigation.bank
+        self.rows = mitigation.rows
+        self.threshold = self.config.tracking_threshold
+        self.window_len = self.config.reset_window_ns
+        self.blast_radius = self.config.blast_radius
+        self.kernel = FastMisraGries(self.config.num_entries)
+        self.stats = MitigationStats()
+        self.gstats = GrapheneStats()
+        self.current_window = 0
+
+    # ------------------------------------------------------------------
+    # Scalar path (exact reference replay)
+    # ------------------------------------------------------------------
+
+    def on_activate(self, row: int, time_ns: float) -> list[RefreshDirective]:
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+        self.stats.activations += 1
+        if time_ns < 0:
+            raise ValueError("time must be non-negative")
+        self._maybe_reset(time_ns)
+        self.gstats.activations += 1
+
+        kernel = self.kernel
+        was_tracked = row in kernel.slot_of
+        new_count = kernel.observe(row)
+        if new_count is None:
+            self.gstats.spillover_increments += 1
+            return []
+        if was_tracked:
+            self.gstats.table_hits += 1
+        else:
+            self.gstats.table_insertions += 1
+        if new_count % self.threshold != 0:
+            return []
+
+        victims = self.victim_rows_of(row)
+        self.gstats.victim_refresh_requests += 1
+        self.gstats.victim_rows_refreshed += len(victims)
+        directives = [
+            RefreshDirective(
+                bank=self.bank,
+                victim_rows=victims,
+                time_ns=time_ns,
+                aggressor_row=row,
+                reason=f"T x {new_count // self.threshold}",
+            )
+        ]
+        self.stats.record(directives)
+        return directives
+
+    def on_refresh_command(self, time_ns: float) -> list[RefreshDirective]:
+        return []
+
+    def victim_rows_of(self, aggressor_row: int) -> tuple[int, ...]:
+        return tuple(
+            victim
+            for distance in range(1, self.blast_radius + 1)
+            for victim in (aggressor_row - distance, aggressor_row + distance)
+            if 0 <= victim < self.rows
+        )
+
+    def _maybe_reset(self, time_ns: float) -> None:
+        window = int(time_ns // self.window_len)
+        if window != self.current_window:
+            if window < self.current_window:
+                raise ValueError(
+                    f"time moved backwards across windows: window {window} "
+                    f"after window {self.current_window}"
+                )
+            self.kernel.reset()
+            self.gstats.window_resets += 1
+            self.current_window = window
+
+    # ------------------------------------------------------------------
+    # Parity helpers
+    # ------------------------------------------------------------------
+
+    def table_bits(self) -> int:
+        return self.config.table_bits_per_bank
+
+    def describe(self) -> str:
+        return (
+            f"graphene(T={self.config.tracking_threshold}, "
+            f"N={self.config.num_entries}, k={self.config.k}, "
+            f"radius={self.config.blast_radius})"
+        )
+
+    def table_state(self) -> dict[str, object]:
+        """Comparable snapshot for differential checks."""
+        return {
+            "tracked": self.kernel.tracked(),
+            "spillover": self.kernel.spillover,
+            "observations": self.kernel.observations,
+            "window": self.current_window,
+        }
+
+
+def reference_table_state(mitigation: GrapheneMitigation) -> dict[str, object]:
+    """The reference engine's snapshot in :meth:`FastGrapheneBank.table_state`
+    form, for divergence comparisons."""
+    table = mitigation.engine.table
+    return {
+        "tracked": table.tracked(),
+        "spillover": table.spillover,
+        "observations": table.observations,
+        "window": mitigation.engine.current_window,
+    }
+
+
+class FastMemoryController:
+    """Chunk-dispatching twin of ``MemoryController`` for Graphene.
+
+    Drives the *real* :class:`~repro.dram.device.DramBankModel` objects:
+    scalar steps call the same methods the reference controller calls,
+    and vector segments write the same post-state the per-event calls
+    would have produced.  Construct via :func:`build_fast_controller`.
+    """
+
+    def __init__(
+        self,
+        device: DramDevice,
+        engines: list[FastGrapheneBank],
+        keep_directive_log: bool = False,
+    ) -> None:
+        self.device = device
+        self.engines = engines
+        self.latency = LatencyTracker()
+        self.counters = ControllerCounters()
+        self.bit_flips: list[BitFlip] = []
+        self.directive_log: list[RefreshDirective] | None = (
+            [] if keep_directive_log else None
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, events) -> None:
+        """Drive the full system from a time-sorted ACT stream.
+
+        Accepts a :class:`TraceArray` or any ``ActEvent`` iterable
+        (materialized into one).
+        """
+        trace = TraceArray.from_events(events)
+        for start, stop, bank in trace.bank_runs():
+            self._run_segment(trace, start, stop, bank)
+
+    def _run_segment(
+        self, trace: TraceArray, start: int, stop: int, bank_index: int
+    ) -> None:
+        bank_model = self.device.bank(bank_index)
+        engine = self.engines[bank_index]
+        times = trace.time_ns
+        rows = trace.row
+        index = start
+        scalar_budget = 0
+        while index < stop:
+            if scalar_budget == 0 and stop - index >= _MIN_VECTOR:
+                limit = min(index + _SPAN, stop)
+                consumed, table_bound = self._try_vector(
+                    bank_model, engine, times[index:limit], rows[index:limit]
+                )
+                if consumed:
+                    index += consumed
+                    continue
+                # A timing-boundary failure (REF tick, window edge,
+                # blocked bank) is structural: one scalar step clears
+                # it.  A table-phase failure (miss/eviction/trigger at
+                # the very first event) signals a miss-heavy stream, so
+                # back off before paying the vector setup cost again.
+                scalar_budget = _SCALAR_RUN if table_bound else 1
+            self._scalar_step(
+                bank_model, engine, float(times[index]), int(rows[index])
+            )
+            if scalar_budget:
+                scalar_budget -= 1
+            index += 1
+
+    def _scalar_step(self, bank_model, engine, time_ns: float, row: int) -> None:
+        """One ACT, operation-for-operation as ``MemoryController.step``."""
+        issue_ns = bank_model.earliest_activate(time_ns)
+        delay_ns = issue_ns - time_ns
+        self.latency.record(delay_ns)
+        flips = bank_model.activate(row, issue_ns)
+        if flips:
+            self.bit_flips.extend(flips)
+            self.counters.bit_flips += len(flips)
+        self.counters.acts_issued += 1
+
+        directives: list[RefreshDirective] = []
+        for ref_event in bank_model.drain_refresh_events():
+            self.counters.ref_ticks_forwarded += 1
+            directives.extend(engine.on_refresh_command(ref_event.time_ns))
+        directives.extend(engine.on_activate(row, issue_ns))
+        for directive in directives:
+            self._execute_directive(bank_model, directive, issue_ns)
+
+    def _execute_directive(self, bank_model, directive, now_ns: float) -> None:
+        rows = list(directive.victim_rows)
+        if not rows:
+            return
+        bank_model.bank.nearby_row_refresh(len(rows), now_ns)
+        if bank_model.faults is not None:
+            bank_model.faults.on_refresh_range(rows)
+        self.counters.nrr_commands += 1
+        self.counters.nrr_rows += len(rows)
+        if self.directive_log is not None:
+            self.directive_log.append(directive)
+
+    # ------------------------------------------------------------------
+    # Vector path
+    # ------------------------------------------------------------------
+
+    def _try_vector(
+        self,
+        bank_model,
+        engine: FastGrapheneBank,
+        times: np.ndarray,
+        rows: np.ndarray,
+    ) -> int:
+        """Consume a prefix of ``times``/``rows`` in bulk; 0 if none.
+
+        A prefix qualifies only while the per-event recurrence is one of
+        two exactly-vectorizable regimes and no blocking event (REF pop,
+        window boundary, table miss, threshold crossing) falls inside.
+        The comparisons reuse the reference's epsilon expressions
+        (``legal <= candidate + 1e-9``) verbatim so the regime boundary
+        is decided by the same float operations.
+        """
+        bank = bank_model.bank
+        trc = bank.timings.trc
+        if trc <= 2e-9:
+            return 0, False
+        next_act = bank._next_act_ns
+        busy = bank._busy_until_ns
+        clock = bank_model._clock_ns
+        t0 = float(times[0])
+
+        # First blocking event: a REF pop (pops when next_ref <= issue,
+        # matching ``pop_due``'s `<=`) or a reset-window boundary
+        # (conservative margin; boundary ACTs go scalar).  Bound the
+        # working slice by it up front so a segment between two tREFI
+        # ticks costs array ops of its own size, not the full span.
+        blocking_ns = min(
+            bank_model.refresh_engine.next_time_ns,
+            (engine.current_window + 1) * engine.window_len
+            - _WINDOW_MARGIN_NS,
+        )
+
+        chained = False
+        if clock <= t0 and next_act <= t0 + 1e-9 and busy <= t0 + 1e-9:
+            # Idle regime: every ACT issues at its trace time.  Needs
+            # prev_time + trc legal (within epsilon) at each successor.
+            extent = int(np.searchsorted(times, blocking_ns, side="left"))
+            if extent == 0:
+                return 0, False
+            times = times[:extent]
+            gaps_ok = (times[:-1] + trc) <= (times[1:] + 1e-9)
+            if not gaps_ok.all():
+                extent = int(np.argmin(gaps_ok)) + 1
+                times = times[:extent]
+            # gaps_ok makes the prefix strictly increasing, so its last
+            # element is its max; this re-check keeps the searchsorted
+            # bound honest even if the input was not globally sorted.
+            if float(times[extent - 1]) >= blocking_ns:
+                return 0, False
+            issue = times
+        elif busy <= next_act and next_act > t0 + 1e-9 and next_act > clock + 1e-9:
+            # Saturated regime: ACTs queue back-to-back, each issuing at
+            # prev_issue + trc.  The chain is the scalar loop's exact
+            # partial sums (cumsum accumulates left-to-right).
+            chained = True
+            if next_act >= blocking_ns:
+                return 0, False
+            # issue[k] ~= next_act + k*trc, so this bound overshoots the
+            # exact truncation below by at most a couple of elements.
+            bound = min(
+                len(times), int((blocking_ns - next_act) / trc) + 2
+            )
+            times = times[:bound]
+            seeded = np.full(len(times), trc, dtype=np.float64)
+            seeded[0] = next_act
+            chain = np.cumsum(seeded)
+            ok = chain > times + 1e-9
+            if ok.all():
+                extent = len(times)
+            else:
+                extent = int(np.argmin(ok))
+                if extent == 0:
+                    return 0, False
+            blocked = chain[:extent] >= blocking_ns
+            if blocked.any():
+                extent = int(np.argmax(blocked))
+                if extent == 0:
+                    return 0, False
+            issue = chain
+        else:
+            return 0, False
+
+        # Misra-Gries bulk phase: only already-tracked rows (pure hits)
+        # below their next threshold multiple may be batched.  The first
+        # miss or crossing truncates; that event replays scalar.
+        kernel = engine.kernel
+        threshold = engine.threshold
+        uniq, inverse = np.unique(rows[:extent], return_inverse=True)
+        slots = np.fromiter(
+            (kernel.slot_of.get(int(u), -1) for u in uniq),
+            dtype=np.int64,
+            count=len(uniq),
+        )
+        missing = slots < 0
+        if missing.any():
+            extent = min(extent, int(np.argmax(missing[inverse])))
+            if extent == 0:
+                return 0, True
+        inverse = inverse[:extent]
+        occurrences = np.bincount(inverse, minlength=len(uniq))
+        base = kernel.counts[np.where(missing, 0, slots)]
+        to_next_multiple = threshold - base % threshold
+        crossing = (
+            (occurrences >= to_next_multiple) & ~missing & (occurrences > 0)
+        )
+        if crossing.any():
+            first_trigger = extent
+            for u in np.flatnonzero(crossing):
+                positions = np.flatnonzero(inverse == u)
+                event_index = int(positions[int(to_next_multiple[u]) - 1])
+                if event_index < first_trigger:
+                    first_trigger = event_index
+            extent = first_trigger
+            if extent == 0:
+                return 0, True
+            inverse = inverse[:extent]
+            occurrences = np.bincount(inverse, minlength=len(uniq))
+
+        # ---- Commit the batch ----------------------------------------
+        bumped = np.flatnonzero(occurrences)
+        # Distinct rows -> distinct slots, so fancy in-place add is safe.
+        kernel.counts[slots[bumped]] += occurrences[bumped]
+        kernel.observations += extent
+        engine.gstats.activations += extent
+        engine.gstats.table_hits += extent
+        engine.stats.activations += extent
+
+        last_issue = float(issue[extent - 1])
+        bank.open_row = int(rows[extent - 1])
+        bank._last_act_ns = last_issue
+        bank._next_act_ns = last_issue + trc
+        bank.stats.activations += extent
+        bank.stats.row_buffer_misses += extent
+        bank_model._clock_ns = last_issue
+        self.counters.acts_issued += extent
+
+        if chained:
+            self._bulk_record_delays(issue[:extent] - times[:extent])
+        else:
+            # issue == trace time exactly: every delay is 0.0.
+            self.latency._count += extent
+            self.latency._buckets[0] += extent
+
+        if bank_model.faults is not None:
+            faults = bank_model.faults
+            for k in range(extent):
+                flips = faults.on_activate(int(rows[k]), float(issue[k]))
+                if flips:
+                    self.bit_flips.extend(flips)
+                    self.counters.bit_flips += len(flips)
+        return extent, False
+
+    def _bulk_record_delays(self, delays: np.ndarray) -> None:
+        """Fold strictly positive delays into the tracker in bulk.
+
+        Reproduces ``LatencyTracker.record`` state exactly: the total is
+        a seeded sequential cumsum (same rounding as the scalar ``+=``),
+        and log2 bucket exponents come from ``np.frexp`` -- exact bit
+        manipulation -- except in the narrow band where ``math.log2``
+        may round up across an integer, which replays the reference's
+        scalar expression.
+        """
+        tracker = self.latency
+        count = len(delays)
+        tracker._count += count
+        tracker._delayed += count
+        seeded = np.empty(count + 1, dtype=np.float64)
+        seeded[0] = tracker._total
+        seeded[1:] = delays
+        tracker._total = float(np.cumsum(seeded)[-1])
+        peak = float(delays.max())
+        if peak > tracker._max:
+            tracker._max = peak
+        if peak == float(delays[0]) and peak == float(delays.min()):
+            # Constant delay (the saturated-hammer steady state: both
+            # the chain and the trace advance by exactly tRC): one
+            # scalar bucket computation covers the whole batch.
+            exponent = min(
+                LatencyTracker._MAX_EXPONENT,
+                max(0, int(math.log2(max(peak, 1.0)))),
+            )
+            tracker._buckets[exponent + 1] += count
+            return
+        floored = np.maximum(delays, 1.0)
+        mantissa, frexp_exp = np.frexp(floored)
+        exponents = frexp_exp.astype(np.int64) - 1
+        risky = mantissa >= 1.0 - 1e-12
+        if risky.any():
+            for j in np.flatnonzero(risky):
+                exponents[j] = min(
+                    LatencyTracker._MAX_EXPONENT,
+                    max(0, int(math.log2(max(float(delays[j]), 1.0)))),
+                )
+        np.minimum(exponents, LatencyTracker._MAX_EXPONENT, out=exponents)
+        bucket_counts = np.bincount(exponents + 1, minlength=32)
+        buckets = tracker._buckets
+        for index in np.flatnonzero(bucket_counts):
+            buckets[index] += int(bucket_counts[index])
+
+    # ------------------------------------------------------------------
+    # Results (``MemoryController`` parity)
+    # ------------------------------------------------------------------
+
+    def latency_summary(self) -> LatencySummary:
+        return self.latency.summary()
+
+    def engine_stats(self):
+        return [engine.stats for engine in self.engines]
+
+    def total_victim_rows_refreshed(self) -> int:
+        return sum(engine.stats.rows_refreshed for engine in self.engines)
+
+    def describe(self) -> str:
+        scheme = self.engines[0].describe() if self.engines else "none"
+        return (
+            f"FastMemoryController(banks={len(self.engines)}, "
+            f"scheme={scheme})"
+        )
+
+
+def build_fast_controller(
+    device: DramDevice,
+    factory: MitigationFactory,
+    keep_directive_log: bool = False,
+) -> FastMemoryController | None:
+    """Build the fast controller, or ``None`` if it cannot apply.
+
+    Fallback triggers (the caller should use the reference
+    ``MemoryController``):
+
+    * a telemetry bus is installed -- the vector path cannot publish
+      the per-event telemetry the reference emits;
+    * any bank's engine is not :class:`GrapheneMitigation` -- only the
+      Graphene scheme has a batched kernel.
+    """
+    if _telemetry.BUS is not None:
+        return None
+    mitigations = [
+        factory(bank, device.geometry.rows_per_bank)
+        for bank in range(device.geometry.total_banks)
+    ]
+    if not all(isinstance(m, GrapheneMitigation) for m in mitigations):
+        return None
+    engines = [FastGrapheneBank(m) for m in mitigations]
+    return FastMemoryController(device, engines, keep_directive_log)

@@ -107,8 +107,8 @@ class MisraGriesTable:
         if len(counts) < self.capacity:
             # Table not yet full.  In hardware the empty slots are valid
             # entries with count 0, and since counts never decrease the
-            # spillover count is still 0 whenever an empty slot exists.
-            assert self.spillover == 0, "spillover grew while slots were free"
+            # spillover count is still 0 whenever an empty slot exists;
+            # check_invariants() verifies that property off the hot path.
             self._insert(item, 1)
             return 1
 
@@ -209,6 +209,13 @@ class MisraGriesTable:
         if self._counts:
             assert self.spillover <= min(self._counts.values()), (
                 "spillover exceeds a tracked estimated count"
+            )
+        if len(self._counts) < self.capacity:
+            # Empty slots are count-0 entries in hardware, and counts
+            # never decrease, so spillover must still be 0 while any
+            # slot is free.
+            assert self.spillover == 0, (
+                "spillover grew while slots were free"
             )
         rebuilt: dict[int, set[Hashable]] = {}
         for item, count in self._counts.items():

@@ -53,10 +53,47 @@ __all__ = [
     "set_runner",
     "configure",
     "using_runner",
+    "ENGINES",
+    "get_engine",
+    "set_engine",
+    "using_engine",
     "run_sim_spec",
     "sim_job",
     "build_factory",
 ]
+
+#: Simulation engine variants a job may request: the per-event
+#: reference loop, or the columnar batch engine of
+#: :mod:`repro.core.fastpath` (which falls back to the reference for
+#: schemes without a batched kernel).
+ENGINES = ("reference", "fast")
+
+_default_engine = "reference"
+
+
+def get_engine() -> str:
+    """The engine variant :func:`sim_job` uses when none is requested."""
+    return _default_engine
+
+
+def set_engine(engine: str) -> str:
+    """Install ``engine`` as the default variant; returns it."""
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    global _default_engine
+    _default_engine = engine
+    return _default_engine
+
+
+@contextlib.contextmanager
+def using_engine(engine: str) -> Iterator[str]:
+    """Temporarily route :func:`sim_job` jobs through ``engine``."""
+    previous = get_engine()
+    set_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_engine(previous)
 
 
 # ----------------------------------------------------------------------
@@ -530,12 +567,19 @@ def run_sim_spec(
     hammer_threshold: float = 50_000,
     track_faults: bool = False,
     banks: int = 1,
+    engine: str = "reference",
 ) -> SimulationResult:
     """Declarative ``simulate()``: every input is a picklable spec.
 
     This is the function every cached/parallel simulation job resolves
-    to; its keyword dictionary *is* the cache key material.
+    to; its keyword dictionary *is* the cache key material.  ``engine``
+    selects the simulation variant (see :data:`ENGINES`); results are
+    engine-independent by construction, but the variants have different
+    perf envelopes, so the choice is part of the cache key whenever it
+    is not the default.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     events = _build_trace(
         trace, workload, duration_ns, seed, timings, rows_per_bank
     )
@@ -550,6 +594,7 @@ def run_sim_spec(
         hammer_threshold=hammer_threshold,
         track_faults=track_faults,
         duration_ns=duration_ns,
+        fast=(engine == "fast"),
     )
 
 
@@ -561,9 +606,22 @@ def sim_job(
     workload: str,
     duration_ns: float,
     label: str = "",
+    engine: str | None = None,
     **kwargs: Any,
 ) -> Job:
-    """Build a :class:`Job` for one declarative simulation."""
+    """Build a :class:`Job` for one declarative simulation.
+
+    ``engine`` defaults to the session engine (:func:`get_engine`); it
+    enters the job's kwargs -- and therefore the cache key -- only when
+    it differs from ``"reference"``, so fast-path runs are cached
+    separately while every pre-existing reference cache entry keeps its
+    address.
+    """
+    engine = engine if engine is not None else get_engine()
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if engine != "reference":
+        kwargs = dict(kwargs, engine=engine)
     return Job(
         fn="repro.experiments.runner:run_sim_spec",
         kwargs=dict(

@@ -65,6 +65,7 @@ def simulate(
     coupling: CouplingProfile | None = None,
     track_faults: bool = True,
     duration_ns: float | None = None,
+    fast: bool = False,
 ) -> SimulationResult:
     """Run one (workload, scheme) pair through the full system.
 
@@ -83,7 +84,13 @@ def simulate(
             bit-flip verdicts).
         duration_ns: Period the result is normalized over; defaults to
             the last event time rounded up to a whole refresh window
-            (per-window metrics need whole windows).
+            (per-window metrics need whole windows), or 0 when the
+            stream is empty.
+        fast: Route through the columnar batch engine
+            (:mod:`repro.core.fastpath`) when the scheme supports it;
+            results are byte-identical to the reference engine, which
+            remains the automatic fallback (telemetry bus installed, or
+            a scheme without a batched kernel).
 
     Returns:
         The complete result bundle.
@@ -96,16 +103,34 @@ def simulate(
         coupling=coupling,
         track_faults=track_faults,
     )
-    controller = MemoryController(device, factory)
+    controller = None
+    if fast:
+        from ..core.fastpath import build_fast_controller
+
+        controller = build_fast_controller(device, factory)
 
     last_time_ns = 0.0
-    for event in events:
-        controller.step(event)
-        last_time_ns = event.time_ns
+    if controller is not None:
+        from ..workloads.columnar import TraceArray
+
+        trace = TraceArray.from_events(events)
+        controller.run(trace)
+        if len(trace):
+            last_time_ns = float(trace.time_ns[-1])
+    else:
+        controller = MemoryController(device, factory)
+        for event in events:
+            controller.step(event)
+            last_time_ns = event.time_ns
 
     if duration_ns is None:
-        windows = max(1, math.ceil(last_time_ns / timings.trefw))
-        duration_ns = windows * timings.trefw
+        if controller.counters.acts_issued == 0:
+            # An empty stream simulated nothing: report a zero-length
+            # run instead of fabricating a whole refresh window.
+            duration_ns = 0.0
+        else:
+            windows = max(1, math.ceil(last_time_ns / timings.trefw))
+            duration_ns = windows * timings.trefw
 
     stats = device.total_stats()
     largest = max(

@@ -14,6 +14,10 @@ repository and checks each against **exact ground truth**:
   logical :class:`~repro.core.misra_gries.MisraGriesTable`, flagging
   any trigger/spillover/tracked-set divergence;
 * ``rank``                 -- the rank-level shared table;
+* ``fastpath``             -- the columnar batch engine
+  (:mod:`repro.core.fastpath`) against the reference controller,
+  requiring byte-identical results, directives, bit flips and table
+  state (see :mod:`.fastpath_check`);
 * ``mitigation:<scheme>``  -- the full-system layer: the stream is
   repaced to DDR4 timings and driven through
   :func:`repro.sim.simulator.simulate` with the fault referee on;
@@ -362,10 +366,13 @@ def core_subjects(
     scale: VerifyScale = DEFAULT_SCALE,
 ) -> dict[str, Callable[[Sequence[ActEvent]], tuple[list[Violation], dict]]]:
     """All core-layer subjects, ready to run one stream each."""
+    from .fastpath_check import fastpath_subject
+
     subjects: dict[str, Callable] = {
         "graphene": lambda ev: _run_graphene(ev, scale),
         "hardware-vs-logical": lambda ev: _run_hardware_vs_logical(ev, scale),
         "rank": lambda ev: _run_rank(ev, scale),
+        "fastpath": fastpath_subject(scale),
     }
     for kind in TRACKER_KINDS:
         subjects[f"tracker:{kind}"] = (

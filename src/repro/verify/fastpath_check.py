@@ -1,0 +1,220 @@
+"""Differential subject: the columnar fast path vs the reference engine.
+
+The fast path (:mod:`repro.core.fastpath`) promises *byte-identical*
+results, not approximately-equal ones, so this subject runs every
+verify stream through both stacks and compares everything observable:
+
+* the serialized :class:`~repro.sim.metrics.SimulationResult` (which
+  folds in latency buckets, bank stats and controller counters),
+* the full executed-directive log (order, victim rows, reasons),
+* every recorded :class:`~repro.dram.faults.BitFlip`,
+* each bank's final Misra-Gries table state (tracked map, spillover,
+  observations, window index).
+
+Any mismatch is a ``divergence`` violation, addressable enough for the
+shrinker to minimize.  The stream is repaced to DDR4 timings exactly
+like the ``mitigation:*`` subjects so the two layers see the same
+traffic.  When the fast path declines to build (telemetry bus active),
+the subject reports itself skipped rather than silently passing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+from ..core.fastpath import build_fast_controller, reference_table_state
+from ..dram.timing import DDR4_2400
+from ..workloads.trace import ActEvent
+from .generators import VerifyScale
+
+__all__ = ["run_fastpath_check", "fastpath_subject"]
+
+#: Same DDR4 pacing the mitigation subjects use (one ACT per tRC).
+_PACE_INTERVAL_NS = 45.0
+
+
+def _graphene_factory(trh: int):
+    from ..core.config import GrapheneConfig
+    from ..mitigations import graphene_factory
+
+    return graphene_factory(
+        GrapheneConfig(hammer_threshold=trh, reset_window_divisor=2)
+    )
+
+
+def _result_dict(controller, device, banks, rows_per_bank, last_time_ns,
+                 duration_ns) -> dict[str, Any]:
+    """Mirror :func:`repro.sim.simulator.simulate`'s result assembly."""
+    from ..sim.metrics import SimulationResult
+
+    if duration_ns is None:
+        if controller.counters.acts_issued == 0:
+            duration_ns = 0.0
+        else:
+            windows = max(1, math.ceil(last_time_ns / DDR4_2400.trefw))
+            duration_ns = windows * DDR4_2400.trefw
+    stats = device.total_stats()
+    largest = max(
+        (engine.stats.largest_directive_rows for engine in controller.engines),
+        default=0,
+    )
+    return SimulationResult(
+        scheme="graphene",
+        workload="verify-fastpath",
+        banks=banks,
+        rows_per_bank=rows_per_bank,
+        duration_ns=duration_ns,
+        acts=controller.counters.acts_issued,
+        victim_refresh_directives=controller.counters.nrr_commands,
+        victim_rows_refreshed=controller.counters.nrr_rows,
+        largest_directive_rows=largest,
+        bit_flips=controller.counters.bit_flips,
+        latency=controller.latency_summary(),
+        bank_stats=stats,
+        timings=DDR4_2400,
+    ).to_dict()
+
+
+def _directive_rows(log) -> list[tuple]:
+    return [
+        (d.bank, d.aggressor_row, tuple(d.victim_rows), d.time_ns, d.reason)
+        for d in log
+    ]
+
+
+def _flip_rows(flips) -> list[tuple]:
+    return [
+        (f.bank, f.row, f.aggressor_row, f.time_ns, f.activation_count)
+        for f in flips
+    ]
+
+
+def run_fastpath_check(
+    events: Sequence[ActEvent], scale: VerifyScale
+) -> tuple[list, dict[str, Any]]:
+    """Run one stream through both engines; any difference is a bug."""
+    from ..controller.mc import MemoryController
+    from ..sim.simulator import build_device
+    from ..workloads.columnar import TraceArray
+    from .differential import Violation
+
+    subject = "fastpath"
+    paced = [
+        ActEvent(index * _PACE_INTERVAL_NS, event.bank, event.row)
+        for index, event in enumerate(events)
+    ]
+    duration_ns = (len(paced) + 1) * _PACE_INTERVAL_NS
+
+    def device():
+        return build_device(
+            banks=scale.banks,
+            rows_per_bank=scale.rows_per_bank,
+            hammer_threshold=scale.mitigation_trh,
+            track_faults=True,
+        )
+
+    trh = scale.mitigation_trh
+    fast_device = device()
+    fast = build_fast_controller(
+        fast_device, _graphene_factory(trh), keep_directive_log=True
+    )
+    if fast is None:
+        # Telemetry bus installed: the fast path correctly refuses to
+        # build (it cannot publish per-ACT events).  Nothing to compare.
+        return [], {"skipped": "fast path unavailable (telemetry active)"}
+
+    ref_device = device()
+    reference = MemoryController(
+        ref_device, _graphene_factory(trh), keep_directive_log=True
+    )
+    try:
+        reference.run(iter(paced))
+        fast.run(TraceArray.from_events(paced))
+    except Exception as exc:  # noqa: BLE001 - crash capture is the point
+        return (
+            [Violation(subject, "crash", f"{type(exc).__name__}: {exc}")],
+            {},
+        )
+
+    last_time_ns = paced[-1].time_ns if paced else 0.0
+    stats = {
+        "acts": fast.counters.acts_issued,
+        "directives": fast.counters.nrr_commands,
+        "flips": fast.counters.bit_flips,
+    }
+
+    ref_result = _result_dict(
+        reference, ref_device, scale.banks, scale.rows_per_bank,
+        last_time_ns, duration_ns,
+    )
+    fast_result = _result_dict(
+        fast, fast_device, scale.banks, scale.rows_per_bank,
+        last_time_ns, duration_ns,
+    )
+    if ref_result != fast_result:
+        keys = sorted(
+            k for k in ref_result
+            if ref_result[k] != fast_result.get(k)
+        )
+        return (
+            [Violation(
+                subject, "divergence",
+                "SimulationResult mismatch in field(s) "
+                + ", ".join(
+                    f"{k}: ref={ref_result[k]!r} fast={fast_result.get(k)!r}"
+                    for k in keys
+                ),
+            )],
+            stats,
+        )
+
+    ref_log = _directive_rows(reference.directive_log)
+    fast_log = _directive_rows(fast.directive_log)
+    if ref_log != fast_log:
+        first = next(
+            (i for i, (a, b) in enumerate(zip(ref_log, fast_log)) if a != b),
+            min(len(ref_log), len(fast_log)),
+        )
+        return (
+            [Violation(
+                subject, "divergence",
+                f"directive logs diverge at index {first}: "
+                f"ref has {len(ref_log)} directives, fast {len(fast_log)}; "
+                f"ref[{first}]="
+                f"{ref_log[first] if first < len(ref_log) else None!r} "
+                f"fast[{first}]="
+                f"{fast_log[first] if first < len(fast_log) else None!r}",
+            )],
+            stats,
+        )
+
+    if _flip_rows(reference.bit_flips) != _flip_rows(fast.bit_flips):
+        return (
+            [Violation(
+                subject, "divergence",
+                f"bit-flip records diverge: ref={len(reference.bit_flips)} "
+                f"fast={len(fast.bit_flips)}",
+            )],
+            stats,
+        )
+
+    for bank in range(scale.banks):
+        ref_state = reference_table_state(reference.engines[bank])
+        fast_state = fast.engines[bank].table_state()
+        if ref_state != fast_state:
+            return (
+                [Violation(
+                    subject, "divergence",
+                    f"bank {bank} table state diverged: "
+                    f"ref={ref_state!r} fast={fast_state!r}",
+                )],
+                stats,
+            )
+
+    return [], stats
+
+
+def fastpath_subject(scale: VerifyScale):
+    """Subject-roster entry (shape matches ``core_subjects`` values)."""
+    return lambda ev: run_fastpath_check(ev, scale)

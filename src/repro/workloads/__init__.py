@@ -2,6 +2,9 @@
 
 * :mod:`~repro.workloads.trace` -- the :class:`ActEvent` stream model,
   pacing, merging, serialization and statistics;
+* :mod:`~repro.workloads.columnar` -- the array-backed
+  :class:`TraceArray` twin of the stream model (bit-identical
+  vectorized pacing/merging/statistics for the fast path);
 * :mod:`~repro.workloads.spec_like` -- calibrated synthetic stand-ins
   for the paper's SPEC CPU2006 / multithreaded workloads;
 * :mod:`~repro.workloads.synthetic` -- the S1-S4 attack patterns and
@@ -40,6 +43,12 @@ from .synthetic import (
     s4_rows,
     synthetic_events,
 )
+from .columnar import (
+    TraceArray,
+    collect_stats_array,
+    merge_arrays,
+    pace_array,
+)
 from .validation import (
     TraceReport,
     TraceViolation,
@@ -63,6 +72,10 @@ __all__ = [
     "collect_stats",
     "merge_streams",
     "pace",
+    "TraceArray",
+    "pace_array",
+    "merge_arrays",
+    "collect_stats_array",
     "read_trace",
     "take_until",
     "write_trace",

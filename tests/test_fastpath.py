@@ -1,0 +1,291 @@
+"""The columnar fast path: bit-identical to the reference engine.
+
+Every test here asserts *exact* equality with the reference
+implementations -- same directives, same table state, same serialized
+``SimulationResult`` -- because that is the fast path's contract
+(:mod:`repro.core.fastpath` never trades correctness for speed; it
+falls back to the reference loop instead).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import GrapheneConfig
+from repro.core.fastpath import (
+    FastGrapheneBank,
+    FastMisraGries,
+    build_fast_controller,
+    reference_table_state,
+)
+from repro.core.misra_gries import MisraGriesTable
+from repro.dram.timing import DDR4_2400
+from repro.mitigations import graphene_factory, para_factory
+from repro.mitigations.graphene import GrapheneMitigation
+from repro.sim.simulator import build_device, simulate
+from repro.verify.differential import core_subjects
+from repro.verify.fastpath_check import run_fastpath_check
+from repro.verify.generators import DEFAULT_SCALE, StreamSpec, generate_stream
+from repro.workloads import ActEvent, TraceArray, merge_arrays, pace_array
+
+
+def _adversarial_items(seed: int, n: int, keys: int = 12) -> list[int]:
+    """Key stream tight enough to exercise hits, evictions and ties."""
+    rng = random.Random(seed)
+    return [rng.randrange(keys) for _ in range(n)]
+
+
+class TestFastMisraGries:
+    @pytest.mark.parametrize("capacity", [1, 2, 5])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lockstep_with_reference_table(self, capacity, seed):
+        reference = MisraGriesTable(capacity)
+        fast = FastMisraGries(capacity)
+        for step, item in enumerate(_adversarial_items(seed, 2000)):
+            assert fast.observe(item) == reference.observe(item), step
+            assert fast.spillover == reference.spillover, step
+            assert fast.tracked() == reference.tracked(), step
+            assert fast.last_evicted == reference.last_evicted, step
+        assert fast.observations == reference.observations
+        assert len(fast) == len(reference)
+
+    def test_smallest_key_eviction_tie_break(self):
+        """The determinism contract: min() over replaceable keys."""
+        fast = FastMisraGries(3)
+        for key in (30, 20, 10):
+            fast.observe(key)
+        # All three entries have count 1 == spillover + 1; a miss after
+        # one spillover bump must evict key 10, the smallest.
+        fast.observe(99)  # spillover -> 1 (no entry at count 0)
+        assert fast.spillover == 1
+        result = fast.observe(42)
+        assert result == 2  # carried-over count + 1
+        assert fast.last_evicted == 10
+        assert 10 not in fast and 42 in fast
+
+    def test_reset_clears_everything(self):
+        fast = FastMisraGries(2)
+        for item in (1, 2, 3, 3):
+            fast.observe(item)
+        fast.reset()
+        assert len(fast) == 0
+        assert fast.spillover == 0
+        assert fast.observations == 0
+        assert fast.tracked() == {}
+
+    def test_estimated_count(self):
+        fast = FastMisraGries(2)
+        fast.observe(7)
+        fast.observe(7)
+        assert fast.estimated_count(7) == 2
+        assert fast.estimated_count(8) == 0
+
+
+def _mitigation_pair(threshold: int = 1000):
+    config = GrapheneConfig(hammer_threshold=threshold)
+    reference = GrapheneMitigation(0, 65536, config)
+    fast_inner = GrapheneMitigation(0, 65536, config)
+    return reference, FastGrapheneBank(fast_inner)
+
+
+class TestFastGrapheneBank:
+    def test_lockstep_with_reference_engine(self):
+        reference, fast = _mitigation_pair()
+        rng = random.Random(3)
+        time_ns = 0.0
+        for step in range(5000):
+            row = rng.randrange(40)
+            ref_directives = reference.on_activate(row, time_ns)
+            fast_directives = fast.on_activate(row, time_ns)
+            assert fast_directives == ref_directives, step
+            # Reset-window straddles included: jump past a boundary
+            # every ~500 ACTs.
+            time_ns += 45.0 if step % 500 else fast.window_len / 3
+        assert fast.table_state() == reference_table_state(reference)
+        assert fast.stats == reference.stats
+
+    def test_rejects_backwards_time_and_bad_rows(self):
+        _, fast = _mitigation_pair()
+        fast.on_activate(5, 1000.0)
+        with pytest.raises(ValueError):
+            fast.on_activate(5, -1.0)
+        with pytest.raises(IndexError):
+            fast.on_activate(-1, 2000.0)
+
+    def test_describe_matches_reference(self):
+        reference, fast = _mitigation_pair()
+        assert fast.describe() == reference.describe()
+        assert fast.table_bits() == reference.table_bits()
+
+
+def _interleaved_trace(banks: int = 3, acts_per_bank: int = 4000):
+    """Max-rate hammers on several banks, merged into one stream."""
+    per_bank = []
+    for bank in range(banks):
+        rows = [100 + bank, 102 + bank] * (acts_per_bank // 2)
+        per_bank.append(
+            pace_array(rows, DDR4_2400.trc, bank=bank,
+                       start_ns=bank * 7.0)
+        )
+    return merge_arrays(*per_bank)
+
+
+class TestSimulateFastPath:
+    @pytest.mark.parametrize("track_faults", [False, True])
+    def test_identical_results_on_hammer(self, track_faults):
+        trace = _interleaved_trace()
+        kwargs = dict(
+            scheme="graphene",
+            workload="hammer",
+            banks=3,
+            hammer_threshold=2000,
+            track_faults=track_faults,
+        )
+        factory = graphene_factory(GrapheneConfig(hammer_threshold=2000))
+        reference = simulate(trace, factory, fast=False, **kwargs)
+        fast = simulate(trace, factory, fast=True, **kwargs)
+        assert fast.to_dict() == reference.to_dict()
+        assert reference.victim_refresh_directives > 0  # test has teeth
+
+    def test_identical_results_on_fuzz_stream(self):
+        events = generate_stream(
+            StreamSpec(generator="random", seed=5, length=2000),
+            DEFAULT_SCALE,
+        )
+        paced = [
+            ActEvent(i * DDR4_2400.trc, e.bank, e.row)
+            for i, e in enumerate(events)
+        ]
+        kwargs = dict(
+            scheme="graphene",
+            workload="fuzz",
+            banks=DEFAULT_SCALE.banks,
+            rows_per_bank=DEFAULT_SCALE.rows_per_bank,
+            hammer_threshold=DEFAULT_SCALE.mitigation_trh,
+            track_faults=True,
+        )
+        factory = graphene_factory(
+            GrapheneConfig(hammer_threshold=DEFAULT_SCALE.mitigation_trh,
+                           reset_window_divisor=2)
+        )
+        reference = simulate(iter(paced), factory, fast=False, **kwargs)
+        fast = simulate(iter(paced), factory, fast=True, **kwargs)
+        assert fast.to_dict() == reference.to_dict()
+
+    def test_fallback_for_schemes_without_kernel(self):
+        """PARA has no batched kernel: fast=True must transparently use
+        the reference loop and produce the same (seeded) results."""
+        trace = _interleaved_trace(banks=1, acts_per_bank=1000)
+        make = lambda: para_factory(0.01, seed=42)  # noqa: E731
+        kwargs = dict(scheme="para", workload="hammer", banks=1,
+                      track_faults=False)
+        reference = simulate(trace, make(), fast=False, **kwargs)
+        fast = simulate(trace, make(), fast=True, **kwargs)
+        assert fast.to_dict() == reference.to_dict()
+
+    def test_fallback_when_telemetry_installed(self):
+        """The fast path cannot publish per-ACT events; with a bus
+        installed build_fast_controller must decline."""
+        from repro.telemetry import TelemetryBus, session
+
+        device = build_device(banks=1, track_faults=False)
+        factory = graphene_factory(GrapheneConfig())
+        with session(TelemetryBus()):
+            assert build_fast_controller(device, factory) is None
+        assert build_fast_controller(device, factory) is not None
+
+
+class TestEmptyStreamRegression:
+    """Satellite bugfix: an empty stream must not fabricate a window."""
+
+    @pytest.mark.parametrize("fast", [False, True])
+    def test_empty_stream_reports_zero_duration(self, fast):
+        factory = graphene_factory(GrapheneConfig())
+        result = simulate(
+            iter([]), factory, scheme="graphene", workload="empty",
+            fast=fast,
+        )
+        assert result.acts == 0
+        assert result.duration_ns == 0.0
+        assert result.windows == 0
+        assert result.bit_flips == 0
+
+    @pytest.mark.parametrize("fast", [False, True])
+    def test_empty_stream_honors_explicit_duration(self, fast):
+        factory = graphene_factory(GrapheneConfig())
+        result = simulate(
+            iter([]), factory, scheme="graphene", workload="empty",
+            duration_ns=5e6, fast=fast,
+        )
+        assert result.acts == 0
+        assert result.duration_ns == 5e6
+
+
+class TestDifferentialSubject:
+    def test_registered_in_core_subjects(self):
+        assert "fastpath" in core_subjects()
+
+    @pytest.mark.parametrize("generator", ["random", "eviction"])
+    def test_clean_on_fuzz_streams(self, generator):
+        events = generate_stream(
+            StreamSpec(generator=generator, seed=9, length=600),
+            DEFAULT_SCALE,
+        )
+        violations, stats = run_fastpath_check(events, DEFAULT_SCALE)
+        assert violations == []
+        assert stats["acts"] == len(events)
+
+    def test_catches_a_seeded_divergence(self):
+        """The subject must have teeth: perturb the fast kernel's state
+        mid-run and the table-state comparison must flag it."""
+        events = generate_stream(
+            StreamSpec(generator="random", seed=9, length=200),
+            DEFAULT_SCALE,
+        )
+        from repro.core import fastpath as fp
+
+        original = fp.FastMisraGries.observe
+
+        def corrupted(self, item):
+            result = original(self, item)
+            if self.observations == 10:  # skew one count mid-run
+                self.counts[0] += 1
+            return result
+
+        fp.FastMisraGries.observe = corrupted
+        try:
+            violations, _ = run_fastpath_check(events, DEFAULT_SCALE)
+        finally:
+            fp.FastMisraGries.observe = original
+        assert violations, "corrupted kernel state went undetected"
+        assert violations[0].kind == "divergence"
+
+
+class TestFastControllerConstruction:
+    def test_requires_graphene_mitigations(self):
+        device = build_device(banks=1, track_faults=False)
+        assert build_fast_controller(device, para_factory(0.01)) is None
+
+    def test_directive_log_matches_reference(self):
+        from repro.controller.mc import MemoryController
+
+        trace = _interleaved_trace(banks=2, acts_per_bank=3000)
+        factory = graphene_factory(GrapheneConfig(hammer_threshold=2000))
+
+        ref_device = build_device(banks=2, hammer_threshold=2000,
+                                  track_faults=False)
+        reference = MemoryController(ref_device, factory,
+                                     keep_directive_log=True)
+        reference.run(iter(trace.to_events()))
+
+        fast_device = build_device(banks=2, hammer_threshold=2000,
+                                   track_faults=False)
+        fast = build_fast_controller(fast_device, factory,
+                                     keep_directive_log=True)
+        fast.run(TraceArray.from_events(trace))
+
+        assert reference.directive_log, "test has no teeth"
+        assert fast.directive_log == reference.directive_log
+        assert fast.latency_summary() == reference.latency_summary()
