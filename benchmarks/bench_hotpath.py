@@ -1,22 +1,33 @@
 """Hot-path bench: the columnar fast engine vs the reference event loop.
 
-Times the same max-rate double-sided hammer trace through
-:func:`repro.sim.simulator.simulate` twice per scheme -- ``fast=False``
-(the per-event reference loop) and ``fast=True`` (the columnar batch
-engine of :mod:`repro.core.fastpath`) -- and records ACTs/second for
-both.  Graphene has a batched kernel, so its fast run must be at least
-2x the reference at any scale (>=5x at full tREFW scale, the ISSUE-4
-acceptance bar); PARA has no kernel, so its ``fast=True`` run documents
-the automatic fallback (speedup ~1x, same engine underneath).
+Times the same traces through :func:`repro.sim.simulator.simulate`
+twice per (scheme, workload) cell -- ``fast=False`` (the per-event
+reference loop) and ``fast=True`` (the columnar batch engine of
+:mod:`repro.core.fastpath`) -- and records ACTs/second for both.  Since
+ISSUE-5 every scheme in the kernel registry (graphene, para, twice,
+cbt, refresh-rate) has a batched kernel, so each one must beat the
+reference by >=2x even at smoke scale; the full-tREFW acceptance bars
+are >=5x for PARA on the single-bank hammer and >=4x for Graphene on
+the 8-bank round-robin interleave.
 
-Either way the two runs must produce *identical* serialized
+Two workloads:
+
+* ``hammer-double-sided`` -- max-rate double-sided hammer on one bank,
+  the tracker's worst case (every ACT a table hit, every tREFI a REF
+  blackout).
+* ``rr8`` -- the same hammer spread round-robin across 8 banks, the
+  *dispatcher's* worst case: every per-bank run has length 1, so the
+  lane-partition path (whole-trace per-bank segments merged back in
+  global order) is what rescues batching.
+
+Either way the paired runs must produce *identical* serialized
 ``SimulationResult``s -- the bench doubles as a coarse differential
 check (the fine-grained one, with the fault referee and table-state
 comparison, is the ``fastpath`` subject in ``repro.verify``).
 
-Numbers land in ``BENCH_hotpath.json`` at the repo root; CI's
-``bench-smoke`` job runs this module at the default reduced scale and
-uploads the artifact.
+Numbers land in ``BENCH_hotpath.json`` (schema 2) at the repo root;
+CI's ``bench-smoke`` job runs this module at the default reduced scale,
+gates the smoke speedups, and uploads the artifact.
 """
 
 from __future__ import annotations
@@ -28,25 +39,43 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.config import GrapheneConfig
+from repro.core.fastpath import kernel_for
 from repro.dram.timing import DDR4_2400
 from repro.sim.simulator import simulate
-from repro.workloads.columnar import TraceArray, pace_array
+from repro.workloads.columnar import TraceArray, merge_arrays, pace_array
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
-SCHEMA = 1
 
-#: Schemes to time; only graphene has a batched kernel today.
-SCHEMES = ("graphene", "para")
+#: Schema 2: per-workload sections, one row per kernel scheme
+#: (schema 1 had a single workload and only graphene/para rows).
+SCHEMA = 2
+
+#: Every scheme with a registered batched kernel.
+SCHEMES = ("graphene", "para", "twice", "cbt", "refresh-rate")
+
+_RR_BANKS = 8
 
 
 def _factory(scheme: str):
     from repro.analysis.scaling import para_probability_for
-    from repro.mitigations import graphene_factory, para_factory
+    from repro.mitigations import (
+        cbt_factory,
+        graphene_factory,
+        increased_refresh_rate_factory,
+        para_factory,
+        twice_factory,
+    )
 
     if scheme == "graphene":
         return graphene_factory(GrapheneConfig(hammer_threshold=50_000))
     if scheme == "para":
         return para_factory(para_probability_for(50_000), seed=1234)
+    if scheme == "twice":
+        return twice_factory(50_000)
+    if scheme == "cbt":
+        return cbt_factory(50_000, num_counters=64, num_levels=8)
+    if scheme == "refresh-rate":
+        return increased_refresh_rate_factory(multiplier=2)
     raise ValueError(f"no bench factory for scheme {scheme!r}")
 
 
@@ -59,14 +88,48 @@ def _hammer_trace(duration_ns: float) -> TraceArray:
     return pace_array(rows, DDR4_2400.trc)
 
 
-def _timed(trace: TraceArray, scheme: str, fast: bool) -> tuple[float, dict]:
+def _round_robin_trace(duration_ns: float) -> TraceArray:
+    """The same double-sided hammer striped across 8 banks with per-bank
+    start offsets of tRC/8: consecutive global events alternate banks,
+    so every contiguous same-bank run has length 1 -- the pathological
+    case for run-at-a-time batching that the per-bank lane dispatch is
+    built for."""
+    acts_per_bank = int(duration_ns / DDR4_2400.trc)
+    rows = np.where(
+        np.arange(acts_per_bank) % 2 == 0, 100, 102
+    ).astype(np.int64)
+    lanes = [
+        pace_array(
+            rows,
+            DDR4_2400.trc,
+            bank=b,
+            start_ns=b * (DDR4_2400.trc / _RR_BANKS),
+        )
+        for b in range(_RR_BANKS)
+    ]
+    return merge_arrays(*lanes)
+
+
+#: workload name -> (trace builder, device bank count)
+WORKLOADS = {
+    "hammer-double-sided": (_hammer_trace, 1),
+    "rr8": (_round_robin_trace, _RR_BANKS),
+}
+
+
+def _timed(
+    trace: TraceArray, scheme: str, workload: str, banks: int, fast: bool
+) -> tuple[float, dict]:
+    # The TraceArray goes straight into simulate(): converting to event
+    # objects first would bury the engine speedup under millions of
+    # Python-object allocations that neither engine needs.
     start = time.perf_counter()
     result = simulate(
         trace,
         _factory(scheme),
         scheme=scheme,
-        workload="hammer-double-sided",
-        banks=1,
+        workload=workload,
+        banks=banks,
         track_faults=False,
         fast=fast,
     )
@@ -74,29 +137,38 @@ def _timed(trace: TraceArray, scheme: str, fast: bool) -> tuple[float, dict]:
 
 
 def run(duration_ns: float) -> dict:
-    """Time every scheme both ways; returns the JSON payload."""
-    trace = _hammer_trace(duration_ns)
-    schemes: dict[str, dict] = {}
-    for scheme in SCHEMES:
-        ref_seconds, ref_result = _timed(trace, scheme, fast=False)
-        fast_seconds, fast_result = _timed(trace, scheme, fast=True)
-        schemes[scheme] = {
-            "has_kernel": scheme == "graphene",
-            "identical": ref_result == fast_result,
-            "reference_seconds": round(ref_seconds, 4),
-            "fast_seconds": round(fast_seconds, 4),
-            "reference_acts_per_sec": round(len(trace) / ref_seconds),
-            "fast_acts_per_sec": round(len(trace) / fast_seconds),
-            "speedup": round(ref_seconds / fast_seconds, 2),
+    """Time every (scheme, workload) cell both ways; returns the payload."""
+    workloads: dict[str, dict] = {}
+    for workload, (build, banks) in WORKLOADS.items():
+        trace = build(duration_ns)
+        schemes: dict[str, dict] = {}
+        for scheme in SCHEMES:
+            has_kernel = kernel_for(_factory(scheme)(0, 4096)) is not None
+            ref_seconds, ref_result = _timed(
+                trace, scheme, workload, banks, fast=False
+            )
+            fast_seconds, fast_result = _timed(
+                trace, scheme, workload, banks, fast=True
+            )
+            schemes[scheme] = {
+                "has_kernel": has_kernel,
+                "identical": ref_result == fast_result,
+                "reference_seconds": round(ref_seconds, 4),
+                "fast_seconds": round(fast_seconds, 4),
+                "reference_acts_per_sec": round(len(trace) / ref_seconds),
+                "fast_acts_per_sec": round(len(trace) / fast_seconds),
+                "speedup": round(ref_seconds / fast_seconds, 2),
+            }
+        workloads[workload] = {
+            "acts": len(trace),
+            "banks": banks,
+            "schemes": schemes,
         }
     return {
         "schema": SCHEMA,
-        "workload": "hammer-double-sided",
         "duration_ns": duration_ns,
-        "acts": len(trace),
-        "banks": 1,
         "timings": "DDR4_2400",
-        "schemes": schemes,
+        "workloads": workloads,
     }
 
 
@@ -110,14 +182,21 @@ def bench_hotpath(benchmark, bench_duration_ns):
     OUTPUT_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
-    for scheme, entry in payload["schemes"].items():
-        # Both engines must serialize to the same result, always.
-        assert entry["identical"], f"{scheme}: fast != reference"
-    # The batched Graphene kernel must beat the reference by >=2x even
-    # at smoke scale (full tREFW scale lands near an order of magnitude).
-    assert payload["schemes"]["graphene"]["speedup"] >= 2.0, payload
-    # PARA exercises the automatic fallback: same engine, no miracles.
-    assert payload["schemes"]["para"]["speedup"] < 2.0, payload
+    for workload, section in payload["workloads"].items():
+        for scheme, entry in section["schemes"].items():
+            # Both engines must serialize to the same result, always,
+            # and every bench scheme now carries a batched kernel.
+            assert entry["identical"], f"{workload}/{scheme}: fast != reference"
+            assert entry["has_kernel"], f"{workload}/{scheme}: kernel missing"
+    hammer = payload["workloads"]["hammer-double-sided"]["schemes"]
+    rr8 = payload["workloads"]["rr8"]["schemes"]
+    # Smoke-scale gates (full tREFW scale lands near an order of
+    # magnitude): the batched Graphene and PARA kernels on the 1-bank
+    # hammer, and Graphene across the 8-bank round-robin interleave
+    # where the lane dispatch does the work.
+    assert hammer["graphene"]["speedup"] >= 2.0, payload
+    assert hammer["para"]["speedup"] >= 2.0, payload
+    assert rr8["graphene"]["speedup"] >= 2.0, payload
 
 
 if __name__ == "__main__":

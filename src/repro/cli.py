@@ -114,9 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--fast", action="store_true",
         help="route simulation cells through the columnar fast engine "
-             "(repro.core.fastpath); byte-identical results, cached "
-             "under distinct keys, automatic fallback for schemes "
-             "without a batched kernel",
+             "(repro.core.fastpath); per-scheme batched kernels for "
+             "graphene/para/twice/cbt/refresh-rate, byte-identical "
+             "results, cached under distinct keys; schemes without a "
+             "kernel (or telemetry-on runs) fall back to the reference "
+             "loop with a warning, and the fallback reason is surfaced "
+             "in the job summary",
     )
     experiment.add_argument(
         "--quiet", action="store_true",

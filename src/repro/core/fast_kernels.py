@@ -1,0 +1,406 @@
+"""Batched kernels for the non-Graphene mitigation schemes.
+
+Each kernel here *wraps the live reference engine* rather than
+replicating it: the scalar path delegates straight to
+``MitigationEngine.on_activate`` / ``on_refresh_command`` (so every
+boundary event runs the exact reference logic on the real state), and
+:meth:`~repro.core.fastpath.FastKernel.commit_run` applies bulk updates
+to that same state that are provably equal to replaying the events one
+at a time.  The per-scheme batching arguments:
+
+* **PARA** is stateless apart from its RNG, so a run of ACTs with no
+  successful draw is a pure no-op.  ``Generator.random(n)`` consumes
+  the same PCG64 double stream as ``n`` scalar ``.random()`` calls
+  (pinned by ``tests/test_para.py``), so the kernel draws the whole
+  run's candidate matrix at once, finds the first event with any
+  success, rewinds the generator (:meth:`snapshot`/:meth:`restore` of
+  the bit-generator state) and re-draws exactly the prefix's worth of
+  values -- the generator lands bit-for-bit where the scalar loop
+  would, and the first successful event replays scalar (its side draw
+  and edge reflection included).
+* **TWiCe** counts exactly per row and only mutates shared state on a
+  threshold trigger or a REF-tick pruning pass.  The controller never
+  lets a REF fall inside a batch, and between events every counter sits
+  strictly below ``act_threshold`` (triggers reset to zero), so the
+  batch truncates before the first event that would reach the
+  threshold -- everything earlier is plain per-row ``+= occurrences``,
+  with new entries allocated in first-occurrence order so occupancy
+  peaks and capacity violations replay exactly.
+* **CBT** shares counters via a split tree, but the leaf partition can
+  only change on a split, a trigger, or a window reset.  Resets are
+  excluded by the controller (:meth:`next_blocking_ns`), and the batch
+  truncates before the first event that could reach a leaf's action or
+  split threshold, so within a batch the row->leaf map is constant and
+  the update is a ``bincount`` over leaf indices.  The counter pool
+  only grows within a window, so "a free counter exists" is constant
+  across the batch too.
+* **refresh-rate** does all its work at REF ticks; ACTs are pure
+  no-ops, so the whole run commits unconditionally.
+
+``reference_state(engine)`` produces the comparable table snapshot for
+any kernel-covered scheme; the differential subject
+(:mod:`repro.verify.fastpath_check`) uses it on both the reference
+run's engines and the fast run's kernels.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from typing import Any
+
+import numpy as np
+
+from ..mitigations.base import MitigationEngine, RefreshDirective
+from ..mitigations.cbt import CBT, _Counter
+from ..mitigations.graphene import GrapheneMitigation
+from ..mitigations.para import PARA
+from ..mitigations.refresh_rate import IncreasedRefreshRate
+from ..mitigations.twice import TWiCe, _Entry
+from .fastpath import register_kernel, reference_table_state
+
+__all__ = [
+    "FastParaKernel",
+    "FastTwiceKernel",
+    "FastCbtKernel",
+    "FastRefreshRateKernel",
+    "reference_state",
+]
+
+
+class _WrappedKernel:
+    """Base for kernels that wrap the live reference engine.
+
+    The scalar path *is* the reference path: delegation to the real
+    ``MitigationEngine`` entry points, stats object shared.  Subclasses
+    supply ``commit_run`` (and override ``next_blocking_ns`` /
+    ``snapshot`` / ``restore`` where the scheme has windowed or
+    draw-consuming state).
+    """
+
+    def __init__(self, mitigation: MitigationEngine) -> None:
+        self.mitigation = mitigation
+        self.name = mitigation.name
+        self.stats = mitigation.stats
+
+    def on_activate(self, row: int, time_ns: float) -> list[RefreshDirective]:
+        return self.mitigation.on_activate(row, time_ns)
+
+    def on_refresh_command(self, time_ns: float) -> list[RefreshDirective]:
+        return self.mitigation.on_refresh_command(time_ns)
+
+    def next_blocking_ns(self) -> float:
+        return math.inf
+
+    def table_state(self) -> dict[str, Any]:
+        return reference_state(self.mitigation)
+
+    def describe(self) -> str:
+        return self.mitigation.describe()
+
+
+class FastParaKernel(_WrappedKernel):
+    """Bulk-draw PARA: commit the no-success prefix of a run.
+
+    Draws the run's full candidate matrix (one column per nonzero
+    distance probability, row-major -- the exact order the scalar loop
+    consumes draws), then rewinds and repositions the generator at the
+    first event with any successful draw.  That event replays scalar,
+    reproducing the success draw, the side draw and edge reflection
+    from the identical generator state.
+    """
+
+    def __init__(self, mitigation: PARA) -> None:
+        super().__init__(mitigation)
+        self._active_ps = np.array(
+            [p for p in mitigation.distance_probabilities if p > 0.0],
+            dtype=np.float64,
+        )
+
+    def commit_run(
+        self, times: np.ndarray, rows: np.ndarray
+    ) -> tuple[int, list[RefreshDirective]]:
+        n = len(rows)
+        k = len(self._active_ps)
+        if k == 0:
+            # p == 0 everywhere: the scalar loop draws nothing at all.
+            self.stats.activations += n
+            return n, []
+        rng = self.mitigation._rng
+        state = rng.bit_generator.state
+        draws = rng.random(n * k).reshape(n, k)
+        hits = draws < self._active_ps
+        if not hits.any():
+            # No successes: the generator has consumed exactly the n*k
+            # draws the scalar loop would have -- leave it there.
+            self.stats.activations += n
+            return n, []
+        first = int(np.argmax(hits.any(axis=1)))
+        # Rewind past the speculative draws, then consume exactly the
+        # committed prefix's worth so the first successful event replays
+        # scalar from the identical generator state.
+        rng.bit_generator.state = state
+        if first:
+            rng.random(first * k)
+        self.stats.activations += first
+        return first, []
+
+    def snapshot(self) -> Any:
+        stats = self.stats
+        return (
+            self.mitigation._rng.bit_generator.state,
+            stats.activations,
+            stats.refresh_directives,
+            stats.rows_refreshed,
+            stats.largest_directive_rows,
+        )
+
+    def restore(self, state: Any) -> None:
+        stats = self.stats
+        (
+            self.mitigation._rng.bit_generator.state,
+            stats.activations,
+            stats.refresh_directives,
+            stats.rows_refreshed,
+            stats.largest_directive_rows,
+        ) = state
+
+
+class FastTwiceKernel(_WrappedKernel):
+    """Vectorized TWiCe entry-table update.
+
+    Between events every entry's ``act_count`` sits strictly below
+    ``act_threshold`` (a trigger resets it), and pruning only runs at
+    REF ticks the controller keeps out of batches, so the batch commits
+    per-row occurrence counts up to (not including) the first event
+    that would reach the threshold.
+    """
+
+    def __init__(self, mitigation: TWiCe) -> None:
+        super().__init__(mitigation)
+
+    def commit_run(
+        self, times: np.ndarray, rows: np.ndarray
+    ) -> tuple[int, list[RefreshDirective]]:
+        m: TWiCe = self.mitigation
+        entries = m._entries
+        extent = len(rows)
+        uniq, first_pos, inverse = np.unique(
+            rows, return_index=True, return_inverse=True
+        )
+        present = np.fromiter(
+            (int(u) in entries for u in uniq),
+            dtype=np.bool_,
+            count=len(uniq),
+        )
+        counts = np.fromiter(
+            (
+                entries[int(u)].act_count if present[i] else 0
+                for i, u in enumerate(uniq)
+            ),
+            dtype=np.int64,
+            count=len(uniq),
+        )
+        # Invariant: counts < act_threshold between events; the clamp is
+        # belt-and-braces so a violated invariant truncates instead of
+        # mis-indexing.
+        needed = np.maximum(m.act_threshold - counts, 1)
+        occurrences = np.bincount(inverse, minlength=len(uniq))
+        crossing = occurrences >= needed
+        if crossing.any():
+            first_trigger = extent
+            for u in np.flatnonzero(crossing):
+                positions = np.flatnonzero(inverse == u)
+                event_index = int(positions[int(needed[u]) - 1])
+                if event_index < first_trigger:
+                    first_trigger = event_index
+            extent = first_trigger
+            if extent == 0:
+                return 0, []
+            inverse = inverse[:extent]
+            occurrences = np.bincount(inverse, minlength=len(uniq))
+
+        # Allocate new entries in first-occurrence order -- the order
+        # the scalar loop would insert them -- so the occupancy peak and
+        # capacity-violation sequence replay exactly.  (occurrences > 0
+        # implies the first occurrence lies inside the prefix.)
+        fresh = np.flatnonzero((occurrences > 0) & ~present)
+        for u in fresh[np.argsort(first_pos[fresh], kind="stable")]:
+            entries[int(uniq[u])] = _Entry(act_count=0, life=0)
+            if len(entries) > m.max_entries:
+                m.capacity_violations += 1
+            if len(entries) > m.peak_occupancy:
+                m.peak_occupancy = len(entries)
+        for u in np.flatnonzero(occurrences):
+            entries[int(uniq[u])].act_count += int(occurrences[u])
+        self.stats.activations += extent
+        return extent, []
+
+    def snapshot(self) -> Any:
+        m: TWiCe = self.mitigation
+        return (
+            {
+                row: (entry.act_count, entry.life)
+                for row, entry in m._entries.items()
+            },
+            m.peak_occupancy,
+            m.capacity_violations,
+            m.pruned_entries,
+            copy.copy(self.stats),
+        )
+
+    def restore(self, state: Any) -> None:
+        m: TWiCe = self.mitigation
+        entry_state, m.peak_occupancy, m.capacity_violations, (
+            m.pruned_entries
+        ), stats = state
+        m._entries = {
+            row: _Entry(act_count=count, life=life)
+            for row, (count, life) in entry_state.items()
+        }
+        self.stats.__dict__.update(stats.__dict__)
+
+
+class FastCbtKernel(_WrappedKernel):
+    """Counter-tree update over ``np.bincount`` leaf segments.
+
+    The row->leaf map is a ``searchsorted`` over the (sorted) leaf
+    starts; it can only change on a split, trigger, or window reset,
+    all of which truncate the batch, so one map serves the whole batch.
+    """
+
+    def __init__(self, mitigation: CBT) -> None:
+        super().__init__(mitigation)
+
+    def next_blocking_ns(self) -> float:
+        m: CBT = self.mitigation
+        return (m._current_window + 1) * m._window_length_ns
+
+    def commit_run(
+        self, times: np.ndarray, rows: np.ndarray
+    ) -> tuple[int, list[RefreshDirective]]:
+        m: CBT = self.mitigation
+        leaves = m._leaves
+        extent = len(rows)
+        starts = np.fromiter(
+            (leaf.start for leaf in leaves),
+            dtype=np.int64,
+            count=len(leaves),
+        )
+        leaf_idx = np.searchsorted(starts, rows, side="right") - 1
+        occurrences = np.bincount(leaf_idx, minlength=len(leaves))
+        # The pool only grows within a window; no split commits in a
+        # batch, so "a free counter exists" is constant here.
+        pool_free = len(leaves) < m.num_counters
+        hot = np.flatnonzero(occurrences)
+        first_special = extent
+        for l in hot:
+            leaf = leaves[int(l)]
+            ceiling = m.action_threshold
+            if (
+                pool_free
+                and leaf.size > 1
+                and leaf.level < m.num_levels - 1
+            ):
+                ceiling = min(ceiling, m.split_threshold(leaf.level))
+            needed = max(1, ceiling - leaf.count)
+            if int(occurrences[l]) >= needed:
+                positions = np.flatnonzero(leaf_idx == l)
+                event_index = int(positions[needed - 1])
+                if event_index < first_special:
+                    first_special = event_index
+        if first_special < extent:
+            extent = first_special
+            if extent == 0:
+                return 0, []
+            occurrences = np.bincount(
+                leaf_idx[:extent], minlength=len(leaves)
+            )
+        for l in np.flatnonzero(occurrences):
+            leaves[int(l)].count += int(occurrences[l])
+        self.stats.activations += extent
+        return extent, []
+
+    def snapshot(self) -> Any:
+        m: CBT = self.mitigation
+        return (
+            m.leaf_snapshot(),
+            m._current_window,
+            m.splits,
+            m.window_resets,
+            copy.copy(self.stats),
+        )
+
+    def restore(self, state: Any) -> None:
+        m: CBT = self.mitigation
+        leaf_state, m._current_window, m.splits, m.window_resets, (
+            stats
+        ) = state
+        m._leaves = [
+            _Counter(start, size, level, count)
+            for start, size, level, count in leaf_state
+        ]
+        self.stats.__dict__.update(stats.__dict__)
+
+
+class FastRefreshRateKernel(_WrappedKernel):
+    """Refresh-rate ACTs are no-ops; commit the whole run."""
+
+    def __init__(self, mitigation: IncreasedRefreshRate) -> None:
+        super().__init__(mitigation)
+
+    def commit_run(
+        self, times: np.ndarray, rows: np.ndarray
+    ) -> tuple[int, list[RefreshDirective]]:
+        self.stats.activations += len(rows)
+        return len(rows), []
+
+    def snapshot(self) -> Any:
+        return (self.mitigation._pointer, copy.copy(self.stats))
+
+    def restore(self, state: Any) -> None:
+        self.mitigation._pointer, stats = state
+        self.stats.__dict__.update(stats.__dict__)
+
+
+def reference_state(engine: Any) -> dict[str, Any]:
+    """Comparable tracking-table snapshot for any kernel-covered scheme.
+
+    Works on both the reference engine objects and the fast kernels'
+    wrapped engines (they are the same classes); Graphene's replicated
+    kernel implements the equivalent ``table_state`` itself.
+    """
+    if isinstance(engine, GrapheneMitigation):
+        return reference_table_state(engine)
+    if isinstance(engine, PARA):
+        return {
+            "rng": engine._rng.bit_generator.state,
+            "activations": engine.stats.activations,
+            "directives": engine.stats.refresh_directives,
+        }
+    if isinstance(engine, TWiCe):
+        return {
+            "entries": {
+                row: (entry.act_count, entry.life)
+                for row, entry in engine._entries.items()
+            },
+            "peak": engine.peak_occupancy,
+            "violations": engine.capacity_violations,
+            "pruned": engine.pruned_entries,
+        }
+    if isinstance(engine, CBT):
+        return {
+            "leaves": engine.leaf_snapshot(),
+            "window": engine._current_window,
+            "splits": engine.splits,
+            "resets": engine.window_resets,
+        }
+    if isinstance(engine, IncreasedRefreshRate):
+        return {"pointer": engine._pointer}
+    raise TypeError(f"no reference state extractor for {type(engine)!r}")
+
+
+register_kernel(PARA, FastParaKernel)
+register_kernel(TWiCe, FastTwiceKernel)
+register_kernel(CBT, FastCbtKernel)
+register_kernel(IncreasedRefreshRate, FastRefreshRateKernel)

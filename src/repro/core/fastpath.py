@@ -1,53 +1,73 @@
-"""Batched Graphene hot path: array kernel + chunk-dispatch controller.
+"""Batched hot path: per-scheme kernels + bank-sharded dispatch.
 
 :func:`repro.sim.simulator.simulate` normally pushes every ACT through
 ``MemoryController.step`` one :class:`~repro.workloads.trace.ActEvent`
-at a time -- per-ACT Python dispatch plus dict/set churn inside
-:class:`~repro.core.misra_gries.MisraGriesTable` is what makes
-full-tREFW runs minutes-long.  This module provides the same semantics
-in batch form:
+at a time -- per-ACT Python dispatch plus dict/set churn inside the
+tracking tables is what makes full-tREFW runs minutes-long.  This
+module provides the same semantics in batch form:
 
-* :class:`FastMisraGries` -- the Misra-Gries summary over preallocated
-  key/count arrays (no per-ACT allocation), with the same smallest-key
-  eviction tie-break the reference documents as a public contract;
-* :class:`FastGrapheneBank` -- one bank's Graphene engine (window
-  resets, threshold multiples, NRR emission) over that kernel;
+* :class:`FastKernel` -- the protocol a scheme implements to join the
+  batch engine: a scalar path that replays the reference engine
+  operation-for-operation, plus :meth:`~FastKernel.commit_run`, which
+  consumes a *prefix* of a pre-validated event run in bulk;
+* a **kernel registry** (:func:`register_kernel` / :func:`kernel_for`)
+  mapping mitigation-engine types to kernel factories.  Graphene's
+  kernel lives here (:class:`FastGrapheneBank` over
+  :class:`FastMisraGries`); PARA, TWiCe, CBT and refresh-rate kernels
+  live in :mod:`repro.core.fast_kernels` and are registered lazily;
 * :class:`FastMemoryController` -- consumes a columnar
-  :class:`~repro.workloads.columnar.TraceArray` and dispatches whole
-  same-bank chunks between blocking events (NRR, REF, window reset),
-  falling back to exact scalar steps at every boundary.
+  :class:`~repro.workloads.columnar.TraceArray`, partitions it into
+  **per-bank lanes** (banks are independent between blocking events),
+  dispatches each lane's whole event sequence through the vector/scalar
+  machinery, and merges per-lane outputs (latency samples, bit flips,
+  executed directives) back into exact global event order.  A
+  round-robin interleave across 8 banks -- length-1 contiguous runs,
+  the old dispatcher's worst case -- batches exactly as well as a
+  single-bank hammer.
 
 **Equivalence contract.**  Driven over the same stream, the fast
 controller produces *byte-identical* state to the reference stack:
 same :class:`~repro.sim.metrics.SimulationResult` (including float
-latency aggregates), same directive sequence, same Misra-Gries table
-contents, same bit flips.  This is possible because the scalar
-fallback replays ``MemoryController.step`` operation-for-operation on
-the *real* :class:`~repro.dram.device.DramBankModel` objects, and the
-vectorized regimes only engage when they provably reproduce the same
-sequence of float64 operations:
+latency aggregates), same directive sequence, same tracking-table
+contents, same bit flips.  This is possible because:
 
+* the scalar fallback replays ``MemoryController.step``
+  operation-for-operation on the *real*
+  :class:`~repro.dram.device.DramBankModel` objects;
 * an ACT's issue time is either its trace time (bank idle: ``issue ==
   t``) or chained off tRC (bank saturated: ``issue = prev_issue +
   trc``); both recurrences vectorize exactly -- ``np.cumsum`` is a
   sequential left-to-right accumulate, so seeding it with the live
   accumulator reproduces the scalar loop's partial sums bit-for-bit
   (never ``np.sum``, whose pairwise reduction rounds differently);
-* a vector segment is truncated before the first auto-refresh pop,
-  reset-window boundary, table miss, or threshold crossing; those
-  events take the scalar path, so all blocking/eviction/NRR decisions
-  are made by the exact reference logic.
+* a vector segment is truncated before the first auto-refresh pop or
+  scheme blocking boundary (:meth:`FastKernel.next_blocking_ns`), and
+  each kernel's ``commit_run`` truncates before the first event whose
+  outcome the bulk update cannot reproduce (table miss, threshold
+  crossing, RNG success, tree split); those events take the scalar
+  path, so all blocking/eviction/NRR decisions are made by the exact
+  reference logic;
+* the per-event latency delays of *all* lanes land in one global
+  scatter array and fold into :class:`LatencyTracker` afterwards with
+  a seeded sequential cumsum over the positive entries in global event
+  order -- the same float64 additions the reference performs; bit
+  flips and executed directives are tagged with their global event
+  index per lane and heap-merged, so cross-bank ordering is exact.
 
-The vectorized path never runs when a telemetry bus is installed
-(per-event telemetry would be skipped) or for non-Graphene schemes;
-:func:`build_fast_controller` returns ``None`` and callers fall back
-to the reference engine.  ``docs/performance.md`` ("Hot path")
-documents the design and the measured speedups.
+The fast path never runs when a telemetry bus is installed (per-event
+telemetry would be skipped) or when any bank's scheme has no
+registered kernel; :func:`build_fast_controller` returns ``None`` (and
+:func:`build_fast_controller_ex` additionally names the reason) and
+callers fall back to the reference engine.  ``docs/performance.md``
+("Hot path") documents the design, the per-scheme kernel coverage and
+the measured speedups.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
+from typing import Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -56,6 +76,7 @@ from ..controller.scheduler import LatencySummary, LatencyTracker
 from ..dram.device import DramDevice
 from ..dram.faults import BitFlip
 from ..mitigations.base import (
+    MitigationEngine,
     MitigationFactory,
     MitigationStats,
     RefreshDirective,
@@ -66,10 +87,16 @@ from ..workloads.columnar import TraceArray
 from .graphene import GrapheneStats
 
 __all__ = [
+    "FastKernel",
     "FastMisraGries",
     "FastGrapheneBank",
     "FastMemoryController",
+    "register_kernel",
+    "kernel_for",
+    "kernel_schemes",
     "build_fast_controller",
+    "build_fast_controller_ex",
+    "reference_table_state",
 ]
 
 #: Maximum events examined per vector attempt (bounds temporary arrays).
@@ -80,10 +107,123 @@ _MIN_VECTOR = 8
 #: trying again (keeps miss-heavy streams from paying the vector setup
 #: cost on every event).
 _SCALAR_RUN = 32
-#: Stay this far (ns) below a reset-window boundary in vector mode;
+#: Stay this far (ns) below a scheme blocking boundary in vector mode;
 #: boundary-adjacent ACTs take the scalar path where the reference
 #: ``int(t // window)`` decides.
 _WINDOW_MARGIN_NS = 1e-3
+
+
+@runtime_checkable
+class FastKernel(Protocol):
+    """What a scheme implements to join the batch engine.
+
+    One kernel instance wraps (or replicates) one bank's mitigation
+    engine.  The controller owns all *timing* decisions -- issue-time
+    regimes, REF truncation, bank-state commit -- and hands the kernel
+    only the *tracking* phase.  The contract every method must honor is
+    bit-identical equivalence with the reference engine.
+    """
+
+    #: Scheme label (matches the wrapped engine's ``name``).
+    name: str
+    #: The stats object ``simulate()`` reads (``MitigationStats``).
+    stats: MitigationStats
+
+    def on_activate(self, row: int, time_ns: float) -> list[RefreshDirective]:
+        """Exact scalar replay of the reference engine's ``on_activate``."""
+        ...
+
+    def on_refresh_command(self, time_ns: float) -> list[RefreshDirective]:
+        """Exact scalar replay of the reference REF callback."""
+        ...
+
+    def next_blocking_ns(self) -> float:
+        """Next scheme-level blocking boundary (e.g. a reset-window
+        edge), or ``inf``.  The controller truncates vector segments
+        before it (minus a safety margin) so ``commit_run`` never sees
+        an event the scheme would treat specially for *time* reasons."""
+        ...
+
+    def commit_run(
+        self, times: np.ndarray, rows: np.ndarray
+    ) -> tuple[int, list[RefreshDirective]]:
+        """Consume a prefix of a timing-validated event run in bulk.
+
+        ``times`` are the *issue* times the controller resolved (all
+        strictly below :meth:`next_blocking_ns`).  Returns ``(consumed,
+        directives)``: the kernel must commit exactly ``consumed``
+        events' worth of state (including ``stats.activations``) and
+        truncate *before* the first event whose outcome bulk arithmetic
+        cannot reproduce -- that event then replays through the scalar
+        path.  Directives, if any, must be anchored at the final
+        committed event (the controller executes them after the batch,
+        matching the reference order); kernels that trigger mid-run
+        should instead truncate before the triggering event and let the
+        scalar replay emit it.  Kernels with draw-consuming state (PARA)
+        use :meth:`snapshot`/:meth:`restore` internally to rewind past
+        speculative bulk work.
+        """
+        ...
+
+    def snapshot(self) -> Any:
+        """Opaque copy of all mutable kernel state (boundary replay)."""
+        ...
+
+    def restore(self, state: Any) -> None:
+        """Restore a :meth:`snapshot` -- exact, including RNG streams."""
+        ...
+
+    def table_state(self) -> dict[str, Any]:
+        """Comparable snapshot for differential checks."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Kernel registry
+# ----------------------------------------------------------------------
+
+KernelFactory = Callable[[MitigationEngine], "FastKernel"]
+
+_KERNEL_REGISTRY: dict[type, KernelFactory] = {}
+_BUILTINS_LOADED = False
+
+
+def register_kernel(engine_type: type, factory: KernelFactory) -> None:
+    """Register ``factory`` as the batched kernel for ``engine_type``.
+
+    Lookup is by exact type -- a subclass that changes semantics must
+    register its own kernel (or get the reference loop)."""
+    _KERNEL_REGISTRY[engine_type] = factory
+
+
+def _ensure_builtin_kernels() -> None:
+    """Import :mod:`repro.core.fast_kernels` once (registers on import).
+
+    Lazy so this module can be imported without dragging every
+    mitigation module in, and so schemes stay optional."""
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        from . import fast_kernels  # noqa: F401  (registration side effect)
+
+        _BUILTINS_LOADED = True
+
+
+def kernel_for(mitigation: MitigationEngine) -> "FastKernel | None":
+    """Build the batched kernel wrapping ``mitigation``, or ``None``."""
+    _ensure_builtin_kernels()
+    factory = _KERNEL_REGISTRY.get(type(mitigation))
+    return None if factory is None else factory(mitigation)
+
+
+def kernel_schemes() -> tuple[str, ...]:
+    """Scheme names with a registered kernel (sorted)."""
+    _ensure_builtin_kernels()
+    return tuple(
+        sorted(
+            getattr(engine_type, "name", engine_type.__name__)
+            for engine_type in _KERNEL_REGISTRY
+        )
+    )
 
 
 class FastMisraGries:
@@ -93,9 +233,9 @@ class FastMisraGries:
     :meth:`repro.core.misra_gries.MisraGriesTable.observe` decision-for-
     decision, including the smallest-key eviction tie-break (``min``
     over entries whose count equals the spillover count); the vector
-    path in :class:`FastMemoryController` additionally bumps counts of
-    already-tracked rows in bulk.  All counts are exact integers, so
-    "bit-for-bit" here is simply "the same integers".
+    path in :meth:`FastGrapheneBank.commit_run` additionally bumps
+    counts of already-tracked rows in bulk.  All counts are exact
+    integers, so "bit-for-bit" here is simply "the same integers".
     """
 
     __slots__ = (
@@ -188,7 +328,9 @@ class FastGrapheneBank:
     keeping the reference's two stats layers: :attr:`stats`
     (:class:`~repro.mitigations.base.MitigationStats`, read by
     ``simulate``) and :attr:`gstats`
-    (:class:`~repro.core.graphene.GrapheneStats`).
+    (:class:`~repro.core.graphene.GrapheneStats`).  Implements the
+    :class:`FastKernel` protocol; its :meth:`commit_run` batches pure
+    table hits below their next threshold multiple.
     """
 
     name = "graphene"
@@ -270,6 +412,91 @@ class FastGrapheneBank:
             self.current_window = window
 
     # ------------------------------------------------------------------
+    # FastKernel batch interface
+    # ------------------------------------------------------------------
+
+    def next_blocking_ns(self) -> float:
+        return (self.current_window + 1) * self.window_len
+
+    def commit_run(
+        self, times: np.ndarray, rows: np.ndarray
+    ) -> tuple[int, list[RefreshDirective]]:
+        """Misra-Gries bulk phase: only already-tracked rows (pure
+        hits) below their next threshold multiple may be batched.  The
+        first miss or crossing truncates; that event replays scalar."""
+        kernel = self.kernel
+        threshold = self.threshold
+        extent = len(rows)
+        uniq, inverse = np.unique(rows, return_inverse=True)
+        slots = np.fromiter(
+            (kernel.slot_of.get(int(u), -1) for u in uniq),
+            dtype=np.int64,
+            count=len(uniq),
+        )
+        missing = slots < 0
+        if missing.any():
+            extent = min(extent, int(np.argmax(missing[inverse])))
+            if extent == 0:
+                return 0, []
+        inverse = inverse[:extent]
+        occurrences = np.bincount(inverse, minlength=len(uniq))
+        base = kernel.counts[np.where(missing, 0, slots)]
+        to_next_multiple = threshold - base % threshold
+        crossing = (
+            (occurrences >= to_next_multiple) & ~missing & (occurrences > 0)
+        )
+        if crossing.any():
+            first_trigger = extent
+            for u in np.flatnonzero(crossing):
+                positions = np.flatnonzero(inverse == u)
+                event_index = int(positions[int(to_next_multiple[u]) - 1])
+                if event_index < first_trigger:
+                    first_trigger = event_index
+            extent = first_trigger
+            if extent == 0:
+                return 0, []
+            inverse = inverse[:extent]
+            occurrences = np.bincount(inverse, minlength=len(uniq))
+
+        bumped = np.flatnonzero(occurrences)
+        # Distinct rows -> distinct slots, so fancy in-place add is safe.
+        kernel.counts[slots[bumped]] += occurrences[bumped]
+        kernel.observations += extent
+        self.gstats.activations += extent
+        self.gstats.table_hits += extent
+        self.stats.activations += extent
+        return extent, []
+
+    def snapshot(self) -> Any:
+        kernel = self.kernel
+        return (
+            kernel.keys.copy(),
+            kernel.counts.copy(),
+            dict(kernel.slot_of),
+            kernel.size,
+            kernel.spillover,
+            kernel.observations,
+            kernel.last_evicted,
+            self.current_window,
+        )
+
+    def restore(self, state: Any) -> None:
+        kernel = self.kernel
+        (
+            keys,
+            counts,
+            slot_of,
+            kernel.size,
+            kernel.spillover,
+            kernel.observations,
+            kernel.last_evicted,
+            self.current_window,
+        ) = state
+        kernel.keys[:] = keys
+        kernel.counts[:] = counts
+        kernel.slot_of = dict(slot_of)
+
+    # ------------------------------------------------------------------
     # Parity helpers
     # ------------------------------------------------------------------
 
@@ -306,18 +533,23 @@ def reference_table_state(mitigation: GrapheneMitigation) -> dict[str, object]:
 
 
 class FastMemoryController:
-    """Chunk-dispatching twin of ``MemoryController`` for Graphene.
+    """Bank-sharded twin of ``MemoryController`` for kernel schemes.
 
     Drives the *real* :class:`~repro.dram.device.DramBankModel` objects:
     scalar steps call the same methods the reference controller calls,
     and vector segments write the same post-state the per-event calls
-    would have produced.  Construct via :func:`build_fast_controller`.
+    would have produced.  The trace is partitioned into per-bank lanes
+    up front (banks only share order-sensitive *outputs*, never state),
+    each lane runs to completion, and the order-sensitive outputs --
+    latency delays, bit flips, the directive log -- are merged back
+    into global event order afterwards.  Construct via
+    :func:`build_fast_controller`.
     """
 
     def __init__(
         self,
         device: DramDevice,
-        engines: list[FastGrapheneBank],
+        engines: list[FastKernel],
         keep_directive_log: bool = False,
     ) -> None:
         self.device = device
@@ -340,23 +572,68 @@ class FastMemoryController:
         (materialized into one).
         """
         trace = TraceArray.from_events(events)
-        for start, stop, bank in trace.bank_runs():
-            self._run_segment(trace, start, stop, bank)
+        n = len(trace)
+        if n == 0:
+            return
+        # Per-event issue delays, scattered by global index; folded into
+        # the tracker once at the end, in global order (see _fold_delays).
+        delays = np.zeros(n, dtype=np.float64)
+        flip_lanes: list[list[tuple[int, list[BitFlip]]]] = []
+        directive_lanes: list[list[tuple[int, RefreshDirective]]] = []
+        for bank_index, lane_indices in trace.bank_partition():
+            lane_flips: list[tuple[int, list[BitFlip]]] = []
+            lane_directives: list[tuple[int, RefreshDirective]] = []
+            self._run_lane(
+                bank_index,
+                trace.time_ns[lane_indices],
+                trace.row[lane_indices],
+                lane_indices,
+                delays,
+                lane_flips,
+                lane_directives,
+            )
+            flip_lanes.append(lane_flips)
+            directive_lanes.append(lane_directives)
+        self._fold_delays(delays)
+        # Each lane's tags are ascending in global index and indices are
+        # unique across lanes, so a heap merge restores the exact order
+        # the reference's single event loop would have produced.
+        for _, flips in heapq.merge(*flip_lanes, key=lambda tag: tag[0]):
+            self.bit_flips.extend(flips)
+        if self.directive_log is not None:
+            for _, directive in heapq.merge(
+                *directive_lanes, key=lambda tag: tag[0]
+            ):
+                self.directive_log.append(directive)
 
-    def _run_segment(
-        self, trace: TraceArray, start: int, stop: int, bank_index: int
+    def _run_lane(
+        self,
+        bank_index: int,
+        times: np.ndarray,
+        rows: np.ndarray,
+        gids: np.ndarray,
+        delays: np.ndarray,
+        flips_out: list,
+        directives_out: list,
     ) -> None:
+        """One bank's full event sequence, vector where provable."""
         bank_model = self.device.bank(bank_index)
-        engine = self.engines[bank_index]
-        times = trace.time_ns
-        rows = trace.row
-        index = start
+        kernel = self.engines[bank_index]
+        n = len(times)
+        index = 0
         scalar_budget = 0
-        while index < stop:
-            if scalar_budget == 0 and stop - index >= _MIN_VECTOR:
-                limit = min(index + _SPAN, stop)
+        while index < n:
+            if scalar_budget == 0 and n - index >= _MIN_VECTOR:
+                limit = min(index + _SPAN, n)
                 consumed, table_bound = self._try_vector(
-                    bank_model, engine, times[index:limit], rows[index:limit]
+                    bank_model,
+                    kernel,
+                    times[index:limit],
+                    rows[index:limit],
+                    gids[index:limit],
+                    delays,
+                    flips_out,
+                    directives_out,
                 )
                 if consumed:
                     index += consumed
@@ -368,32 +645,54 @@ class FastMemoryController:
                 # back off before paying the vector setup cost again.
                 scalar_budget = _SCALAR_RUN if table_bound else 1
             self._scalar_step(
-                bank_model, engine, float(times[index]), int(rows[index])
+                bank_model,
+                kernel,
+                float(times[index]),
+                int(rows[index]),
+                int(gids[index]),
+                delays,
+                flips_out,
+                directives_out,
             )
             if scalar_budget:
                 scalar_budget -= 1
             index += 1
 
-    def _scalar_step(self, bank_model, engine, time_ns: float, row: int) -> None:
+    def _scalar_step(
+        self,
+        bank_model,
+        kernel: FastKernel,
+        time_ns: float,
+        row: int,
+        gid: int,
+        delays: np.ndarray,
+        flips_out: list,
+        directives_out: list,
+    ) -> None:
         """One ACT, operation-for-operation as ``MemoryController.step``."""
         issue_ns = bank_model.earliest_activate(time_ns)
         delay_ns = issue_ns - time_ns
-        self.latency.record(delay_ns)
+        if delay_ns > 0.0:
+            delays[gid] = delay_ns
         flips = bank_model.activate(row, issue_ns)
         if flips:
-            self.bit_flips.extend(flips)
+            flips_out.append((gid, flips))
             self.counters.bit_flips += len(flips)
         self.counters.acts_issued += 1
 
         directives: list[RefreshDirective] = []
         for ref_event in bank_model.drain_refresh_events():
             self.counters.ref_ticks_forwarded += 1
-            directives.extend(engine.on_refresh_command(ref_event.time_ns))
-        directives.extend(engine.on_activate(row, issue_ns))
+            directives.extend(kernel.on_refresh_command(ref_event.time_ns))
+        directives.extend(kernel.on_activate(row, issue_ns))
         for directive in directives:
-            self._execute_directive(bank_model, directive, issue_ns)
+            self._execute_directive(
+                bank_model, directive, issue_ns, gid, directives_out
+            )
 
-    def _execute_directive(self, bank_model, directive, now_ns: float) -> None:
+    def _execute_directive(
+        self, bank_model, directive, now_ns: float, gid: int, directives_out
+    ) -> None:
         rows = list(directive.victim_rows)
         if not rows:
             return
@@ -403,7 +702,7 @@ class FastMemoryController:
         self.counters.nrr_commands += 1
         self.counters.nrr_rows += len(rows)
         if self.directive_log is not None:
-            self.directive_log.append(directive)
+            directives_out.append((gid, directive))
 
     # ------------------------------------------------------------------
     # Vector path
@@ -412,18 +711,23 @@ class FastMemoryController:
     def _try_vector(
         self,
         bank_model,
-        engine: FastGrapheneBank,
+        kernel: FastKernel,
         times: np.ndarray,
         rows: np.ndarray,
-    ) -> int:
+        gids: np.ndarray,
+        delays: np.ndarray,
+        flips_out: list,
+        directives_out: list,
+    ) -> tuple[int, bool]:
         """Consume a prefix of ``times``/``rows`` in bulk; 0 if none.
 
         A prefix qualifies only while the per-event recurrence is one of
         two exactly-vectorizable regimes and no blocking event (REF pop,
-        window boundary, table miss, threshold crossing) falls inside.
-        The comparisons reuse the reference's epsilon expressions
-        (``legal <= candidate + 1e-9``) verbatim so the regime boundary
-        is decided by the same float operations.
+        scheme boundary) falls inside; the kernel's ``commit_run`` then
+        decides how much of the timing-valid prefix the tracking state
+        can absorb in bulk.  The comparisons reuse the reference's
+        epsilon expressions (``legal <= candidate + 1e-9``) verbatim so
+        the regime boundary is decided by the same float operations.
         """
         bank = bank_model.bank
         trc = bank.timings.trc
@@ -435,14 +739,14 @@ class FastMemoryController:
         t0 = float(times[0])
 
         # First blocking event: a REF pop (pops when next_ref <= issue,
-        # matching ``pop_due``'s `<=`) or a reset-window boundary
-        # (conservative margin; boundary ACTs go scalar).  Bound the
-        # working slice by it up front so a segment between two tREFI
-        # ticks costs array ops of its own size, not the full span.
+        # matching ``pop_due``'s `<=`) or the kernel's next scheme
+        # boundary (conservative margin; boundary ACTs go scalar).
+        # Bound the working slice by it up front so a segment between
+        # two tREFI ticks costs array ops of its own size, not the full
+        # span.
         blocking_ns = min(
             bank_model.refresh_engine.next_time_ns,
-            (engine.current_window + 1) * engine.window_len
-            - _WINDOW_MARGIN_NS,
+            kernel.next_blocking_ns() - _WINDOW_MARGIN_NS,
         )
 
         chained = False
@@ -495,51 +799,17 @@ class FastMemoryController:
         else:
             return 0, False
 
-        # Misra-Gries bulk phase: only already-tracked rows (pure hits)
-        # below their next threshold multiple may be batched.  The first
-        # miss or crossing truncates; that event replays scalar.
-        kernel = engine.kernel
-        threshold = engine.threshold
-        uniq, inverse = np.unique(rows[:extent], return_inverse=True)
-        slots = np.fromiter(
-            (kernel.slot_of.get(int(u), -1) for u in uniq),
-            dtype=np.int64,
-            count=len(uniq),
+        # Tracking phase: the kernel absorbs as much of the prefix as
+        # bulk arithmetic can reproduce; the truncating event (miss,
+        # crossing, RNG success, split) replays scalar next iteration.
+        consumed, directives = kernel.commit_run(
+            issue[:extent], rows[:extent]
         )
-        missing = slots < 0
-        if missing.any():
-            extent = min(extent, int(np.argmax(missing[inverse])))
-            if extent == 0:
-                return 0, True
-        inverse = inverse[:extent]
-        occurrences = np.bincount(inverse, minlength=len(uniq))
-        base = kernel.counts[np.where(missing, 0, slots)]
-        to_next_multiple = threshold - base % threshold
-        crossing = (
-            (occurrences >= to_next_multiple) & ~missing & (occurrences > 0)
-        )
-        if crossing.any():
-            first_trigger = extent
-            for u in np.flatnonzero(crossing):
-                positions = np.flatnonzero(inverse == u)
-                event_index = int(positions[int(to_next_multiple[u]) - 1])
-                if event_index < first_trigger:
-                    first_trigger = event_index
-            extent = first_trigger
-            if extent == 0:
-                return 0, True
-            inverse = inverse[:extent]
-            occurrences = np.bincount(inverse, minlength=len(uniq))
+        if consumed == 0:
+            return 0, True
+        extent = consumed
 
         # ---- Commit the batch ----------------------------------------
-        bumped = np.flatnonzero(occurrences)
-        # Distinct rows -> distinct slots, so fancy in-place add is safe.
-        kernel.counts[slots[bumped]] += occurrences[bumped]
-        kernel.observations += extent
-        engine.gstats.activations += extent
-        engine.gstats.table_hits += extent
-        engine.stats.activations += extent
-
         last_issue = float(issue[extent - 1])
         bank.open_row = int(rows[extent - 1])
         bank._last_act_ns = last_issue
@@ -550,61 +820,66 @@ class FastMemoryController:
         self.counters.acts_issued += extent
 
         if chained:
-            self._bulk_record_delays(issue[:extent] - times[:extent])
-        else:
-            # issue == trace time exactly: every delay is 0.0.
-            self.latency._count += extent
-            self.latency._buckets[0] += extent
+            # chain > times (strictly) on the committed prefix, so every
+            # delay is positive, matching the reference's `delay > 0`
+            # branch; idle-regime delays are exactly 0.0 and the scatter
+            # array is already zero-initialized.
+            delays[gids[:extent]] = issue[:extent] - times[:extent]
 
         if bank_model.faults is not None:
             faults = bank_model.faults
             for k in range(extent):
                 flips = faults.on_activate(int(rows[k]), float(issue[k]))
                 if flips:
-                    self.bit_flips.extend(flips)
+                    flips_out.append((int(gids[k]), flips))
                     self.counters.bit_flips += len(flips)
+
+        for directive in directives:
+            self._execute_directive(
+                bank_model,
+                directive,
+                last_issue,
+                int(gids[extent - 1]),
+                directives_out,
+            )
         return extent, False
 
-    def _bulk_record_delays(self, delays: np.ndarray) -> None:
-        """Fold strictly positive delays into the tracker in bulk.
+    def _fold_delays(self, delays: np.ndarray) -> None:
+        """Fold the global delay scatter into the tracker in one pass.
 
-        Reproduces ``LatencyTracker.record`` state exactly: the total is
-        a seeded sequential cumsum (same rounding as the scalar ``+=``),
-        and log2 bucket exponents come from ``np.frexp`` -- exact bit
-        manipulation -- except in the narrow band where ``math.log2``
-        may round up across an integer, which replays the reference's
-        scalar expression.
+        Reproduces per-event ``LatencyTracker.record`` state exactly:
+        the float total is a seeded sequential cumsum over the positive
+        delays *in global event order* (same rounding as the scalar
+        ``+=``), and log2 bucket exponents come from ``np.frexp`` --
+        exact bit manipulation -- except in the narrow band where
+        ``math.log2`` may round up across an integer, which replays the
+        reference's scalar expression.  All other tracker fields are
+        order-independent counts.
         """
         tracker = self.latency
         count = len(delays)
         tracker._count += count
-        tracker._delayed += count
-        seeded = np.empty(count + 1, dtype=np.float64)
+        positive = np.flatnonzero(delays > 0.0)
+        tracker._buckets[0] += count - len(positive)
+        if not len(positive):
+            return
+        pos = delays[positive]
+        tracker._delayed += len(pos)
+        seeded = np.empty(len(pos) + 1, dtype=np.float64)
         seeded[0] = tracker._total
-        seeded[1:] = delays
+        seeded[1:] = pos
         tracker._total = float(np.cumsum(seeded)[-1])
-        peak = float(delays.max())
+        peak = float(pos.max())
         if peak > tracker._max:
             tracker._max = peak
-        if peak == float(delays[0]) and peak == float(delays.min()):
-            # Constant delay (the saturated-hammer steady state: both
-            # the chain and the trace advance by exactly tRC): one
-            # scalar bucket computation covers the whole batch.
-            exponent = min(
-                LatencyTracker._MAX_EXPONENT,
-                max(0, int(math.log2(max(peak, 1.0)))),
-            )
-            tracker._buckets[exponent + 1] += count
-            return
-        floored = np.maximum(delays, 1.0)
+        floored = np.maximum(pos, 1.0)
         mantissa, frexp_exp = np.frexp(floored)
         exponents = frexp_exp.astype(np.int64) - 1
         risky = mantissa >= 1.0 - 1e-12
         if risky.any():
             for j in np.flatnonzero(risky):
-                exponents[j] = min(
-                    LatencyTracker._MAX_EXPONENT,
-                    max(0, int(math.log2(max(float(delays[j]), 1.0)))),
+                exponents[j] = max(
+                    0, int(math.log2(max(float(pos[j]), 1.0)))
                 )
         np.minimum(exponents, LatencyTracker._MAX_EXPONENT, out=exponents)
         bucket_counts = np.bincount(exponents + 1, minlength=32)
@@ -633,28 +908,51 @@ class FastMemoryController:
         )
 
 
+def build_fast_controller_ex(
+    device: DramDevice,
+    factory: MitigationFactory,
+    keep_directive_log: bool = False,
+) -> tuple[FastMemoryController | None, str | None]:
+    """Build the fast controller, or ``(None, reason)`` if it cannot
+    apply.  Fallback triggers (the caller should use the reference
+    ``MemoryController``):
+
+    * a telemetry bus is installed -- the vector path cannot publish
+      the per-event telemetry the reference emits;
+    * some bank's engine type has no registered kernel (see
+      :func:`register_kernel`; :func:`kernel_schemes` lists coverage).
+    """
+    if _telemetry.BUS is not None:
+        return None, (
+            "telemetry bus active (per-event telemetry needs the "
+            "reference loop)"
+        )
+    mitigations = [
+        factory(bank, device.geometry.rows_per_bank)
+        for bank in range(device.geometry.total_banks)
+    ]
+    engines: list[FastKernel] = []
+    for mitigation in mitigations:
+        kernel = kernel_for(mitigation)
+        if kernel is None:
+            scheme = getattr(mitigation, "name", type(mitigation).__name__)
+            return None, f"no batched kernel for scheme {scheme!r}"
+        engines.append(kernel)
+    return FastMemoryController(device, engines, keep_directive_log), None
+
+
 def build_fast_controller(
     device: DramDevice,
     factory: MitigationFactory,
     keep_directive_log: bool = False,
 ) -> FastMemoryController | None:
-    """Build the fast controller, or ``None`` if it cannot apply.
+    """:func:`build_fast_controller_ex` without the fallback reason."""
+    controller, _ = build_fast_controller_ex(
+        device, factory, keep_directive_log
+    )
+    return controller
 
-    Fallback triggers (the caller should use the reference
-    ``MemoryController``):
 
-    * a telemetry bus is installed -- the vector path cannot publish
-      the per-event telemetry the reference emits;
-    * any bank's engine is not :class:`GrapheneMitigation` -- only the
-      Graphene scheme has a batched kernel.
-    """
-    if _telemetry.BUS is not None:
-        return None
-    mitigations = [
-        factory(bank, device.geometry.rows_per_bank)
-        for bank in range(device.geometry.total_banks)
-    ]
-    if not all(isinstance(m, GrapheneMitigation) for m in mitigations):
-        return None
-    engines = [FastGrapheneBank(m) for m in mitigations]
-    return FastMemoryController(device, engines, keep_directive_log)
+# Graphene's kernel lives in this module; the rest register from
+# repro.core.fast_kernels on first lookup.
+register_kernel(GrapheneMitigation, FastGrapheneBank)

@@ -180,6 +180,9 @@ class JobRecord:
     seconds: float
     #: "cache" or "computed".
     source: str
+    #: Advisory annotation, e.g. the fast-engine fallback reason for a
+    #: simulation job that silently ran on the reference loop.
+    note: str = ""
 
 
 @dataclass
@@ -236,6 +239,14 @@ class RunnerStats:
                 f"{'s' if len(cached) != 1 else ''} "
                 f"resolved from disk in {hit_time:.2f}s"
             )
+        noted: dict[str, int] = {}
+        for record in self.records:
+            if record.note:
+                noted[record.note] = noted.get(record.note, 0) + 1
+        for note, count in sorted(noted.items()):
+            lines.append(
+                f"note ({count} job{'s' if count != 1 else ''}): {note}"
+            )
         return lines
 
 
@@ -289,6 +300,47 @@ class ExperimentRunner:
     def _label(job: Job) -> str:
         return job.label or job.fn.rsplit(":", 1)[-1]
 
+    @staticmethod
+    def _job_note(job: Job) -> str:
+        """Advisory annotation for the job's record (may be empty).
+
+        Currently detects fast-engine simulation jobs that will (or,
+        for cache hits, did) fall back to the reference loop, so an
+        ``experiment --fast`` summary names every silently-slow cell
+        and why.  Mirrors ``build_fast_controller_ex``'s checks without
+        building a device: a telemetry bus in this process follows the
+        job into its session, and kernel coverage is a property of the
+        factory spec alone.
+        """
+        if not job.fn.endswith(":run_sim_spec"):
+            return ""
+        if job.kwargs.get("engine", "reference") != "fast":
+            return ""
+        if _telemetry.BUS is not None:
+            return (
+                "fast engine fell back to the reference loop: telemetry "
+                "bus active (per-event telemetry needs the reference "
+                "loop)"
+            )
+        from ..core.fastpath import kernel_for
+
+        try:
+            factory = build_factory(
+                job.kwargs["factory"],
+                job.kwargs.get("hammer_threshold", 50_000),
+                job.kwargs.get("timings", DDR4_2400),
+            )
+            probe = factory(0, int(job.kwargs.get("rows_per_bank", 65536)))
+        except Exception:
+            return ""  # malformed spec: let the job itself report it
+        if kernel_for(probe) is None:
+            scheme = getattr(probe, "name", type(probe).__name__)
+            return (
+                "fast engine fell back to the reference loop: no "
+                f"batched kernel for scheme {scheme!r}"
+            )
+        return ""
+
     def run(self, batch: Sequence[Job]) -> list[Any]:
         """Execute every job; results come back in submission order.
 
@@ -322,6 +374,7 @@ class ExperimentRunner:
                             label=self._label(job),
                             seconds=time.perf_counter() - lookup_started,
                             source="cache",
+                            note=self._job_note(job),
                         )
                     )
                     self._emit(index, total, job, "cache hit")
@@ -358,6 +411,7 @@ class ExperimentRunner:
                     label=self._label(batch[index]),
                     seconds=elapsed.get(index, 0.0),
                     source="computed",
+                    note=self._job_note(batch[index]),
                 )
             )
             if bus is not None and index in states:

@@ -16,12 +16,21 @@ a 64-bank system).
 Non-adjacent extension (Section V-D): one probability ``p_i`` per
 distance ``i``; each ACT rolls independently per distance, refreshing
 one of the two rows at that distance.
+
+The RNG is a seeded :class:`numpy.random.Generator` (PCG64).  The
+scalar path consumes it one ``.random()`` call at a time, and
+``Generator.random(n)`` fills arrays from the *same* double stream, so
+the batched fast-path kernel (:mod:`repro.core.fast_kernels`) can draw
+in bulk and land the generator in exactly the state the scalar loop
+would -- bit-identical results either way.  An explicit ``rng`` can be
+injected to share a generator across components.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Sequence
+
+import numpy as np
 
 from .base import MitigationEngine, MitigationFactory, RefreshDirective
 
@@ -53,6 +62,9 @@ class PARA(MitigationEngine):
             overrides ``probability`` when given.
         seed: RNG seed; a per-bank default keeps runs reproducible while
             decorrelating banks.
+        rng: Pre-seeded generator to draw from instead of building one
+            (``seed`` is then ignored).  The fast-path kernel relies on
+            scalar and bulk draws sharing one generator.
     """
 
     name = "para"
@@ -64,6 +76,7 @@ class PARA(MitigationEngine):
         probability: float = PAPER_PARA_P,
         distance_probabilities: Sequence[float] | None = None,
         seed: int | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__(bank, rows)
         if distance_probabilities is None:
@@ -72,7 +85,11 @@ class PARA(MitigationEngine):
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"probability {p} outside [0, 1]")
         self.distance_probabilities = tuple(distance_probabilities)
-        self._rng = random.Random(0xBA5E + bank if seed is None else seed)
+        if rng is None:
+            rng = np.random.default_rng(
+                0xBA5E + bank if seed is None else seed
+            )
+        self._rng = rng
 
     @property
     def probability(self) -> float:

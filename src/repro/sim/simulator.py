@@ -9,6 +9,7 @@ set of :func:`simulate` calls with different factories and traces.
 
 from __future__ import annotations
 
+import logging
 import math
 from typing import Iterable
 
@@ -22,6 +23,8 @@ from ..workloads.trace import ActEvent
 from .metrics import SimulationResult
 
 __all__ = ["simulate", "build_device"]
+
+_log = logging.getLogger("repro.sim")
 
 
 def build_device(
@@ -90,7 +93,9 @@ def simulate(
             (:mod:`repro.core.fastpath`) when the scheme supports it;
             results are byte-identical to the reference engine, which
             remains the automatic fallback (telemetry bus installed, or
-            a scheme without a batched kernel).
+            a scheme without a batched kernel).  A fallback logs a
+            one-line warning on the ``repro.sim`` logger naming the
+            reason, so a silent ~1x run is visible.
 
     Returns:
         The complete result bundle.
@@ -105,9 +110,21 @@ def simulate(
     )
     controller = None
     if fast:
-        from ..core.fastpath import build_fast_controller
+        from ..core.fastpath import build_fast_controller_ex
 
-        controller = build_fast_controller(device, factory)
+        controller, fallback_reason = build_fast_controller_ex(
+            device, factory
+        )
+        if controller is None:
+            # Make the silent ~1x fallback visible: the caller asked for
+            # the batch engine and is getting the reference loop.
+            _log.warning(
+                "simulate(fast=True) falling back to the reference "
+                "engine for scheme %r workload %r: %s",
+                scheme,
+                workload,
+                fallback_reason,
+            )
 
     last_time_ns = 0.0
     if controller is not None:

@@ -1,21 +1,28 @@
 """Differential subject: the columnar fast path vs the reference engine.
 
 The fast path (:mod:`repro.core.fastpath`) promises *byte-identical*
-results, not approximately-equal ones, so this subject runs every
-verify stream through both stacks and compares everything observable:
+results, not approximately-equal ones, and since the kernel registry
+covers every scheme in :data:`KERNEL_SCHEMES` the promise is
+per-scheme.  This subject runs every verify stream through both stacks
+once per kernel scheme and compares everything observable:
 
 * the serialized :class:`~repro.sim.metrics.SimulationResult` (which
   folds in latency buckets, bank stats and controller counters),
 * the full executed-directive log (order, victim rows, reasons),
 * every recorded :class:`~repro.dram.faults.BitFlip`,
-* each bank's final Misra-Gries table state (tracked map, spillover,
-  observations, window index).
+* each bank's final tracking-table state (Misra-Gries table, TWiCe
+  entry table, CBT leaf partition, PARA generator state, refresh-rate
+  pointer -- see :func:`repro.core.fast_kernels.reference_state`).
 
-Any mismatch is a ``divergence`` violation, addressable enough for the
-shrinker to minimize.  The stream is repaced to DDR4 timings exactly
-like the ``mitigation:*`` subjects so the two layers see the same
-traffic.  When the fast path declines to build (telemetry bus active),
-the subject reports itself skipped rather than silently passing.
+PARA is probabilistic but the comparison is still exact: both stacks
+build their engines from the same seeded factory, and the kernel
+contract includes leaving the generator in the bit-identical state the
+scalar loop would.  Any mismatch is a ``divergence`` violation,
+addressable enough for the shrinker to minimize.  The stream is
+repaced to DDR4 timings exactly like the ``mitigation:*`` subjects so
+the two layers see the same traffic.  When the fast path declines to
+build (telemetry bus active), the subject reports itself skipped
+rather than silently passing.
 """
 
 from __future__ import annotations
@@ -23,28 +30,23 @@ from __future__ import annotations
 import math
 from typing import Any, Sequence
 
-from ..core.fastpath import build_fast_controller, reference_table_state
+from ..core.fastpath import build_fast_controller_ex
 from ..dram.timing import DDR4_2400
 from ..workloads.trace import ActEvent
 from .generators import VerifyScale
 
-__all__ = ["run_fastpath_check", "fastpath_subject"]
+__all__ = ["KERNEL_SCHEMES", "run_fastpath_check", "fastpath_subject"]
 
 #: Same DDR4 pacing the mitigation subjects use (one ACT per tRC).
 _PACE_INTERVAL_NS = 45.0
 
-
-def _graphene_factory(trh: int):
-    from ..core.config import GrapheneConfig
-    from ..mitigations import graphene_factory
-
-    return graphene_factory(
-        GrapheneConfig(hammer_threshold=trh, reset_window_divisor=2)
-    )
+#: Every scheme with a registered batched kernel; each verify stream is
+#: differentially checked once per entry.
+KERNEL_SCHEMES = ("graphene", "para", "twice", "cbt", "refresh-rate")
 
 
-def _result_dict(controller, device, banks, rows_per_bank, last_time_ns,
-                 duration_ns) -> dict[str, Any]:
+def _result_dict(controller, device, scheme, banks, rows_per_bank,
+                 last_time_ns, duration_ns) -> dict[str, Any]:
     """Mirror :func:`repro.sim.simulator.simulate`'s result assembly."""
     from ..sim.metrics import SimulationResult
 
@@ -60,7 +62,7 @@ def _result_dict(controller, device, banks, rows_per_bank, last_time_ns,
         default=0,
     )
     return SimulationResult(
-        scheme="graphene",
+        scheme=scheme,
         workload="verify-fastpath",
         banks=banks,
         rows_per_bank=rows_per_bank,
@@ -85,26 +87,30 @@ def _directive_rows(log) -> list[tuple]:
 
 def _flip_rows(flips) -> list[tuple]:
     return [
-        (f.bank, f.row, f.aggressor_row, f.time_ns, f.activation_count)
+        (f.bank, f.row, f.time_ns, f.disturbance, f.triggering_aggressor)
         for f in flips
     ]
 
 
-def run_fastpath_check(
-    events: Sequence[ActEvent], scale: VerifyScale
-) -> tuple[list, dict[str, Any]]:
-    """Run one stream through both engines; any difference is a bug."""
+def _check_scheme(
+    scheme: str,
+    paced: Sequence[ActEvent],
+    duration_ns: float,
+    scale: VerifyScale,
+) -> tuple[list, dict[str, Any] | None, dict[str, Any]]:
+    """One scheme through both stacks.
+
+    Returns ``(violations, skipped, stats)``; ``skipped`` is non-None
+    only when the fast controller refused to build.
+    """
     from ..controller.mc import MemoryController
+    from ..core.fast_kernels import reference_state
     from ..sim.simulator import build_device
     from ..workloads.columnar import TraceArray
-    from .differential import Violation
+    from .differential import Violation, _mitigation_factory
 
     subject = "fastpath"
-    paced = [
-        ActEvent(index * _PACE_INTERVAL_NS, event.bank, event.row)
-        for index, event in enumerate(events)
-    ]
-    duration_ns = (len(paced) + 1) * _PACE_INTERVAL_NS
+    trh = scale.mitigation_trh
 
     def device():
         return build_device(
@@ -114,26 +120,28 @@ def run_fastpath_check(
             track_faults=True,
         )
 
-    trh = scale.mitigation_trh
     fast_device = device()
-    fast = build_fast_controller(
-        fast_device, _graphene_factory(trh), keep_directive_log=True
+    fast, reason = build_fast_controller_ex(
+        fast_device, _mitigation_factory(scheme, trh),
+        keep_directive_log=True,
     )
     if fast is None:
-        # Telemetry bus installed: the fast path correctly refuses to
-        # build (it cannot publish per-ACT events).  Nothing to compare.
-        return [], {"skipped": "fast path unavailable (telemetry active)"}
+        return [], {"skipped": f"fast path unavailable ({reason})"}, {}
 
     ref_device = device()
     reference = MemoryController(
-        ref_device, _graphene_factory(trh), keep_directive_log=True
+        ref_device, _mitigation_factory(scheme, trh),
+        keep_directive_log=True,
     )
     try:
         reference.run(iter(paced))
         fast.run(TraceArray.from_events(paced))
     except Exception as exc:  # noqa: BLE001 - crash capture is the point
         return (
-            [Violation(subject, "crash", f"{type(exc).__name__}: {exc}")],
+            [Violation(
+                subject, "crash", f"[{scheme}] {type(exc).__name__}: {exc}"
+            )],
+            None,
             {},
         )
 
@@ -145,11 +153,11 @@ def run_fastpath_check(
     }
 
     ref_result = _result_dict(
-        reference, ref_device, scale.banks, scale.rows_per_bank,
+        reference, ref_device, scheme, scale.banks, scale.rows_per_bank,
         last_time_ns, duration_ns,
     )
     fast_result = _result_dict(
-        fast, fast_device, scale.banks, scale.rows_per_bank,
+        fast, fast_device, scheme, scale.banks, scale.rows_per_bank,
         last_time_ns, duration_ns,
     )
     if ref_result != fast_result:
@@ -160,12 +168,13 @@ def run_fastpath_check(
         return (
             [Violation(
                 subject, "divergence",
-                "SimulationResult mismatch in field(s) "
+                f"[{scheme}] SimulationResult mismatch in field(s) "
                 + ", ".join(
                     f"{k}: ref={ref_result[k]!r} fast={fast_result.get(k)!r}"
                     for k in keys
                 ),
             )],
+            None,
             stats,
         )
 
@@ -179,13 +188,14 @@ def run_fastpath_check(
         return (
             [Violation(
                 subject, "divergence",
-                f"directive logs diverge at index {first}: "
+                f"[{scheme}] directive logs diverge at index {first}: "
                 f"ref has {len(ref_log)} directives, fast {len(fast_log)}; "
                 f"ref[{first}]="
                 f"{ref_log[first] if first < len(ref_log) else None!r} "
                 f"fast[{first}]="
                 f"{fast_log[first] if first < len(fast_log) else None!r}",
             )],
+            None,
             stats,
         )
 
@@ -193,26 +203,62 @@ def run_fastpath_check(
         return (
             [Violation(
                 subject, "divergence",
-                f"bit-flip records diverge: ref={len(reference.bit_flips)} "
-                f"fast={len(fast.bit_flips)}",
+                f"[{scheme}] bit-flip records diverge: "
+                f"ref={len(reference.bit_flips)} fast={len(fast.bit_flips)}",
             )],
+            None,
             stats,
         )
 
     for bank in range(scale.banks):
-        ref_state = reference_table_state(reference.engines[bank])
+        ref_state = reference_state(reference.engines[bank])
         fast_state = fast.engines[bank].table_state()
         if ref_state != fast_state:
             return (
                 [Violation(
                     subject, "divergence",
-                    f"bank {bank} table state diverged: "
+                    f"[{scheme}] bank {bank} table state diverged: "
                     f"ref={ref_state!r} fast={fast_state!r}",
                 )],
+                None,
                 stats,
             )
 
-    return [], stats
+    return [], None, stats
+
+
+def run_fastpath_check(
+    events: Sequence[ActEvent], scale: VerifyScale
+) -> tuple[list, dict[str, Any]]:
+    """Run one stream through both engines for every kernel scheme.
+
+    Any difference for any scheme is a bug; the first divergence is
+    returned (with the scheme named in the detail) so the shrinker has
+    one addressable failure to minimize.  ``stats`` aggregates across
+    schemes and records the roster size.
+    """
+    paced = [
+        ActEvent(index * _PACE_INTERVAL_NS, event.bank, event.row)
+        for index, event in enumerate(events)
+    ]
+    duration_ns = (len(paced) + 1) * _PACE_INTERVAL_NS
+
+    totals = {"acts": 0, "directives": 0, "flips": 0}
+    for scheme in KERNEL_SCHEMES:
+        violations, skipped, stats = _check_scheme(
+            scheme, paced, duration_ns, scale
+        )
+        if skipped is not None:
+            # Telemetry bus installed: the fast path correctly refuses
+            # to build (it cannot publish per-ACT events) for every
+            # scheme alike.  Nothing to compare.
+            return [], skipped
+        if violations:
+            return violations, stats
+        for key in totals:
+            totals[key] += stats.get(key, 0)
+    totals["schemes"] = len(KERNEL_SCHEMES)
+    return [], totals
 
 
 def fastpath_subject(scale: VerifyScale):

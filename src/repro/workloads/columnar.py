@@ -146,6 +146,29 @@ class TraceArray:
             start = int(stop)
         yield int(start), n, int(self.bank[start])
 
+    def bank_partition(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(bank, indices)`` with the global indices of every
+        event on that bank, in ascending (= time) order.
+
+        Unlike :meth:`bank_runs` -- which yields maximal *contiguous*
+        same-bank runs and therefore degenerates to length-1 runs on a
+        round-robin interleave -- this partitions the whole trace, so a
+        consumer that treats banks as independent lanes (the fast-path
+        controller does, between blocking events) gets each bank's full
+        event sequence in one slab regardless of interleaving.  The
+        stable argsort keeps each lane's indices strictly increasing,
+        which is what lets per-lane outputs be merged back into exact
+        global order.
+        """
+        n = len(self)
+        if n == 0:
+            return
+        order = np.argsort(self.bank, kind="stable")
+        grouped = self.bank[order]
+        boundaries = np.flatnonzero(np.diff(grouped)) + 1
+        for lane in np.split(order, boundaries):
+            yield int(self.bank[lane[0]]), lane
+
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------

@@ -18,15 +18,18 @@ from repro.core.fastpath import (
     FastGrapheneBank,
     FastMisraGries,
     build_fast_controller,
+    build_fast_controller_ex,
+    kernel_for,
+    kernel_schemes,
     reference_table_state,
 )
 from repro.core.misra_gries import MisraGriesTable
 from repro.dram.timing import DDR4_2400
-from repro.mitigations import graphene_factory, para_factory
+from repro.mitigations import graphene_factory, para_factory, prohit_factory
 from repro.mitigations.graphene import GrapheneMitigation
 from repro.sim.simulator import build_device, simulate
-from repro.verify.differential import core_subjects
-from repro.verify.fastpath_check import run_fastpath_check
+from repro.verify.differential import _mitigation_factory, core_subjects
+from repro.verify.fastpath_check import KERNEL_SCHEMES, run_fastpath_check
 from repro.verify.generators import DEFAULT_SCALE, StreamSpec, generate_stream
 from repro.workloads import ActEvent, TraceArray, merge_arrays, pace_array
 
@@ -174,16 +177,26 @@ class TestSimulateFastPath:
         fast = simulate(iter(paced), factory, fast=True, **kwargs)
         assert fast.to_dict() == reference.to_dict()
 
-    def test_fallback_for_schemes_without_kernel(self):
-        """PARA has no batched kernel: fast=True must transparently use
-        the reference loop and produce the same (seeded) results."""
+    def test_fallback_for_schemes_without_kernel(self, caplog):
+        """PRoHIT has no batched kernel: fast=True must transparently
+        use the reference loop, produce the same (seeded) results, and
+        warn that it fell back."""
+        import logging
+
         trace = _interleaved_trace(banks=1, acts_per_bank=1000)
-        make = lambda: para_factory(0.01, seed=42)  # noqa: E731
-        kwargs = dict(scheme="para", workload="hammer", banks=1,
+        make = lambda: prohit_factory(  # noqa: E731
+            insert_probability=0.02, seed=42
+        )
+        kwargs = dict(scheme="prohit", workload="hammer", banks=1,
                       track_faults=False)
         reference = simulate(trace, make(), fast=False, **kwargs)
-        fast = simulate(trace, make(), fast=True, **kwargs)
+        with caplog.at_level(logging.WARNING, logger="repro.sim"):
+            fast = simulate(trace, make(), fast=True, **kwargs)
         assert fast.to_dict() == reference.to_dict()
+        assert any(
+            "falling back" in record.message and "prohit" in record.message
+            for record in caplog.records
+        ), "silent fallback: no warning logged"
 
     def test_fallback_when_telemetry_installed(self):
         """The fast path cannot publish per-ACT events; with a bus
@@ -235,7 +248,10 @@ class TestDifferentialSubject:
         )
         violations, stats = run_fastpath_check(events, DEFAULT_SCALE)
         assert violations == []
-        assert stats["acts"] == len(events)
+        # Every kernel scheme replays the full stream through both
+        # stacks; acts aggregate across the roster.
+        assert stats["schemes"] == len(KERNEL_SCHEMES)
+        assert stats["acts"] == len(events) * len(KERNEL_SCHEMES)
 
     def test_catches_a_seeded_divergence(self):
         """The subject must have teeth: perturb the fast kernel's state
@@ -264,10 +280,184 @@ class TestDifferentialSubject:
 
 
 class TestFastControllerConstruction:
-    def test_requires_graphene_mitigations(self):
+    def test_requires_registered_kernel(self):
+        """Schemes without a kernel get None (plus the reason); every
+        registry scheme builds."""
         device = build_device(banks=1, track_faults=False)
-        assert build_fast_controller(device, para_factory(0.01)) is None
+        controller, reason = build_fast_controller_ex(
+            device, prohit_factory(insert_probability=0.02)
+        )
+        assert controller is None
+        assert "prohit" in reason and "kernel" in reason
+        assert build_fast_controller(device, para_factory(0.01)) is not None
 
+    def test_kernel_registry_covers_advertised_schemes(self):
+        """`kernel_schemes()` and the differential roster agree, and
+        `kernel_for` builds a kernel for each scheme's engine."""
+        assert set(KERNEL_SCHEMES) <= set(kernel_schemes())
+        for scheme in KERNEL_SCHEMES:
+            engine = _mitigation_factory(scheme, 1000)(0, 4096)
+            kernel = kernel_for(engine)
+            assert kernel is not None, scheme
+            assert kernel.stats is not None
+            snapshot = kernel.snapshot()
+            kernel.restore(snapshot)
+            assert kernel.table_state() is not None
+
+def _round_robin_trace(banks: int = 8, acts_per_bank: int = 3000,
+                       rows_per_bank: int = 512, seed: int = 11):
+    """Worst-case interleave: event i lands on bank i % banks, so every
+    contiguous same-bank run has length exactly 1."""
+    import numpy as np
+
+    rng = random.Random(seed)
+    per_bank = []
+    for bank in range(banks):
+        rows = [100, 102] * (acts_per_bank // 2)
+        # Sprinkle misses/allocations so the table kernels get exercised.
+        for _ in range(acts_per_bank // 40):
+            rows[rng.randrange(len(rows))] = rng.randrange(rows_per_bank)
+        per_bank.append(
+            pace_array(
+                np.asarray(rows),
+                DDR4_2400.trc,
+                bank=bank,
+                start_ns=bank * (DDR4_2400.trc / banks),
+            )
+        )
+    trace = merge_arrays(*per_bank)
+    # The interleave property the test name promises: length-1 runs.
+    runs = list(trace.bank_runs())
+    assert max(stop - start for start, stop, _ in runs) == 1
+    return trace
+
+
+class TestKernelSchemes:
+    """Every registry scheme, byte-identical on the worst-case
+    round-robin interleave (length-1 same-bank runs across 8 banks)."""
+
+    @pytest.mark.parametrize("scheme", KERNEL_SCHEMES)
+    def test_identical_on_round_robin_interleave(self, scheme):
+        trace = _round_robin_trace()
+        duration = float(trace.time_ns[-1]) + 100.0
+        kwargs = dict(
+            scheme=scheme,
+            workload="rr8",
+            banks=8,
+            rows_per_bank=512,
+            hammer_threshold=DEFAULT_SCALE.mitigation_trh,
+            track_faults=True,
+            duration_ns=duration,
+        )
+        reference = simulate(
+            trace, _mitigation_factory(scheme, DEFAULT_SCALE.mitigation_trh),
+            fast=False, **kwargs,
+        )
+        fast = simulate(
+            trace, _mitigation_factory(scheme, DEFAULT_SCALE.mitigation_trh),
+            fast=True, **kwargs,
+        )
+        assert fast.to_dict() == reference.to_dict()
+        assert reference.acts == len(trace)
+
+    @pytest.mark.parametrize("scheme", KERNEL_SCHEMES)
+    def test_blocking_event_on_first_act_of_segment(self, scheme):
+        """Edge case: a lane whose very first ACT sits exactly on a
+        blocking boundary (REF tick / reset-window edge) must replay it
+        scalar and still match the reference byte-for-byte."""
+        import numpy as np
+
+        boundaries = [
+            DDR4_2400.trefi,              # first auto-refresh tick
+            DDR4_2400.trefw / 2,          # graphene reset-window edge
+            DDR4_2400.trefw,              # cbt window edge
+        ]
+        parts = []
+        for bank, boundary in enumerate(boundaries):
+            rows = np.asarray([100, 102] * 400)
+            parts.append(
+                pace_array(rows, DDR4_2400.trc, bank=bank,
+                           start_ns=float(boundary))
+            )
+        trace = merge_arrays(*parts)
+        duration = float(trace.time_ns[-1]) + 100.0
+        kwargs = dict(
+            scheme=scheme,
+            workload="boundary-first-act",
+            banks=len(boundaries),
+            rows_per_bank=512,
+            hammer_threshold=DEFAULT_SCALE.mitigation_trh,
+            track_faults=True,
+            duration_ns=duration,
+        )
+        reference = simulate(
+            trace, _mitigation_factory(scheme, DEFAULT_SCALE.mitigation_trh),
+            fast=False, **kwargs,
+        )
+        fast = simulate(
+            trace, _mitigation_factory(scheme, DEFAULT_SCALE.mitigation_trh),
+            fast=True, **kwargs,
+        )
+        assert fast.to_dict() == reference.to_dict()
+
+
+class TestRunnerFallbackNotes:
+    """`experiment --fast` job summaries name silent fallbacks."""
+
+    def test_fast_job_without_kernel_gets_note(self):
+        from repro.experiments.runner import ExperimentRunner, sim_job
+
+        job = sim_job(
+            trace={"kind": "synthetic", "label": "double_sided"},
+            factory=["capability", "prohit"],
+            scheme="prohit",
+            workload="probe",
+            duration_ns=1e6,
+            engine="fast",
+        )
+        note = ExperimentRunner._job_note(job)
+        assert "fell back" in note and "prohit" in note
+
+    def test_fast_job_with_kernel_gets_no_note(self):
+        from repro.experiments.runner import ExperimentRunner, sim_job
+
+        job = sim_job(
+            trace={"kind": "synthetic", "label": "double_sided"},
+            factory=["scaling", "para"],
+            scheme="para",
+            workload="probe",
+            duration_ns=1e6,
+            engine="fast",
+        )
+        assert ExperimentRunner._job_note(job) == ""
+
+    def test_reference_job_gets_no_note(self):
+        from repro.experiments.runner import ExperimentRunner, sim_job
+
+        job = sim_job(
+            trace={"kind": "synthetic", "label": "double_sided"},
+            factory=["capability", "prohit"],
+            scheme="prohit",
+            workload="probe",
+            duration_ns=1e6,
+            engine="reference",
+        )
+        assert ExperimentRunner._job_note(job) == ""
+
+    def test_notes_surface_in_breakdown(self):
+        from repro.experiments.runner import JobRecord, RunnerStats
+
+        stats = RunnerStats()
+        stats.records.append(
+            JobRecord(label="a/prohit", seconds=1.0, source="computed",
+                      note="fast engine fell back to the reference loop: "
+                           "no batched kernel for scheme 'prohit'")
+        )
+        lines = stats.breakdown()
+        assert any("fell back" in line for line in lines)
+
+
+class TestFastControllerDirectiveLog:
     def test_directive_log_matches_reference(self):
         from repro.controller.mc import MemoryController
 
