@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative link in the docs must resolve.
+
+Scans ``README.md`` and every Markdown file under ``docs/`` for
+Markdown links and bare reference-style definitions, keeps the
+*relative* ones (external ``http(s)``/``mailto`` targets and pure
+in-page ``#anchors`` are out of scope), resolves each against the
+linking file's directory, and fails if any target does not exist in
+the working tree.  Run from anywhere:
+
+    python scripts/check_doc_links.py
+
+CI runs this in the ``docs-links`` job so a renamed or deleted doc
+breaks the build instead of quietly 404ing readers.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links ``[text](target)`` -- non-greedy, one line, image links
+#: included via the optional leading ``!``.
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference definitions ``[label]: target``.
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _targets(markdown: str):
+    for match in _INLINE.finditer(markdown):
+        yield match.group(1)
+    for match in _REFDEF.finditer(markdown):
+        yield match.group(1)
+
+
+def _is_relative(target: str) -> bool:
+    if target.startswith(_EXTERNAL):
+        return False
+    if target.startswith("#"):  # in-page anchor
+        return False
+    return True
+
+
+def check_file(path: Path) -> list[str]:
+    """Return one problem line per broken relative link in ``path``."""
+    problems = []
+    for target in _targets(path.read_text(encoding="utf-8")):
+        if not _is_relative(target):
+            continue
+        # Strip any #fragment; the file half must still resolve.
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}: broken link -> {target}"
+            )
+    return problems
+
+
+def main() -> int:
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").rglob("*.md"))
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"error: expected doc file {f} not found", file=sys.stderr)
+        return 2
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print(f"{len(problems)} broken doc link(s):", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"docs-links: {len(files)} files checked, all relative links "
+          "resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

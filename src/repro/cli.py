@@ -38,7 +38,12 @@ from .analysis.scaling import scheme_factories
 from .core.config import GrapheneConfig
 from .dram.faults import CouplingProfile
 from .experiments import EXPERIMENT_NAMES, load
-from .experiments.runner import ExperimentRunner, using_engine, using_runner
+from .experiments.runner import (
+    ExperimentRunner,
+    using_engine,
+    using_runner,
+    using_shard_workers,
+)
 from .mitigations import no_mitigation_factory
 from .sim.cache import ResultCache, default_cache_dir
 from .sim.simulator import simulate
@@ -74,6 +79,16 @@ def _job_count(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(
             f"must be >= 0 (0 = all CPU cores), got {value}"
+        )
+    return value
+
+
+def _worker_count(text: str) -> int:
+    """argparse type for ``--shard-workers``: positive int."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (1 = serial fast mode), got {value}"
         )
     return value
 
@@ -120,6 +135,14 @@ def build_parser() -> argparse.ArgumentParser:
              "kernel (or telemetry-on runs) fall back to the reference "
              "loop with a warning, and the fallback reason is surfaced "
              "in the job summary",
+    )
+    experiment.add_argument(
+        "--shard-workers", type=_worker_count, default=1, metavar="N",
+        help="with --fast: dispatch per-bank lanes across N worker "
+             "processes inside each simulation cell (byte-identical "
+             "results; 1 = serial fast mode; see docs/scaling.md for "
+             "sizing, and note --jobs parallelism composes "
+             "multiplicatively with this)",
     )
     experiment.add_argument(
         "--quiet", action="store_true",
@@ -276,6 +299,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-cell progress lines on stderr",
     )
+    fuzz.add_argument(
+        "--parallel", action="store_true",
+        help="extend the fastpath differential subject with a sharded+"
+             "chunked leg: every stream additionally runs through the "
+             "fast engine with 2 shard workers and chunked streaming, "
+             "and must stay byte-identical to the reference",
+    )
 
     replay = verify_sub.add_parser(
         "replay", help="re-run saved reproducer artifacts"
@@ -284,6 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact", nargs="+",
         help="artifact JSON path(s) written by 'verify fuzz'",
     )
+    replay.add_argument(
+        "--parallel", action="store_true",
+        help="include the sharded+chunked fastpath leg in the replay",
+    )
 
     corpus = verify_sub.add_parser(
         "corpus", help="replay the committed regression corpus"
@@ -291,6 +325,10 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument(
         "--dir", default="tests/corpus", metavar="DIR",
         help="corpus directory of artifact JSONs (default tests/corpus)",
+    )
+    corpus.add_argument(
+        "--parallel", action="store_true",
+        help="include the sharded+chunked fastpath leg in every replay",
     )
     return parser
 
@@ -330,7 +368,8 @@ def _command_experiment(args: argparse.Namespace) -> int:
     engine = "fast" if args.fast else "reference"
     bus = TelemetryBus() if telemetry_on else None
     with telemetry_session(bus) if bus is not None else nullcontext():
-        with using_runner(runner), using_engine(engine):
+        with using_runner(runner), using_engine(engine), \
+                using_shard_workers(args.shard_workers):
             for index, name in enumerate(names):
                 if len(names) > 1:
                     prefix = "\n" if index else ""
@@ -482,14 +521,14 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _replay_paths(paths) -> int:
+def _replay_paths(paths, parallel: bool = False) -> int:
     """Replay artifacts; print one verdict line each; exit 1 on any FAIL."""
     from .verify import artifact_verdict, replay_artifact
 
     paths = list(paths)
     failures = 0
     for path in paths:
-        report, artifact = replay_artifact(path)
+        report, artifact = replay_artifact(path, parallel_fastpath=parallel)
         ok, message = artifact_verdict(report, artifact)
         status = "ok" if ok else "FAIL"
         print(
@@ -523,6 +562,7 @@ def _command_verify(args: argparse.Namespace) -> int:
                 runner=runner,
                 shrink=not args.no_shrink,
                 artifact_dir=args.artifact_dir,
+                parallel_fastpath=args.parallel,
             )
         for line in report.summary():
             print(line)
@@ -533,14 +573,14 @@ def _command_verify(args: argparse.Namespace) -> int:
                             bus.dropped))
         return 0 if report.ok else 1
     if args.verify_command == "replay":
-        return _replay_paths(args.artifact)
+        return _replay_paths(args.artifact, parallel=args.parallel)
     if args.verify_command == "corpus":
         paths = sorted(str(p) for p in Path(args.dir).glob("*.json"))
         if not paths:
             print(f"error: no artifact JSONs under {args.dir}/",
                   file=sys.stderr)
             return 2
-        return _replay_paths(paths)
+        return _replay_paths(paths, parallel=args.parallel)
     raise AssertionError("unreachable")
 
 

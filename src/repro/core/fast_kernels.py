@@ -41,6 +41,14 @@ at a time.  The per-scheme batching arguments:
 any kernel-covered scheme; the differential subject
 (:mod:`repro.verify.fastpath_check`) uses it on both the reference
 run's engines and the fast run's kernels.
+
+Picklability is part of the kernel contract: the sharded dispatcher
+(``FastMemoryController(shard_workers=N)``) ships each kernel -- with
+its wrapped live engine -- to a worker process and writes the mutated
+object back, so a kernel must round-trip through ``pickle`` with its
+complete state (including ``numpy.Generator`` bit-generator state for
+PARA) bit-exactly.  Plain attribute objects satisfy this for free;
+avoid open handles, closures or module-level aliasing in new kernels.
 """
 
 from __future__ import annotations

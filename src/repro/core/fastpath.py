@@ -23,7 +23,13 @@ module provides the same semantics in batch form:
   executed directives) back into exact global event order.  A
   round-robin interleave across 8 banks -- length-1 contiguous runs,
   the old dispatcher's worst case -- batches exactly as well as a
-  single-bank hammer.
+  single-bank hammer.  Two execution axes scale it further:
+  ``shard_workers=N`` fans the lanes across a process pool (one
+  :func:`_shard_lane_task` per bank, state shipped out and back,
+  outputs remapped to global indices), and ``run(...,
+  chunk_events=N)`` streams arbitrarily long traces in bounded chunks
+  with kernel/bank state carried across chunk boundaries -- both
+  byte-identical to the serial in-memory run.
 
 **Equivalence contract.**  Driven over the same stream, the fast
 controller produces *byte-identical* state to the reference stack:
@@ -532,83 +538,28 @@ def reference_table_state(mitigation: GrapheneMitigation) -> dict[str, object]:
     }
 
 
-class FastMemoryController:
-    """Bank-sharded twin of ``MemoryController`` for kernel schemes.
+class _LaneEngine:
+    """The per-bank lane executor: all scalar/vector lane machinery.
 
-    Drives the *real* :class:`~repro.dram.device.DramBankModel` objects:
-    scalar steps call the same methods the reference controller calls,
-    and vector segments write the same post-state the per-event calls
-    would have produced.  The trace is partitioned into per-bank lanes
-    up front (banks only share order-sensitive *outputs*, never state),
-    each lane runs to completion, and the order-sensitive outputs --
-    latency delays, bit flips, the directive log -- are merged back
-    into global event order afterwards.  Construct via
-    :func:`build_fast_controller`.
+    Holds exactly the state a lane needs to run *anywhere* -- the
+    counters it increments and whether executed directives are logged
+    -- so the same code path serves both the in-process serial
+    dispatcher and the sharded worker processes (which build a fresh
+    ``ControllerCounters`` each task and ship it home for summation;
+    every counter field is an order-independent sum, so merging by
+    bank is exact).
     """
 
     def __init__(
-        self,
-        device: DramDevice,
-        engines: list[FastKernel],
-        keep_directive_log: bool = False,
+        self, counters: ControllerCounters, keep_directive_log: bool
     ) -> None:
-        self.device = device
-        self.engines = engines
-        self.latency = LatencyTracker()
-        self.counters = ControllerCounters()
-        self.bit_flips: list[BitFlip] = []
-        self.directive_log: list[RefreshDirective] | None = (
-            [] if keep_directive_log else None
-        )
+        self.counters = counters
+        self.keep_directive_log = keep_directive_log
 
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-
-    def run(self, events) -> None:
-        """Drive the full system from a time-sorted ACT stream.
-
-        Accepts a :class:`TraceArray` or any ``ActEvent`` iterable
-        (materialized into one).
-        """
-        trace = TraceArray.from_events(events)
-        n = len(trace)
-        if n == 0:
-            return
-        # Per-event issue delays, scattered by global index; folded into
-        # the tracker once at the end, in global order (see _fold_delays).
-        delays = np.zeros(n, dtype=np.float64)
-        flip_lanes: list[list[tuple[int, list[BitFlip]]]] = []
-        directive_lanes: list[list[tuple[int, RefreshDirective]]] = []
-        for bank_index, lane_indices in trace.bank_partition():
-            lane_flips: list[tuple[int, list[BitFlip]]] = []
-            lane_directives: list[tuple[int, RefreshDirective]] = []
-            self._run_lane(
-                bank_index,
-                trace.time_ns[lane_indices],
-                trace.row[lane_indices],
-                lane_indices,
-                delays,
-                lane_flips,
-                lane_directives,
-            )
-            flip_lanes.append(lane_flips)
-            directive_lanes.append(lane_directives)
-        self._fold_delays(delays)
-        # Each lane's tags are ascending in global index and indices are
-        # unique across lanes, so a heap merge restores the exact order
-        # the reference's single event loop would have produced.
-        for _, flips in heapq.merge(*flip_lanes, key=lambda tag: tag[0]):
-            self.bit_flips.extend(flips)
-        if self.directive_log is not None:
-            for _, directive in heapq.merge(
-                *directive_lanes, key=lambda tag: tag[0]
-            ):
-                self.directive_log.append(directive)
-
-    def _run_lane(
+    def run_lane(
         self,
-        bank_index: int,
+        bank_model,
+        kernel: FastKernel,
         times: np.ndarray,
         rows: np.ndarray,
         gids: np.ndarray,
@@ -617,8 +568,6 @@ class FastMemoryController:
         directives_out: list,
     ) -> None:
         """One bank's full event sequence, vector where provable."""
-        bank_model = self.device.bank(bank_index)
-        kernel = self.engines[bank_index]
         n = len(times)
         index = 0
         scalar_budget = 0
@@ -701,7 +650,7 @@ class FastMemoryController:
             bank_model.faults.on_refresh_range(rows)
         self.counters.nrr_commands += 1
         self.counters.nrr_rows += len(rows)
-        if self.directive_log is not None:
+        if self.keep_directive_log:
             directives_out.append((gid, directive))
 
     # ------------------------------------------------------------------
@@ -844,6 +793,233 @@ class FastMemoryController:
             )
         return extent, False
 
+
+def _shard_lane_task(
+    bank_model,
+    kernel: FastKernel,
+    times: np.ndarray,
+    rows: np.ndarray,
+    keep_directive_log: bool,
+):
+    """Worker entry point: run one bank lane in a shard process.
+
+    The parent ships the lane's *state* (bank model + kernel) and its
+    event columns; the worker runs the identical lane machinery the
+    serial dispatcher uses -- against lane-local event indices and a
+    fresh counters object -- and ships everything back: the mutated
+    state (pickling round-trips float bits, dict insertion order and
+    numpy generator state exactly), the lane's delay column, and its
+    flip/directive outputs tagged with lane-local indices the parent
+    remaps to global ones.  Because each lane is self-contained, the
+    result is independent of worker scheduling; the parent collects in
+    bank order, so a sharded run is byte-identical to a serial one.
+    """
+    counters = ControllerCounters()
+    lane = _LaneEngine(counters, keep_directive_log)
+    n = len(times)
+    delays = np.zeros(n, dtype=np.float64)
+    flips_out: list[tuple[int, list[BitFlip]]] = []
+    directives_out: list[tuple[int, RefreshDirective]] = []
+    lane.run_lane(
+        bank_model,
+        kernel,
+        times,
+        rows,
+        np.arange(n, dtype=np.int64),
+        delays,
+        flips_out,
+        directives_out,
+    )
+    return bank_model, kernel, delays, flips_out, directives_out, counters
+
+
+class FastMemoryController:
+    """Bank-sharded twin of ``MemoryController`` for kernel schemes.
+
+    Drives the *real* :class:`~repro.dram.device.DramBankModel` objects:
+    scalar steps call the same methods the reference controller calls,
+    and vector segments write the same post-state the per-event calls
+    would have produced.  The trace is partitioned into per-bank lanes
+    up front (banks only share order-sensitive *outputs*, never state),
+    each lane runs to completion, and the order-sensitive outputs --
+    latency delays, bit flips, the directive log -- are merged back
+    into global event order afterwards.  Construct via
+    :func:`build_fast_controller`.
+
+    Two orthogonal execution axes on top of the serial in-process
+    default:
+
+    * ``shard_workers > 1`` dispatches lanes across a process pool
+      (:func:`_shard_lane_task`); per-lane state ships out and back and
+      outputs are remapped to global event indices, so results stay
+      byte-identical to serial fast mode at any worker count;
+    * ``run(..., chunk_events=N)`` streams the trace through the engine
+      in bounded chunks with all kernel/bank state carried across chunk
+      boundaries -- peak working memory is O(chunk), and with a lazy
+      event iterable the full trace is never materialized at all.
+    """
+
+    def __init__(
+        self,
+        device: DramDevice,
+        engines: list[FastKernel],
+        keep_directive_log: bool = False,
+        shard_workers: int = 1,
+    ) -> None:
+        if shard_workers < 1:
+            raise ValueError(
+                f"shard_workers must be >= 1, got {shard_workers}"
+            )
+        self.device = device
+        self.engines = engines
+        self.latency = LatencyTracker()
+        self.counters = ControllerCounters()
+        self.bit_flips: list[BitFlip] = []
+        self.directive_log: list[RefreshDirective] | None = (
+            [] if keep_directive_log else None
+        )
+        self.shard_workers = shard_workers
+        #: Advisory note set by :func:`build_fast_controller_ex` when a
+        #: sharding request silently degraded to serial fast mode.
+        self.shard_note: str | None = None
+        #: Timestamp of the last event consumed (across all chunks), so
+        #: streaming callers need not keep the trace around.
+        self.last_event_ns = 0.0
+        self._lane = _LaneEngine(self.counters, keep_directive_log)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, events, chunk_events: int | None = None) -> None:
+        """Drive the full system from a time-sorted ACT stream.
+
+        Accepts a :class:`TraceArray` or any ``ActEvent`` iterable.
+        With ``chunk_events`` the stream executes in bounded chunks
+        (state carried across boundaries; an iterable input is never
+        fully materialized); without it, non-array input is
+        materialized into one :class:`TraceArray` first.
+        """
+        if chunk_events is not None:
+            from ..workloads.columnar import iter_chunk_arrays
+
+            chunks = iter_chunk_arrays(events, chunk_events)
+        else:
+            chunks = iter((TraceArray.from_events(events),))
+        if self.shard_workers > 1 and len(self.engines) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            workers = min(self.shard_workers, len(self.engines))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for chunk in chunks:
+                    self._run_chunk_sharded(chunk, pool)
+        else:
+            for chunk in chunks:
+                self._run_chunk(chunk)
+
+    def _run_chunk(self, trace: TraceArray) -> None:
+        """One chunk through the in-process serial lane dispatcher."""
+        n = len(trace)
+        if n == 0:
+            return
+        # Per-event issue delays, scattered by global index; folded into
+        # the tracker once per chunk, in global order (see _fold_delays
+        # -- the fold seeds its cumsum with the tracker's running total,
+        # so chunked folding reproduces the unchunked float sums).
+        delays = np.zeros(n, dtype=np.float64)
+        flip_lanes: list[list[tuple[int, list[BitFlip]]]] = []
+        directive_lanes: list[list[tuple[int, RefreshDirective]]] = []
+        for bank_index, lane_indices in trace.bank_partition():
+            lane_flips: list[tuple[int, list[BitFlip]]] = []
+            lane_directives: list[tuple[int, RefreshDirective]] = []
+            self._lane.run_lane(
+                self.device.bank(bank_index),
+                self.engines[bank_index],
+                trace.time_ns[lane_indices],
+                trace.row[lane_indices],
+                lane_indices,
+                delays,
+                lane_flips,
+                lane_directives,
+            )
+            flip_lanes.append(lane_flips)
+            directive_lanes.append(lane_directives)
+        self._merge_chunk(trace, delays, flip_lanes, directive_lanes)
+
+    def _run_chunk_sharded(self, trace: TraceArray, pool) -> None:
+        """One chunk with lanes fanned across the shard worker pool.
+
+        Lanes are submitted in bank order and *collected* in submission
+        order -- worker completion order never orders any output.  Each
+        worker returns its lane's post-state, which is written back
+        into the live device/engine slots so the next chunk (or a final
+        table-state comparison) sees exactly the state a serial run
+        would have produced.
+        """
+        n = len(trace)
+        if n == 0:
+            return
+        delays = np.zeros(n, dtype=np.float64)
+        flip_lanes: list[list[tuple[int, list[BitFlip]]]] = []
+        directive_lanes: list[list[tuple[int, RefreshDirective]]] = []
+        lanes = list(trace.bank_partition())
+        futures = [
+            pool.submit(
+                _shard_lane_task,
+                self.device.bank(bank_index),
+                self.engines[bank_index],
+                trace.time_ns[lane_indices],
+                trace.row[lane_indices],
+                self.directive_log is not None,
+            )
+            for bank_index, lane_indices in lanes
+        ]
+        for (bank_index, lane_indices), future in zip(lanes, futures):
+            (
+                bank_model,
+                kernel,
+                lane_delays,
+                lane_flips,
+                lane_directives,
+                counters,
+            ) = future.result()
+            self.device.banks[bank_index] = bank_model
+            self.engines[bank_index] = kernel
+            delays[lane_indices] = lane_delays
+            flip_lanes.append(
+                [(int(lane_indices[i]), flips) for i, flips in lane_flips]
+            )
+            directive_lanes.append(
+                [(int(lane_indices[i]), d) for i, d in lane_directives]
+            )
+            self.counters.acts_issued += counters.acts_issued
+            self.counters.nrr_commands += counters.nrr_commands
+            self.counters.nrr_rows += counters.nrr_rows
+            self.counters.ref_ticks_forwarded += counters.ref_ticks_forwarded
+            self.counters.bit_flips += counters.bit_flips
+        self._merge_chunk(trace, delays, flip_lanes, directive_lanes)
+
+    def _merge_chunk(
+        self,
+        trace: TraceArray,
+        delays: np.ndarray,
+        flip_lanes: list,
+        directive_lanes: list,
+    ) -> None:
+        """Fold a chunk's per-lane outputs back into global order."""
+        self._fold_delays(delays)
+        # Each lane's tags are ascending in global index and indices are
+        # unique across lanes, so a heap merge restores the exact order
+        # the reference's single event loop would have produced.
+        for _, flips in heapq.merge(*flip_lanes, key=lambda tag: tag[0]):
+            self.bit_flips.extend(flips)
+        if self.directive_log is not None:
+            for _, directive in heapq.merge(
+                *directive_lanes, key=lambda tag: tag[0]
+            ):
+                self.directive_log.append(directive)
+        self.last_event_ns = float(trace.time_ns[-1])
+
     def _fold_delays(self, delays: np.ndarray) -> None:
         """Fold the global delay scatter into the tracker in one pass.
 
@@ -912,6 +1088,7 @@ def build_fast_controller_ex(
     device: DramDevice,
     factory: MitigationFactory,
     keep_directive_log: bool = False,
+    shard_workers: int = 1,
 ) -> tuple[FastMemoryController | None, str | None]:
     """Build the fast controller, or ``(None, reason)`` if it cannot
     apply.  Fallback triggers (the caller should use the reference
@@ -921,7 +1098,18 @@ def build_fast_controller_ex(
       the per-event telemetry the reference emits;
     * some bank's engine type has no registered kernel (see
       :func:`register_kernel`; :func:`kernel_schemes` lists coverage).
+
+    ``shard_workers > 1`` requests the process-pool lane dispatcher.
+    On a device with fewer than two banks there is only one lane, so
+    sharding degrades to serial fast mode; the built controller then
+    carries a ``shard_note`` naming the requested worker count so
+    callers (``simulate``, the experiment runner's job notes) can
+    surface the silent degrade instead of swallowing it.
     """
+    if shard_workers < 1:
+        # A nonsense worker count is a caller bug, not a configuration
+        # the reference loop should quietly absorb.
+        raise ValueError(f"shard_workers must be >= 1, got {shard_workers}")
     if _telemetry.BUS is not None:
         return None, (
             "telemetry bus active (per-event telemetry needs the "
@@ -938,7 +1126,18 @@ def build_fast_controller_ex(
             scheme = getattr(mitigation, "name", type(mitigation).__name__)
             return None, f"no batched kernel for scheme {scheme!r}"
         engines.append(kernel)
-    return FastMemoryController(device, engines, keep_directive_log), None
+    shard_note = None
+    if shard_workers > 1 and device.geometry.total_banks < 2:
+        shard_note = (
+            f"sharding requested ({shard_workers} workers) but the device "
+            f"has a single bank (one lane); running serial fast mode"
+        )
+        shard_workers = 1
+    controller = FastMemoryController(
+        device, engines, keep_directive_log, shard_workers=shard_workers
+    )
+    controller.shard_note = shard_note
+    return controller, None
 
 
 def build_fast_controller(

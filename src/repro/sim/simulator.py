@@ -34,16 +34,20 @@ def build_device(
     hammer_threshold: float = 50_000,
     coupling: CouplingProfile | None = None,
     track_faults: bool = True,
+    ranks: int = 1,
 ) -> DramDevice:
     """Construct a compact single-channel device for experiments.
 
     The paper's per-bank metrics are independent across banks, so most
     experiments run a handful of banks rather than all 64 of Table III;
-    results are always normalized per bank per window.
+    results are always normalized per bank per window.  ``ranks``
+    scales the geometry to whole ranks (``ranks * banks`` total banks,
+    flat bank indices) for system-scale sweeps such as the multi-rank
+    hot-path bench.
     """
     geometry = DramGeometry(
         channels=1,
-        ranks_per_channel=1,
+        ranks_per_channel=ranks,
         banks_per_rank=banks,
         rows_per_bank=rows_per_bank,
     )
@@ -69,6 +73,9 @@ def simulate(
     track_faults: bool = True,
     duration_ns: float | None = None,
     fast: bool = False,
+    shard_workers: int = 1,
+    chunk_events: int | None = None,
+    ranks: int = 1,
 ) -> SimulationResult:
     """Run one (workload, scheme) pair through the full system.
 
@@ -77,8 +84,8 @@ def simulate(
         factory: Builds one mitigation engine per bank.
         scheme: Label for the result.
         workload: Label for the result.
-        banks: Banks in the simulated device; events' ``bank`` fields
-            must be < banks.
+        banks: Banks per rank in the simulated device; events' ``bank``
+            fields must be < ``banks * ranks``.
         rows_per_bank: Row address space per bank.
         timings: DRAM timing bundle.
         hammer_threshold: ``T_RH`` for the fault referee.
@@ -95,11 +102,24 @@ def simulate(
             remains the automatic fallback (telemetry bus installed, or
             a scheme without a batched kernel).  A fallback logs a
             one-line warning on the ``repro.sim`` logger naming the
-            reason, so a silent ~1x run is visible.
+            reason -- and the requested shard-worker count, when
+            sharding was asked for -- so a silent ~1x run is visible.
+        shard_workers: With ``fast=True``, dispatch per-bank lanes
+            across this many worker processes (1 = in-process serial
+            fast mode).  Results are byte-identical at any worker
+            count.  On a single-bank device the request degrades to
+            serial fast mode with a logged warning naming the count.
+        chunk_events: With ``fast=True``, stream the trace through the
+            engine in chunks of at most this many events (state carried
+            across chunk boundaries; bit-identical).  Bounds working
+            memory for traces larger than RAM.
+        ranks: Ranks in the device (``banks`` is per rank); flat bank
+            indices span ``banks * ranks``.
 
     Returns:
         The complete result bundle.
     """
+    total_banks = banks * ranks
     device = build_device(
         banks=banks,
         rows_per_bank=rows_per_bank,
@@ -107,33 +127,46 @@ def simulate(
         hammer_threshold=hammer_threshold,
         coupling=coupling,
         track_faults=track_faults,
+        ranks=ranks,
     )
     controller = None
     if fast:
         from ..core.fastpath import build_fast_controller_ex
 
         controller, fallback_reason = build_fast_controller_ex(
-            device, factory
+            device, factory, shard_workers=shard_workers
         )
         if controller is None:
             # Make the silent ~1x fallback visible: the caller asked for
-            # the batch engine and is getting the reference loop.
+            # the batch engine and is getting the reference loop.  Name
+            # the requested worker count too -- a degraded --fast
+            # --shard-workers run is slower by a larger factor than a
+            # degraded --fast run.
+            requested = (
+                f" (requested {shard_workers} shard workers)"
+                if shard_workers > 1
+                else ""
+            )
             _log.warning(
                 "simulate(fast=True) falling back to the reference "
-                "engine for scheme %r workload %r: %s",
+                "engine for scheme %r workload %r%s: %s",
                 scheme,
                 workload,
+                requested,
                 fallback_reason,
+            )
+        elif controller.shard_note:
+            _log.warning(
+                "simulate(fast=True) scheme %r workload %r: %s",
+                scheme,
+                workload,
+                controller.shard_note,
             )
 
     last_time_ns = 0.0
     if controller is not None:
-        from ..workloads.columnar import TraceArray
-
-        trace = TraceArray.from_events(events)
-        controller.run(trace)
-        if len(trace):
-            last_time_ns = float(trace.time_ns[-1])
+        controller.run(events, chunk_events=chunk_events)
+        last_time_ns = controller.last_event_ns
     else:
         controller = MemoryController(device, factory)
         for event in events:
@@ -157,7 +190,7 @@ def simulate(
     return SimulationResult(
         scheme=scheme,
         workload=workload,
-        banks=banks,
+        banks=total_banks,
         rows_per_bank=rows_per_bank,
         duration_ns=duration_ns,
         acts=controller.counters.acts_issued,

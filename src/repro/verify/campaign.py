@@ -68,12 +68,15 @@ ARTIFACT_SCHEMA = 1
 # ----------------------------------------------------------------------
 
 
-def _cell_subjects(scale: VerifyScale, threshold_offset: int):
+def _cell_subjects(
+    scale: VerifyScale, threshold_offset: int,
+    parallel_fastpath: bool = False,
+):
     """Subject roster for a cell (weakened graphene when offset != 0)."""
     if threshold_offset:
         name = f"graphene-weakened+{threshold_offset}"
         return {name: weakened_graphene_subject(scale, threshold_offset)}
-    return core_subjects(scale)
+    return core_subjects(scale, parallel_fastpath=parallel_fastpath)
 
 
 def run_cell(
@@ -84,6 +87,7 @@ def run_cell(
     schemes: Sequence[str],
     scale: Mapping[str, Any],
     threshold_offset: int = 0,
+    parallel_fastpath: bool = False,
 ) -> dict[str, Any]:
     """Run one fuzz cell; returns a JSON-able result dict.
 
@@ -91,7 +95,8 @@ def run_cell(
     experiment runner (process pools + on-disk cache).  ``scale`` is
     the :meth:`VerifyScale.describe` dict -- it is part of the cache
     key, and must match the current code's derivation (a mismatch means
-    a stale caller, not a tunable).
+    a stale caller, not a tunable).  ``parallel_fastpath`` adds the
+    sharded + chunked fast-engine leg to the ``fastpath`` subject.
     """
     current = DEFAULT_SCALE
     if dict(scale) != current.describe():
@@ -101,7 +106,9 @@ def run_cell(
         )
     spec = StreamSpec(generator=generator, seed=seed, length=length)
     events = generate_stream(spec, current)
-    subjects = _cell_subjects(current, threshold_offset)
+    subjects = _cell_subjects(
+        current, threshold_offset, parallel_fastpath=parallel_fastpath
+    )
     report = run_stream(
         events,
         current,
@@ -185,12 +192,15 @@ def _reproduces(
     scale: VerifyScale,
     threshold_offset: int,
     schemes: Sequence[str],
+    parallel_fastpath: bool = False,
 ):
     """Predicate: does a candidate stream still hit the same failures?"""
     subject_names = {subject for subject, _ in targets}
     subjects = {
         name: fn
-        for name, fn in _cell_subjects(scale, threshold_offset).items()
+        for name, fn in _cell_subjects(
+            scale, threshold_offset, parallel_fastpath=parallel_fastpath
+        ).items()
         if name in subject_names
     }
     mitigation = tuple(
@@ -216,6 +226,7 @@ def run_campaign(
     artifact_dir: str | Path | None = "verify-artifacts",
     threshold_offset: int = 0,
     scale: VerifyScale = DEFAULT_SCALE,
+    parallel_fastpath: bool = False,
 ) -> CampaignReport:
     """Run a budgeted differential-fuzzing campaign.
 
@@ -233,6 +244,9 @@ def run_campaign(
             (self-test hook; skips the mitigation layer).
         scale: Verification scale (must be the default scale for now --
             cells are cached against its ``describe()`` dict).
+        parallel_fastpath: Extend each cell's ``fastpath`` subject with
+            a sharded + chunked fast-engine leg (``verify fuzz
+            --parallel``).
     """
     if budget < 1:
         raise ValueError("campaign budget must be >= 1")
@@ -243,17 +257,22 @@ def run_campaign(
         rotation = PROBABILISTIC_SCHEMES[index % len(PROBABILISTIC_SCHEMES)]
         schemes = list(DETERMINISTIC_SCHEMES) + [rotation]
         cell_seed = _cell_seed(seed, index)
+        kwargs = dict(
+            generator=generator,
+            seed=cell_seed,
+            length=length,
+            schemes=schemes,
+            scale=scale.describe(),
+            threshold_offset=threshold_offset,
+        )
+        # Only widen the cache key when the parallel leg is on, so
+        # existing serial campaign results keep their addresses.
+        if parallel_fastpath:
+            kwargs["parallel_fastpath"] = True
         jobs.append(
             Job(
                 fn="repro.verify.campaign:run_cell",
-                kwargs=dict(
-                    generator=generator,
-                    seed=cell_seed,
-                    length=length,
-                    schemes=schemes,
-                    scale=scale.describe(),
-                    threshold_offset=threshold_offset,
-                ),
+                kwargs=kwargs,
                 label=f"verify/{generator}/s{cell_seed}",
             )
         )
@@ -286,13 +305,16 @@ def run_campaign(
         for cell in results:
             if not cell["violations"]:
                 continue
-            path = _shrink_and_save(cell, scale, directory)
+            path = _shrink_and_save(
+                cell, scale, directory, parallel_fastpath=parallel_fastpath
+            )
             report.artifacts.append(str(path))
     return report
 
 
 def _shrink_and_save(
-    cell: Mapping[str, Any], scale: VerifyScale, directory: Path
+    cell: Mapping[str, Any], scale: VerifyScale, directory: Path,
+    parallel_fastpath: bool = False,
 ) -> Path:
     """Shrink one failing cell's stream and write its reproducer."""
     spec = StreamSpec(
@@ -301,7 +323,8 @@ def _shrink_and_save(
     events = generate_stream(spec, scale)
     targets = {(v["subject"], v["kind"]) for v in cell["violations"]}
     failing = _reproduces(
-        targets, scale, cell["threshold_offset"], cell["schemes"]
+        targets, scale, cell["threshold_offset"], cell["schemes"],
+        parallel_fastpath=parallel_fastpath,
     )
     reduced = shrink_stream(events, failing)
     first = cell["violations"][0]
@@ -386,7 +409,8 @@ def load_artifact(path: str | Path) -> dict[str, Any]:
 
 
 def replay_artifact(
-    path: str | Path, scale: VerifyScale = DEFAULT_SCALE
+    path: str | Path, scale: VerifyScale = DEFAULT_SCALE,
+    parallel_fastpath: bool = False,
 ) -> tuple[StreamReport, dict[str, Any]]:
     """Re-run an artifact's stream through the differential executor.
 
@@ -394,7 +418,9 @@ def replay_artifact(
     ``"expect": "pass"`` corpus entries the report must be clean; for
     ``"expect": "fail"`` reproducers it must re-hit at least one of the
     recorded (subject, kind) pairs.  :func:`artifact_verdict` applies
-    that rule.
+    that rule.  ``parallel_fastpath`` replays the ``fastpath`` subject
+    with the sharded + chunked fast-engine leg as well (``verify
+    replay --parallel``).
     """
     artifact = load_artifact(path)
     if artifact["scale"] != scale.describe():
@@ -404,7 +430,9 @@ def replay_artifact(
             f"regenerate the artifact"
         )
     offset = artifact.get("threshold_offset", 0)
-    subjects = _cell_subjects(scale, offset)
+    subjects = _cell_subjects(
+        scale, offset, parallel_fastpath=parallel_fastpath
+    )
     schemes = artifact.get("schemes")
     if offset:
         mitigation: tuple[str, ...] = ()

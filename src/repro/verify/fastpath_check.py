@@ -97,9 +97,13 @@ def _check_scheme(
     paced: Sequence[ActEvent],
     duration_ns: float,
     scale: VerifyScale,
+    parallel: bool = False,
 ) -> tuple[list, dict[str, Any] | None, dict[str, Any]]:
-    """One scheme through both stacks.
+    """One scheme through the reference stack and one or two fast stacks.
 
+    With ``parallel`` a second fast stack runs sharded across two worker
+    processes *and* chunked (three chunks), so the differential covers
+    the full execution matrix, not just in-process serial fast mode.
     Returns ``(violations, skipped, stats)``; ``skipped`` is non-None
     only when the fast controller refused to build.
     """
@@ -120,6 +124,8 @@ def _check_scheme(
             track_faults=True,
         )
 
+    # (label-suffix, controller, device, run kwargs) per fast stack.
+    stacks = []
     fast_device = device()
     fast, reason = build_fast_controller_ex(
         fast_device, _mitigation_factory(scheme, trh),
@@ -127,6 +133,19 @@ def _check_scheme(
     )
     if fast is None:
         return [], {"skipped": f"fast path unavailable ({reason})"}, {}
+    stacks.append(("", fast, fast_device, {}))
+    if parallel:
+        shard_device = device()
+        sharded, reason = build_fast_controller_ex(
+            shard_device, _mitigation_factory(scheme, trh),
+            keep_directive_log=True, shard_workers=2,
+        )
+        if sharded is None:
+            return [], {"skipped": f"fast path unavailable ({reason})"}, {}
+        stacks.append((
+            "/sharded", sharded, shard_device,
+            {"chunk_events": max(1, len(paced) // 3)},
+        ))
 
     ref_device = device()
     reference = MemoryController(
@@ -135,7 +154,8 @@ def _check_scheme(
     )
     try:
         reference.run(iter(paced))
-        fast.run(TraceArray.from_events(paced))
+        for _, controller, _, run_kwargs in stacks:
+            controller.run(TraceArray.from_events(paced), **run_kwargs)
     except Exception as exc:  # noqa: BLE001 - crash capture is the point
         return (
             [Violation(
@@ -156,86 +176,97 @@ def _check_scheme(
         reference, ref_device, scheme, scale.banks, scale.rows_per_bank,
         last_time_ns, duration_ns,
     )
-    fast_result = _result_dict(
-        fast, fast_device, scheme, scale.banks, scale.rows_per_bank,
-        last_time_ns, duration_ns,
-    )
-    if ref_result != fast_result:
-        keys = sorted(
-            k for k in ref_result
-            if ref_result[k] != fast_result.get(k)
-        )
-        return (
-            [Violation(
-                subject, "divergence",
-                f"[{scheme}] SimulationResult mismatch in field(s) "
-                + ", ".join(
-                    f"{k}: ref={ref_result[k]!r} fast={fast_result.get(k)!r}"
-                    for k in keys
-                ),
-            )],
-            None,
-            stats,
-        )
-
     ref_log = _directive_rows(reference.directive_log)
-    fast_log = _directive_rows(fast.directive_log)
-    if ref_log != fast_log:
-        first = next(
-            (i for i, (a, b) in enumerate(zip(ref_log, fast_log)) if a != b),
-            min(len(ref_log), len(fast_log)),
-        )
-        return (
-            [Violation(
-                subject, "divergence",
-                f"[{scheme}] directive logs diverge at index {first}: "
-                f"ref has {len(ref_log)} directives, fast {len(fast_log)}; "
-                f"ref[{first}]="
-                f"{ref_log[first] if first < len(ref_log) else None!r} "
-                f"fast[{first}]="
-                f"{fast_log[first] if first < len(fast_log) else None!r}",
-            )],
-            None,
-            stats,
-        )
+    ref_flips = _flip_rows(reference.bit_flips)
 
-    if _flip_rows(reference.bit_flips) != _flip_rows(fast.bit_flips):
-        return (
-            [Violation(
-                subject, "divergence",
-                f"[{scheme}] bit-flip records diverge: "
-                f"ref={len(reference.bit_flips)} fast={len(fast.bit_flips)}",
-            )],
-            None,
-            stats,
+    for label, fast, fast_device, _ in stacks:
+        tag = f"{scheme}{label}"
+        fast_result = _result_dict(
+            fast, fast_device, scheme, scale.banks, scale.rows_per_bank,
+            last_time_ns, duration_ns,
         )
-
-    for bank in range(scale.banks):
-        ref_state = reference_state(reference.engines[bank])
-        fast_state = fast.engines[bank].table_state()
-        if ref_state != fast_state:
+        if ref_result != fast_result:
+            keys = sorted(
+                k for k in ref_result
+                if ref_result[k] != fast_result.get(k)
+            )
             return (
                 [Violation(
                     subject, "divergence",
-                    f"[{scheme}] bank {bank} table state diverged: "
-                    f"ref={ref_state!r} fast={fast_state!r}",
+                    f"[{tag}] SimulationResult mismatch in field(s) "
+                    + ", ".join(
+                        f"{k}: ref={ref_result[k]!r} "
+                        f"fast={fast_result.get(k)!r}"
+                        for k in keys
+                    ),
                 )],
                 None,
                 stats,
             )
 
+        fast_log = _directive_rows(fast.directive_log)
+        if ref_log != fast_log:
+            first = next(
+                (i for i, (a, b) in enumerate(zip(ref_log, fast_log))
+                 if a != b),
+                min(len(ref_log), len(fast_log)),
+            )
+            return (
+                [Violation(
+                    subject, "divergence",
+                    f"[{tag}] directive logs diverge at index {first}: "
+                    f"ref has {len(ref_log)} directives, "
+                    f"fast {len(fast_log)}; "
+                    f"ref[{first}]="
+                    f"{ref_log[first] if first < len(ref_log) else None!r} "
+                    f"fast[{first}]="
+                    f"{fast_log[first] if first < len(fast_log) else None!r}",
+                )],
+                None,
+                stats,
+            )
+
+        if ref_flips != _flip_rows(fast.bit_flips):
+            return (
+                [Violation(
+                    subject, "divergence",
+                    f"[{tag}] bit-flip records diverge: "
+                    f"ref={len(reference.bit_flips)} "
+                    f"fast={len(fast.bit_flips)}",
+                )],
+                None,
+                stats,
+            )
+
+        for bank in range(scale.banks):
+            ref_state = reference_state(reference.engines[bank])
+            fast_state = fast.engines[bank].table_state()
+            if ref_state != fast_state:
+                return (
+                    [Violation(
+                        subject, "divergence",
+                        f"[{tag}] bank {bank} table state diverged: "
+                        f"ref={ref_state!r} fast={fast_state!r}",
+                    )],
+                    None,
+                    stats,
+                )
+
     return [], None, stats
 
 
 def run_fastpath_check(
-    events: Sequence[ActEvent], scale: VerifyScale
+    events: Sequence[ActEvent], scale: VerifyScale,
+    parallel: bool = False,
 ) -> tuple[list, dict[str, Any]]:
     """Run one stream through both engines for every kernel scheme.
 
     Any difference for any scheme is a bug; the first divergence is
     returned (with the scheme named in the detail) so the shrinker has
     one addressable failure to minimize.  ``stats`` aggregates across
-    schemes and records the roster size.
+    schemes and records the roster size.  With ``parallel`` each scheme
+    additionally runs a sharded + chunked fast stack (two worker
+    processes, three chunks) against the same reference.
     """
     paced = [
         ActEvent(index * _PACE_INTERVAL_NS, event.bank, event.row)
@@ -246,7 +277,7 @@ def run_fastpath_check(
     totals = {"acts": 0, "directives": 0, "flips": 0}
     for scheme in KERNEL_SCHEMES:
         violations, skipped, stats = _check_scheme(
-            scheme, paced, duration_ns, scale
+            scheme, paced, duration_ns, scale, parallel=parallel
         )
         if skipped is not None:
             # Telemetry bus installed: the fast path correctly refuses
@@ -261,6 +292,6 @@ def run_fastpath_check(
     return [], totals
 
 
-def fastpath_subject(scale: VerifyScale):
+def fastpath_subject(scale: VerifyScale, parallel: bool = False):
     """Subject-roster entry (shape matches ``core_subjects`` values)."""
-    return lambda ev: run_fastpath_check(ev, scale)
+    return lambda ev: run_fastpath_check(ev, scale, parallel=parallel)

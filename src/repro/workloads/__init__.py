@@ -46,6 +46,7 @@ from .synthetic import (
 from .columnar import (
     TraceArray,
     collect_stats_array,
+    iter_chunk_arrays,
     merge_arrays,
     pace_array,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "merge_streams",
     "pace",
     "TraceArray",
+    "iter_chunk_arrays",
     "pace_array",
     "merge_arrays",
     "collect_stats_array",

@@ -37,6 +37,7 @@ from .trace import ActEvent, TraceStats
 
 __all__ = [
     "TraceArray",
+    "iter_chunk_arrays",
     "pace_array",
     "merge_arrays",
     "collect_stats_array",
@@ -177,6 +178,49 @@ class TraceArray:
         if len(self) < 2:
             return True
         return bool(np.all(np.diff(self.time_ns) >= 0.0))
+
+
+def iter_chunk_arrays(
+    events: "TraceArray | Iterable[ActEvent]", chunk_events: int
+) -> Iterator[TraceArray]:
+    """Yield consecutive :class:`TraceArray` chunks of at most
+    ``chunk_events`` events.
+
+    The streaming entry point of the fast path's chunked execution
+    mode: a :class:`TraceArray` input yields zero-copy views (no extra
+    memory at all), while *any other* event iterable -- including a
+    lazy generator that never materializes the full trace -- is
+    buffered one chunk at a time, so peak memory is bounded by the
+    chunk size regardless of trace length.  Chunk boundaries carry no
+    semantic weight: consumers (``FastMemoryController.run``) keep all
+    kernel/bank state across chunks, so a chunked run is bit-identical
+    to an unchunked one.
+    """
+    if chunk_events < 1:
+        raise ValueError(f"chunk_events must be >= 1, got {chunk_events}")
+    if isinstance(events, TraceArray):
+        yield from events.chunks(chunk_events)
+        return
+    times: list[float] = []
+    banks: list[int] = []
+    rows: list[int] = []
+    for event in events:
+        times.append(event.time_ns)
+        banks.append(event.bank)
+        rows.append(event.row)
+        if len(times) == chunk_events:
+            yield TraceArray(
+                time_ns=np.array(times, dtype=np.float64),
+                bank=np.array(banks, dtype=np.int64),
+                row=np.array(rows, dtype=np.int64),
+            )
+            times, banks, rows = [], [], []
+    if times:
+        yield TraceArray(
+            time_ns=np.array(times, dtype=np.float64),
+            bank=np.array(banks, dtype=np.int64),
+            row=np.array(rows, dtype=np.int64),
+        )
 
 
 def _sequential_cumsum(base: float, increments: np.ndarray) -> np.ndarray:

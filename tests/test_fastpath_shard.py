@@ -1,0 +1,383 @@
+"""Sharded and streaming execution of the columnar fast path.
+
+The tentpole contract: ``shard_workers=N`` (per-bank lanes across a
+process pool) and ``chunk_events=M`` (streaming with carried kernel
+state) are pure execution-strategy knobs -- every combination is
+byte-identical to serial fast mode, which is itself byte-identical to
+the reference engine.  These tests pin that equivalence for every
+kernel scheme, including the degrade-to-serial path (which must warn,
+naming the requested worker count) and the chunk-boundary state carry
+across REF-tick and reset-window edges.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.controller.mc import MemoryController
+from repro.core.config import GrapheneConfig
+from repro.core.fastpath import build_fast_controller_ex
+from repro.dram.timing import DDR4_2400
+from repro.mitigations import graphene_factory, prohit_factory
+from repro.sim.simulator import build_device, simulate
+from repro.verify.differential import _mitigation_factory
+from repro.verify.fastpath_check import KERNEL_SCHEMES, run_fastpath_check
+from repro.verify.generators import DEFAULT_SCALE, StreamSpec, generate_stream
+from repro.workloads import (
+    ActEvent,
+    TraceArray,
+    iter_chunk_arrays,
+    merge_arrays,
+    pace_array,
+)
+
+TRH = DEFAULT_SCALE.mitigation_trh
+
+
+def _banked_trace(banks: int = 4, acts_per_bank: int = 1500,
+                  rows_per_bank: int = 512, seed: int = 3) -> TraceArray:
+    """Hammer pairs per bank with sprinkled misses, merged to one
+    stream; hot enough (vs the verify-scale T_RH) that directives and
+    flips actually fire."""
+    rng = np.random.default_rng(seed)
+    per_bank = []
+    for bank in range(banks):
+        rows = np.asarray([100, 102] * (acts_per_bank // 2))
+        noise = rng.integers(0, rows_per_bank, size=acts_per_bank // 30)
+        rows[rng.integers(0, len(rows), size=len(noise))] = noise
+        per_bank.append(
+            pace_array(rows, DDR4_2400.trc, bank=bank,
+                       start_ns=bank * (DDR4_2400.trc / banks))
+        )
+    return merge_arrays(*per_bank)
+
+
+def _sim_kwargs(scheme: str, trace: TraceArray, banks: int = 4,
+                ranks: int = 1) -> dict:
+    return dict(
+        scheme=scheme,
+        workload="shard-test",
+        banks=banks,
+        ranks=ranks,
+        rows_per_bank=512,
+        hammer_threshold=TRH,
+        track_faults=True,
+        duration_ns=float(trace.time_ns[-1]) + 100.0,
+    )
+
+
+class TestIterChunkArrays:
+    def test_chunks_partition_a_trace_array(self):
+        trace = _banked_trace(banks=2, acts_per_bank=100)
+        chunks = list(iter_chunk_arrays(trace, 37))
+        assert [len(c) for c in chunks] == [37, 37, 37, 37, 37, 15]
+        rebuilt = merge_arrays(*chunks)
+        assert np.array_equal(rebuilt.time_ns, trace.time_ns)
+        assert np.array_equal(rebuilt.bank, trace.bank)
+        assert np.array_equal(rebuilt.row, trace.row)
+
+    def test_iterable_input_matches_array_input(self):
+        trace = _banked_trace(banks=2, acts_per_bank=100)
+        from_events = list(iter_chunk_arrays(iter(trace.to_events()), 41))
+        from_array = list(iter_chunk_arrays(trace, 41))
+        assert len(from_events) == len(from_array)
+        for a, b in zip(from_events, from_array):
+            assert np.array_equal(a.time_ns, b.time_ns)
+            assert np.array_equal(a.bank, b.bank)
+            assert np.array_equal(a.row, b.row)
+
+    def test_consumes_iterables_lazily(self):
+        """The constant-memory claim: pulling one chunk must advance
+        the source by exactly one chunk, never materialize the rest."""
+        pulled = 0
+
+        def source():
+            nonlocal pulled
+            for i in range(1000):
+                pulled += 1
+                yield ActEvent(i * 45.0, 0, i % 7)
+
+        chunks = iter_chunk_arrays(source(), 100)
+        first = next(chunks)
+        assert len(first) == 100
+        assert pulled == 100
+
+    def test_rejects_nonpositive_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunk_arrays(iter([]), 0))
+
+
+class TestShardedIdentity:
+    """shard_workers > 1 is byte-identical to serial fast mode and to
+    the reference engine, for every kernel scheme."""
+
+    @pytest.mark.parametrize("scheme", KERNEL_SCHEMES)
+    def test_sharded_matches_reference(self, scheme):
+        trace = _banked_trace()
+        kwargs = _sim_kwargs(scheme, trace)
+        reference = simulate(
+            trace, _mitigation_factory(scheme, TRH), fast=False, **kwargs
+        )
+        sharded = simulate(
+            trace, _mitigation_factory(scheme, TRH), fast=True,
+            shard_workers=2, **kwargs,
+        )
+        assert sharded.to_dict() == reference.to_dict()
+        assert reference.acts == len(trace)
+
+    def test_sharded_and_chunked_combine(self):
+        """Both knobs at once: pool dispatch per chunk, state carried
+        across chunk boundaries inside each worker round-trip."""
+        trace = _banked_trace()
+        kwargs = _sim_kwargs("graphene", trace)
+        serial = simulate(
+            trace, _mitigation_factory("graphene", TRH), fast=True, **kwargs
+        )
+        both = simulate(
+            trace, _mitigation_factory("graphene", TRH), fast=True,
+            shard_workers=3, chunk_events=449, **kwargs,
+        )
+        assert both.to_dict() == serial.to_dict()
+        assert serial.victim_refresh_directives > 0  # test has teeth
+
+    def test_sharded_directive_log_and_table_state(self):
+        """The pool ships directives/flips back tagged with lane-local
+        indices; the remap must restore exact global order, and worker
+        bank/kernel state must be written back into the parent."""
+        from repro.core.fast_kernels import reference_state
+
+        trace = _banked_trace(banks=3, acts_per_bank=2000)
+        factory = graphene_factory(GrapheneConfig(hammer_threshold=TRH))
+
+        ref_device = build_device(banks=3, rows_per_bank=512,
+                                  hammer_threshold=TRH, track_faults=True)
+        reference = MemoryController(ref_device, factory,
+                                     keep_directive_log=True)
+        reference.run(iter(trace.to_events()))
+
+        fast_device = build_device(banks=3, rows_per_bank=512,
+                                   hammer_threshold=TRH, track_faults=True)
+        fast, reason = build_fast_controller_ex(
+            fast_device, factory, keep_directive_log=True, shard_workers=2
+        )
+        assert fast is not None, reason
+        fast.run(trace)
+
+        assert reference.directive_log, "test has no teeth"
+        assert fast.directive_log == reference.directive_log
+        assert fast.bit_flips == reference.bit_flips
+        assert fast.latency_summary() == reference.latency_summary()
+        for bank in range(3):
+            assert (fast.engines[bank].table_state()
+                    == reference_state(reference.engines[bank])), bank
+
+
+class TestChunkBoundaryStateCarry:
+    """Streaming must carry kernel state across chunk edges exactly --
+    including a chunk boundary aligned with a REF tick / reset-window
+    edge, where the scalar-replay machinery is most delicate."""
+
+    def _split_points(self, trace: TraceArray) -> dict[str, int]:
+        n = len(trace)
+        # First event at/after the first auto-refresh tick: the chunk
+        # edge lands exactly on a REF boundary (and, at DDR4 timings,
+        # inside the first graphene reset window / CBT epoch).
+        ref_edge = int(np.searchsorted(trace.time_ns, DDR4_2400.trefi))
+        assert 0 < ref_edge < n, "trace too short to straddle a REF tick"
+        return {"small-prime": 317, "ref-boundary": ref_edge,
+                "uneven-tail": (n // 2) + 1}
+
+    @pytest.mark.parametrize("scheme", KERNEL_SCHEMES)
+    @pytest.mark.parametrize("split", ["small-prime", "ref-boundary",
+                                       "uneven-tail"])
+    def test_chunked_matches_unchunked(self, scheme, split):
+        trace = _banked_trace()
+        chunk_events = self._split_points(trace)[split]
+        kwargs = _sim_kwargs(scheme, trace)
+        whole = simulate(
+            trace, _mitigation_factory(scheme, TRH), fast=True, **kwargs
+        )
+        chunked = simulate(
+            trace, _mitigation_factory(scheme, TRH), fast=True,
+            chunk_events=chunk_events, **kwargs,
+        )
+        assert chunked.to_dict() == whole.to_dict()
+
+    def test_streaming_from_a_generator(self):
+        """The whole point of chunking: the trace never has to exist
+        in memory at once.  A lazy event generator through chunked fast
+        mode matches the fully-materialized run."""
+        trace = _banked_trace(banks=2, acts_per_bank=2000)
+        kwargs = _sim_kwargs("graphene", trace, banks=2)
+        materialized = simulate(
+            trace, _mitigation_factory("graphene", TRH), fast=True, **kwargs
+        )
+        streamed = simulate(
+            iter(trace.to_events()), _mitigation_factory("graphene", TRH),
+            fast=True, chunk_events=333, **kwargs,
+        )
+        assert streamed.to_dict() == materialized.to_dict()
+
+
+class TestMultiRank:
+    def test_ranks_scale_the_flat_bank_space(self):
+        trace = _banked_trace(banks=4)  # flat banks 0..3 = 2 ranks x 2
+        kwargs = _sim_kwargs("graphene", trace, banks=2, ranks=2)
+        reference = simulate(
+            trace, _mitigation_factory("graphene", TRH), fast=False, **kwargs
+        )
+        sharded = simulate(
+            trace, _mitigation_factory("graphene", TRH), fast=True,
+            shard_workers=2, **kwargs,
+        )
+        assert reference.banks == 4
+        assert sharded.to_dict() == reference.to_dict()
+
+
+class TestDegradeWarnings:
+    """Satellite: a silently-serial sharded run must name the requested
+    worker count in its warning."""
+
+    def test_single_bank_degrade_names_worker_count(self, caplog):
+        trace = _banked_trace(banks=1)
+        kwargs = _sim_kwargs("graphene", trace, banks=1)
+        serial = simulate(
+            trace, _mitigation_factory("graphene", TRH), fast=True, **kwargs
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.sim"):
+            degraded = simulate(
+                trace, _mitigation_factory("graphene", TRH), fast=True,
+                shard_workers=4, **kwargs,
+            )
+        assert degraded.to_dict() == serial.to_dict()
+        assert any(
+            "4 workers" in r.getMessage() and "single bank"
+            in r.getMessage()
+            for r in caplog.records
+        ), "degrade-to-serial did not name the requested worker count"
+
+    def test_reference_fallback_names_worker_count(self, caplog):
+        """No batched kernel + sharding requested: the fallback warning
+        must mention the worker count, not just the kernel gap."""
+        trace = _banked_trace(banks=2, acts_per_bank=200)
+        kwargs = dict(scheme="prohit", workload="probe", banks=2,
+                      track_faults=False)
+        with caplog.at_level(logging.WARNING, logger="repro.sim"):
+            simulate(
+                trace, prohit_factory(insert_probability=0.02, seed=1),
+                fast=True, shard_workers=3, **kwargs,
+            )
+        assert any(
+            "falling back" in r.getMessage()
+            and "requested 3 shard workers" in r.getMessage()
+            for r in caplog.records
+        ), "fallback warning did not name the requested worker count"
+
+    def test_rejects_nonpositive_worker_count(self):
+        trace = _banked_trace(banks=1, acts_per_bank=10)
+        with pytest.raises(ValueError):
+            simulate(
+                trace, _mitigation_factory("graphene", TRH), fast=True,
+                shard_workers=0, scheme="graphene", workload="bad",
+            )
+
+
+class TestRunnerShardNotes:
+    """`experiment --fast --shard-workers N` job summaries surface
+    degraded sharding the same way they surface engine fallbacks."""
+
+    def test_single_bank_fast_job_notes_degraded_sharding(self):
+        from repro.experiments.runner import ExperimentRunner, sim_job
+
+        job = sim_job(
+            trace={"kind": "synthetic", "label": "double_sided"},
+            factory=["scaling", "para"],
+            scheme="para",
+            workload="probe",
+            duration_ns=1e6,
+            engine="fast",
+            shard_workers=2,
+        )
+        note = ExperimentRunner._job_note(job)
+        assert "sharding requested (2 workers)" in note
+        assert "serial fast mode" in note
+
+    def test_multi_bank_fast_job_gets_no_note(self):
+        from repro.experiments.runner import ExperimentRunner, sim_job
+
+        job = sim_job(
+            trace={"kind": "synthetic", "label": "double_sided"},
+            factory=["scaling", "para"],
+            scheme="para",
+            workload="probe",
+            duration_ns=1e6,
+            engine="fast",
+            shard_workers=2,
+            banks=4,
+        )
+        assert ExperimentRunner._job_note(job) == ""
+
+    def test_fallback_note_names_requested_workers(self):
+        from repro.experiments.runner import ExperimentRunner, sim_job
+
+        job = sim_job(
+            trace={"kind": "synthetic", "label": "double_sided"},
+            factory=["capability", "prohit"],
+            scheme="prohit",
+            workload="probe",
+            duration_ns=1e6,
+            engine="fast",
+            shard_workers=2,
+        )
+        note = ExperimentRunner._job_note(job)
+        assert "fell back" in note
+        assert "requested 2 shard workers" in note
+
+    def test_session_default_enters_cache_key_only_when_sharded(self):
+        from repro.experiments.runner import sim_job, using_shard_workers
+
+        spec = dict(
+            trace={"kind": "synthetic", "label": "double_sided"},
+            factory=["scaling", "para"],
+            scheme="para",
+            workload="probe",
+            duration_ns=1e6,
+        )
+        with using_shard_workers(3):
+            fast = sim_job(engine="fast", **spec)
+            reference = sim_job(engine="reference", **spec)
+        assert fast.kwargs["shard_workers"] == 3
+        # Reference jobs have no lane dispatcher: the knob must stay
+        # out of their kwargs (and cache keys).
+        assert "shard_workers" not in reference.kwargs
+        # At the default the knob stays out of fast kwargs too, so
+        # pre-sharding cache entries keep their addresses.
+        assert "shard_workers" not in sim_job(engine="fast", **spec).kwargs
+
+
+class TestParallelVerifyLeg:
+    """`verify ... --parallel` adds a sharded + chunked stack to the
+    fastpath differential subject."""
+
+    def test_clean_on_a_fuzz_stream(self):
+        events = generate_stream(
+            StreamSpec(generator="eviction", seed=13, length=400),
+            DEFAULT_SCALE,
+        )
+        violations, stats = run_fastpath_check(
+            events, DEFAULT_SCALE, parallel=True
+        )
+        assert violations == []
+        assert stats["schemes"] == len(KERNEL_SCHEMES)
+
+    def test_corpus_artifact_replays_clean_in_parallel(self):
+        from repro.verify import artifact_verdict, replay_artifact
+
+        report, artifact = replay_artifact(
+            "tests/corpus/boundary-handcrafted.json", parallel_fastpath=True
+        )
+        ok, message = artifact_verdict(report, artifact)
+        assert ok, message
