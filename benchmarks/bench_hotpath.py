@@ -47,9 +47,14 @@ only apply when ``os.cpu_count() >= 4`` -- on a 1-2 core box a process
 pool cannot beat serial and the honest numbers say so.  The artifact
 records ``cpu_count`` so readers can interpret the sharded entries.
 
-Numbers land in ``BENCH_hotpath.json`` (schema 3) at the repo root;
-CI's ``bench-smoke`` job runs this module at the default reduced scale,
-gates the smoke speedups, and uploads the artifact.
+Numbers land in ``BENCH_hotpath.json`` (schema 3) at the repo root,
+and every run appends a ``hotpath`` entry (per-cell fast/reference
+ACTs/s) to the bench-trajectory history
+(:mod:`repro.bench.history`; redirect with ``GRAPHENE_BENCH_HISTORY``)
+for ``scripts/check_bench_regression.py`` to gate.  CI's
+``bench-smoke`` job runs this module at the default reduced scale,
+gates the smoke speedups and the history trajectory, and uploads the
+artifact.
 """
 
 from __future__ import annotations
@@ -353,6 +358,24 @@ def run(duration_ns: float) -> dict:
     }
 
 
+def _append_history(payload: dict) -> None:
+    """One ``hotpath`` trajectory entry per run (best effort)."""
+    from repro.bench.history import append_entry, hotpath_metrics
+
+    metrics = hotpath_metrics(payload)
+    if not metrics:
+        return
+    try:
+        append_entry(
+            "hotpath",
+            metrics,
+            path=os.environ.get("GRAPHENE_BENCH_HISTORY") or None,
+            extra={"duration_ns": payload["duration_ns"]},
+        )
+    except OSError:
+        pass
+
+
 def bench_hotpath(benchmark, bench_duration_ns):
     payload = benchmark.pedantic(
         run,
@@ -363,6 +386,7 @@ def bench_hotpath(benchmark, bench_duration_ns):
     OUTPUT_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+    _append_history(payload)
     for workload, section in payload["workloads"].items():
         for scheme, entry in section["schemes"].items():
             # Every engine variant must serialize to the same result,
@@ -414,4 +438,5 @@ if __name__ == "__main__":
     OUTPUT_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+    _append_history(payload)
     print(json.dumps(payload, indent=2, sort_keys=True))

@@ -15,9 +15,15 @@ The suite routes every experiment through the shared runner
   ``DIR`` (off by default: a bench that hits the cache measures pickle
   loads, not the simulator);
 * after the session, the accumulated runner statistics (jobs, cache
-  hits, computed cells, wall clock) are written to
-  ``BENCH_runner.json`` next to this file's repo root, so the perf
-  trajectory of the harness itself is tracked from run to run.
+  hits, computed cells, wall clock, and the cache's own hit/miss/store
+  counters when one is configured) are written to
+  ``BENCH_runner.json`` next to this file's repo root, and a
+  ``runner`` throughput entry is appended to the bench-trajectory
+  history (:mod:`repro.bench.history`), so the perf trajectory of the
+  harness itself is tracked from run to run and gated by
+  ``scripts/check_bench_regression.py``.  Set
+  ``GRAPHENE_BENCH_HISTORY`` to redirect the history file (or to
+  ``/dev/null``-like scratch in tests).
 """
 
 from __future__ import annotations
@@ -44,6 +50,9 @@ BENCH_CACHE = os.environ.get("GRAPHENE_BENCH_CACHE", "")
 
 #: Where the session's runner statistics land.
 STATS_PATH = Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+
+#: Bench-trajectory history file ("" = the repo default under results/).
+BENCH_HISTORY = os.environ.get("GRAPHENE_BENCH_HISTORY", "")
 
 _session_runner: ExperimentRunner | None = None
 
@@ -90,9 +99,11 @@ def pytest_sessionfinish(session, exitstatus):
         return
     stats = _session_runner.stats
     payload = {
-        # Schema 2: per-label aggregates replaced the one-record-per-job
-        # "per_job" list of schema 1 (which grew to hundreds of KB).
-        "schema": 2,
+        # Schema 3: adds the cache-counter block (telemetry-aware
+        # hit/miss plus store/eviction counts) to schema 2's per-label
+        # aggregates (which replaced the one-record-per-job "per_job"
+        # list of schema 1).
+        "schema": 3,
         "jobs": stats.jobs,
         "cache_hits": stats.cache_hits,
         "cache_misses": stats.computed,
@@ -101,6 +112,7 @@ def pytest_sessionfinish(session, exitstatus):
         "workers": _session_runner.jobs,
         "full_scale": FULL_SCALE,
         "cache_dir": BENCH_CACHE or None,
+        "cache": _session_runner.cache_counters(),
         "labels": _label_summaries(stats.records),
     }
     try:
@@ -110,6 +122,24 @@ def pytest_sessionfinish(session, exitstatus):
         )
     except OSError:
         pass
+    if stats.jobs:
+        from repro.bench.history import append_entry, runner_metrics
+
+        metrics = runner_metrics(payload)
+        if metrics:
+            try:
+                append_entry(
+                    "runner",
+                    metrics,
+                    path=BENCH_HISTORY or None,
+                    extra={
+                        "jobs": stats.jobs,
+                        "workers": _session_runner.jobs,
+                        "full_scale": FULL_SCALE,
+                    },
+                )
+            except OSError:
+                pass
 
 
 @pytest.fixture(scope="session")

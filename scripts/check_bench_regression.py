@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Gate on benchmark-throughput regressions in the trajectory history.
+
+Compares the newest ``results/bench_history.jsonl`` entry of each bench
+against the rolling median of up to ``--window`` predecessors; any
+``*_per_sec`` metric more than ``--threshold`` below its median fails
+the gate (exit 1).  A bench with no prior entries is a baseline and
+passes.  CI runs this after appending the current run's entries, so a
+commit that halves a kernel's throughput fails its own build.
+
+Usage::
+
+    python scripts/check_bench_regression.py [--history PATH]
+        [--threshold 0.30] [--window 5] [--bench NAME]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.history import (  # noqa: E402
+    DEFAULT_HISTORY_PATH,
+    check_regression,
+    iter_entries,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--history", default=None, metavar="PATH",
+        help=f"history JSONL (default {DEFAULT_HISTORY_PATH})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.30, metavar="FRAC",
+        help="maximum tolerated drop below the rolling median "
+             "(default 0.30)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="prior entries per bench in the rolling median (default 5)",
+    )
+    parser.add_argument(
+        "--bench", default=None, metavar="NAME",
+        help="check only this bench (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    entries = list(iter_entries(args.history, bench=args.bench))
+    if not entries:
+        print("bench history: no entries yet; nothing to gate")
+        return 0
+    benches = sorted({str(e.get("bench")) for e in entries})
+    print(
+        f"bench history: {len(entries)} entries across "
+        f"{len(benches)} bench(es): {', '.join(benches)}"
+    )
+
+    findings = check_regression(
+        args.history,
+        threshold=args.threshold,
+        window=args.window,
+        bench=args.bench,
+    )
+    if not findings:
+        print(
+            f"gate passed: no throughput metric fell more than "
+            f"{100 * args.threshold:.0f}% below its rolling median"
+        )
+        return 0
+    print(f"REGRESSION: {len(findings)} metric(s) failed the gate")
+    for finding in findings:
+        print(
+            f"  {finding['bench']}/{finding['metric']}: "
+            f"{finding['value']:,.0f} vs median {finding['median']:,.0f} "
+            f"over {finding['window']} prior run(s) "
+            f"(-{100 * finding['drop']:.1f}%, commit "
+            f"{finding['git_sha'][:12] or '?'})"
+        )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

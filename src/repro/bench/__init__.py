@@ -1,0 +1,25 @@
+"""Benchmark trajectory tracking (see :mod:`repro.bench.history`)."""
+
+from .history import (
+    DEFAULT_HISTORY_PATH,
+    HISTORY_SCHEMA_VERSION,
+    append_entry,
+    check_regression,
+    current_git_sha,
+    hotpath_metrics,
+    iter_entries,
+    make_entry,
+    runner_metrics,
+)
+
+__all__ = [
+    "DEFAULT_HISTORY_PATH",
+    "HISTORY_SCHEMA_VERSION",
+    "append_entry",
+    "check_regression",
+    "current_git_sha",
+    "hotpath_metrics",
+    "iter_entries",
+    "make_entry",
+    "runner_metrics",
+]

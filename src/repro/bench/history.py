@@ -1,0 +1,232 @@
+"""Append-only benchmark trajectory: ``results/bench_history.jsonl``.
+
+Every benchmark run appends one schema'd line -- git SHA, CPU count,
+Python version, and a flat ``metrics`` dict -- so the repo carries its
+own performance record across commits, and a regression gate
+(``scripts/check_bench_regression.py``) can compare the newest entry
+against the rolling median of its predecessors without any external
+infrastructure.
+
+Conventions:
+
+* one line per (bench, run); ``bench`` names the producing harness
+  (``"hotpath"``, ``"runner"``, ...);
+* metric keys ending in ``_per_sec`` are throughputs -- higher is
+  better, and these are what the regression gate checks.  Other
+  metrics ride along as context and are never gated;
+* lines are append-only and torn/foreign lines are skipped on read,
+  the same durability posture as the campaign manifest;
+* entries from machines of different sizes coexist: the gate compares
+  medians, and ``cpu_count`` is recorded so a human can spot a
+  hardware change behind a step in the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "DEFAULT_HISTORY_PATH",
+    "current_git_sha",
+    "make_entry",
+    "append_entry",
+    "iter_entries",
+    "hotpath_metrics",
+    "runner_metrics",
+    "check_regression",
+]
+
+#: Bump when the entry format changes incompatibly.
+HISTORY_SCHEMA_VERSION = 1
+
+#: ``<repo root>/results/bench_history.jsonl``.
+DEFAULT_HISTORY_PATH = (
+    Path(__file__).resolve().parents[3] / "results" / "bench_history.jsonl"
+)
+
+#: Throughput metrics (the gated kind) end with this suffix.
+THROUGHPUT_SUFFIX = "_per_sec"
+
+
+def current_git_sha() -> str:
+    """The checked-out commit, or ``""`` outside a git work tree."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                cwd=Path(__file__).resolve().parent,
+                check=False,
+            ).stdout.strip()
+            or ""
+        )
+    except OSError:
+        return ""
+
+
+def make_entry(
+    bench: str,
+    metrics: Mapping[str, float],
+    *,
+    git_sha: str | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """One history line (not yet written; see :func:`append_entry`)."""
+    if not bench:
+        raise ValueError("bench name must be non-empty")
+    entry: dict[str, Any] = {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "bench": bench,
+        "unix": round(time.time(), 3),
+        "iso": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": git_sha if git_sha is not None else current_git_sha(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "metrics": {name: float(value) for name, value in metrics.items()},
+    }
+    if extra:
+        entry["extra"] = dict(extra)
+    return entry
+
+
+def append_entry(
+    bench: str,
+    metrics: Mapping[str, float],
+    path: str | Path | None = None,
+    **kwargs: Any,
+) -> dict[str, Any]:
+    """Append one entry to the history file; returns the entry."""
+    target = Path(path) if path is not None else DEFAULT_HISTORY_PATH
+    entry = make_entry(bench, metrics, **kwargs)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def iter_entries(
+    path: str | Path | None = None, bench: str | None = None
+) -> Iterator[dict[str, Any]]:
+    """Stream entries oldest-first; torn or foreign lines are skipped."""
+    target = Path(path) if path is not None else DEFAULT_HISTORY_PATH
+    if not target.exists():
+        return
+    with open(target, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                entry = json.loads(raw)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict) or "metrics" not in entry:
+                continue
+            if bench is not None and entry.get("bench") != bench:
+                continue
+            yield entry
+
+
+# ----------------------------------------------------------------------
+# Metric extraction from the bench artifacts
+# ----------------------------------------------------------------------
+
+
+def hotpath_metrics(payload: Mapping[str, Any]) -> dict[str, float]:
+    """Per-scheme throughputs from a ``BENCH_hotpath.json`` payload.
+
+    One ``<workload>.<scheme>.fast_acts_per_sec`` metric per cell,
+    plus each cell's reference-arm counterpart, so the trajectory
+    tracks the batched kernels and the event loop separately.
+    """
+    metrics: dict[str, float] = {}
+    for workload, section in payload.get("workloads", {}).items():
+        for scheme, entry in section.get("schemes", {}).items():
+            for arm in ("fast", "reference"):
+                value = entry.get(f"{arm}_acts_per_sec")
+                if value:
+                    metrics[f"{workload}.{scheme}.{arm}_acts_per_sec"] = (
+                        float(value)
+                    )
+    return metrics
+
+
+def runner_metrics(payload: Mapping[str, Any]) -> dict[str, float]:
+    """Harness throughput from a ``BENCH_runner.json`` payload."""
+    metrics: dict[str, float] = {}
+    wall = float(payload.get("wall_seconds", 0.0))
+    jobs = int(payload.get("jobs", 0))
+    if wall > 0 and jobs:
+        metrics["jobs_per_sec"] = jobs / wall
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# The regression gate
+# ----------------------------------------------------------------------
+
+
+def check_regression(
+    path: str | Path | None = None,
+    threshold: float = 0.30,
+    window: int = 5,
+    bench: str | None = None,
+) -> list[dict[str, Any]]:
+    """Newest entry vs the rolling median of its predecessors.
+
+    For each bench name, the newest entry's throughput metrics
+    (``*_per_sec``) are compared against the median of the same metric
+    over up to ``window`` immediately preceding entries.  A metric
+    whose newest value sits more than ``threshold`` below that median
+    is a regression.  Benches or metrics without prior entries are
+    baselines, never failures.
+
+    Returns the regression findings (empty = gate passes).
+    """
+    by_bench: dict[str, list[dict[str, Any]]] = {}
+    for entry in iter_entries(path, bench=bench):
+        by_bench.setdefault(str(entry.get("bench")), []).append(entry)
+
+    findings: list[dict[str, Any]] = []
+    for name, entries in sorted(by_bench.items()):
+        newest = entries[-1]
+        priors = entries[max(0, len(entries) - 1 - window) : -1]
+        if not priors:
+            continue
+        for metric, value in sorted(newest.get("metrics", {}).items()):
+            if not metric.endswith(THROUGHPUT_SUFFIX):
+                continue
+            baseline = [
+                float(prior["metrics"][metric])
+                for prior in priors
+                if metric in prior.get("metrics", {})
+            ]
+            if not baseline:
+                continue
+            median = statistics.median(baseline)
+            if median <= 0:
+                continue
+            drop = 1.0 - float(value) / median
+            if drop > threshold:
+                findings.append(
+                    {
+                        "bench": name,
+                        "metric": metric,
+                        "value": float(value),
+                        "median": median,
+                        "drop": round(drop, 4),
+                        "window": len(baseline),
+                        "git_sha": newest.get("git_sha", ""),
+                    }
+                )
+    return findings

@@ -1,0 +1,39 @@
+"""Fleet-scale sweep campaigns: grids, checkpoints, observability.
+
+A *campaign* is a declarative Cartesian sweep (schemes x workloads x
+T_RH generations x timing grids) run through the PR-1 experiment
+runner with durable per-cell checkpoints, a live terminal dashboard,
+and a static HTML report.  See docs/campaigns.md for the spec format
+and resume semantics.
+"""
+
+from .driver import TELEMETRY_NAME, CampaignDriver
+from .grid import (
+    GRID_SCHEMES,
+    SPEC_SCHEMA_VERSION,
+    CampaignCell,
+    CampaignSpec,
+    load_spec,
+)
+from .manifest import MANIFEST_SCHEMA_VERSION, CampaignManifest, CellRecord
+from .progress import DashboardRenderer, ProgressSampler, format_eta
+from .report import REPORT_NAME, render_report, write_report
+
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "MANIFEST_SCHEMA_VERSION",
+    "GRID_SCHEMES",
+    "CampaignCell",
+    "CampaignSpec",
+    "load_spec",
+    "CampaignManifest",
+    "CellRecord",
+    "CampaignDriver",
+    "TELEMETRY_NAME",
+    "ProgressSampler",
+    "DashboardRenderer",
+    "format_eta",
+    "render_report",
+    "write_report",
+    "REPORT_NAME",
+]

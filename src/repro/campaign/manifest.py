@@ -1,0 +1,234 @@
+"""Checkpointed campaign state: an append-only JSONL manifest.
+
+The manifest is the campaign's source of truth for resume: one header
+line binds the directory to a spec digest, then one line per cell
+*outcome* (completed or failed) plus periodic heartbeat lines.  Lines
+are appended and flushed as soon as they are known, so a campaign
+killed mid-sweep -- SIGKILL included -- loses at most the in-flight
+batch, and ``resume`` replays the file to find exactly which cells
+still need computing.
+
+Cells are keyed two ways on every line: the human-stable ``cell`` id
+(``grid/trh=N/workload/scheme``) and the content-addressed cache
+``key`` of the underlying runner job.  The latter is what makes "a
+resumed campaign recomputes nothing" *checkable*: the resume run's
+computed-key set must be disjoint from the completed-key set already in
+the manifest (and even a lost manifest degrades to cache hits, because
+the keys are the PR-1 result-cache addresses).
+
+Replay semantics: the last record for a cell wins, so a cell that
+failed in run 1 and completed in run 2 reads as completed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = ["MANIFEST_SCHEMA_VERSION", "CellRecord", "CampaignManifest"]
+
+#: Bump when the manifest line format changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+_MANIFEST_NAME = "manifest.jsonl"
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """Latest known outcome of one cell."""
+
+    cell_id: str
+    key: str
+    status: str  # "completed" | "failed"
+    seconds: float
+    source: str  # "computed" | "cache"
+    scheme: str
+    workload: str
+    hammer_threshold: int
+    timing_grid: str
+    acts: int = 0
+    error: str = ""
+
+    def to_line(self) -> dict[str, Any]:
+        return {
+            "type": "cell",
+            "cell": self.cell_id,
+            "key": self.key,
+            "status": self.status,
+            "seconds": round(self.seconds, 6),
+            "source": self.source,
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "hammer_threshold": self.hammer_threshold,
+            "timing_grid": self.timing_grid,
+            "acts": self.acts,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_line(cls, line: Mapping[str, Any]) -> "CellRecord":
+        return cls(
+            cell_id=line["cell"],
+            key=line["key"],
+            status=line["status"],
+            seconds=float(line.get("seconds", 0.0)),
+            source=line.get("source", "computed"),
+            scheme=line.get("scheme", ""),
+            workload=line.get("workload", ""),
+            hammer_threshold=int(line.get("hammer_threshold", 0)),
+            timing_grid=line.get("timing_grid", ""),
+            acts=int(line.get("acts", 0)),
+            error=line.get("error", ""),
+        )
+
+
+class CampaignManifest:
+    """Append-only JSONL ledger of one campaign directory.
+
+    Args:
+        directory: The campaign directory (created if missing).
+
+    Use :meth:`create` for a fresh campaign (writes the header) and
+    :meth:`open` to attach to an existing one (replays the file).
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / _MANIFEST_NAME
+        self.header: dict[str, Any] | None = None
+        #: cell id -> latest outcome record.
+        self.cells: dict[str, CellRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: str | Path,
+        spec_dict: Mapping[str, Any],
+        spec_digest: str,
+        total_cells: int,
+    ) -> "CampaignManifest":
+        """Start a fresh manifest; refuses to clobber an existing one."""
+        manifest = cls(directory)
+        if manifest.path.exists():
+            raise FileExistsError(
+                f"{manifest.path} already exists; use resume (or a new "
+                "campaign directory)"
+            )
+        manifest.directory.mkdir(parents=True, exist_ok=True)
+        manifest.header = {
+            "type": "campaign",
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "name": spec_dict.get("name", ""),
+            "spec": dict(spec_dict),
+            "spec_digest": spec_digest,
+            "total_cells": total_cells,
+            "created_unix": time.time(),
+        }
+        manifest._append(manifest.header)
+        return manifest
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "CampaignManifest":
+        """Attach to an existing campaign directory and replay its file."""
+        manifest = cls(directory)
+        if not manifest.path.exists():
+            raise FileNotFoundError(
+                f"no campaign manifest at {manifest.path}"
+            )
+        for line in manifest._lines():
+            kind = line.get("type")
+            if kind == "campaign":
+                if line.get("schema") != MANIFEST_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"manifest schema {line.get('schema')!r} is not "
+                        f"readable by this version "
+                        f"({MANIFEST_SCHEMA_VERSION})"
+                    )
+                manifest.header = line
+            elif kind == "cell":
+                record = CellRecord.from_line(line)
+                manifest.cells[record.cell_id] = record
+            # Heartbeats and unknown (newer) line types replay as no-ops.
+        if manifest.header is None:
+            raise ValueError(f"{manifest.path} has no campaign header")
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def _append(self, line: Mapping[str, Any]) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(dict(line), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _lines(self) -> Iterator[dict[str, Any]]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    yield json.loads(raw)
+                except json.JSONDecodeError:
+                    # A torn final line from a killed run: recompute
+                    # that cell rather than refuse to resume.
+                    continue
+
+    def record_cell(self, record: CellRecord) -> None:
+        """Checkpoint one cell outcome (durable before returning)."""
+        self.cells[record.cell_id] = record
+        self._append(record.to_line())
+
+    def record_heartbeat(self, payload: Mapping[str, Any]) -> None:
+        """Append a liveness/progress line (ignored on replay)."""
+        self._append({"type": "heartbeat", "unix": time.time(), **payload})
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def spec_digest(self) -> str:
+        return self.header.get("spec_digest", "") if self.header else ""
+
+    @property
+    def total_cells(self) -> int:
+        return int(self.header.get("total_cells", 0)) if self.header else 0
+
+    def completed(self) -> dict[str, CellRecord]:
+        return {
+            cell_id: record
+            for cell_id, record in self.cells.items()
+            if record.status == "completed"
+        }
+
+    def failed(self) -> dict[str, CellRecord]:
+        return {
+            cell_id: record
+            for cell_id, record in self.cells.items()
+            if record.status == "failed"
+        }
+
+    def completed_keys(self) -> set[str]:
+        """Cache keys of every completed cell (the resume-proof set)."""
+        return {record.key for record in self.completed().values()}
+
+    def status_counts(self) -> dict[str, int]:
+        completed = len(self.completed())
+        failed = len(self.failed())
+        return {
+            "total": self.total_cells,
+            "completed": completed,
+            "failed": failed,
+            "pending": max(0, self.total_cells - completed - failed),
+        }

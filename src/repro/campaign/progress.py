@@ -1,0 +1,291 @@
+"""Wall-clock campaign progress: sampling and the terminal dashboard.
+
+The experiment-level telemetry subsystem samples *simulated* time; a
+campaign needs the host-side complement: how fast are cells completing,
+how busy are the workers, what throughput is each scheme sustaining,
+when will the sweep finish.  :class:`ProgressSampler` accumulates those
+host-side series from per-cell completion callbacks (the runner's
+progress hook fires them as each cell resolves, so the dashboard ticks
+mid-batch, not just at batch boundaries), and
+:class:`DashboardRenderer` paints them as a curses-free multi-line
+terminal dashboard -- plain ANSI line rewrites on a TTY, periodic
+single-line updates when piped.
+
+Dashboard fields (documented in docs/campaigns.md):
+
+* cell progress (completed / failed / total, with a bar and percent);
+* cells/s over a sliding window and the ETA it implies;
+* worker utilization (busy worker-seconds over elapsed capacity);
+* cache hit ratio (cells resolved from the PR-1 result cache);
+* per-scheme throughput in simulated ACTs per wall second;
+* recent :class:`~repro.telemetry.events.OracleViolation` events, so a
+  verification campaign surfaces failures while still running.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from typing import Any, Callable, Mapping, TextIO
+
+from ..telemetry.events import OracleViolation
+
+__all__ = ["ProgressSampler", "DashboardRenderer", "format_eta"]
+
+
+def format_eta(seconds: float | None) -> str:
+    """Render an ETA in h:mm:ss (``--:--`` when unknown)."""
+    if seconds is None or seconds != seconds or seconds < 0:
+        return "--:--"
+    seconds = int(round(seconds))
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    return f"{hours}:{minutes:02d}:{secs:02d}"
+
+
+def _rate_unit(acts_per_sec: float) -> str:
+    if acts_per_sec >= 1e6:
+        return f"{acts_per_sec / 1e6:.2f}M"
+    if acts_per_sec >= 1e3:
+        return f"{acts_per_sec / 1e3:.1f}k"
+    return f"{acts_per_sec:.0f}"
+
+
+class ProgressSampler:
+    """Accumulates host-side campaign progress from cell completions.
+
+    Args:
+        total_cells: Cells the campaign will run this session.
+        workers: Worker-process count (utilization denominator).
+        clock: Injected monotonic clock (tests pin it).
+        window_s: Sliding-window span for the cells/s rate.
+        recent_violations: How many OracleViolation events to retain.
+    """
+
+    def __init__(
+        self,
+        total_cells: int,
+        workers: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        window_s: float = 30.0,
+        recent_violations: int = 5,
+    ) -> None:
+        self.total_cells = total_cells
+        self.workers = max(1, workers)
+        self._clock = clock
+        self.window_s = window_s
+        self.started_at = clock()
+        self.completed = 0
+        self.failed = 0
+        self.cached = 0
+        self.busy_seconds = 0.0
+        #: scheme -> [acts, wall seconds, cells] for computed cells.
+        self.scheme_totals: dict[str, list[float]] = {}
+        self._completions: deque[float] = deque()
+        self.violations = 0
+        self.recent_violations: deque[str] = deque(maxlen=recent_violations)
+
+    # ------------------------------------------------------------------
+    # Feeding
+    # ------------------------------------------------------------------
+
+    def cell_finished(
+        self,
+        *,
+        scheme: str,
+        seconds: float,
+        source: str,
+        acts: int = 0,
+        failed: bool = False,
+    ) -> None:
+        """Record one resolved cell (computed, cached, or failed)."""
+        now = self._clock()
+        if failed:
+            self.failed += 1
+        else:
+            self.completed += 1
+        if source == "cache":
+            self.cached += 1
+        else:
+            self.busy_seconds += seconds
+            if not failed:
+                totals = self.scheme_totals.setdefault(scheme, [0.0, 0.0, 0])
+                totals[0] += acts
+                totals[1] += seconds
+                totals[2] += 1
+        self._completions.append(now)
+        cutoff = now - self.window_s
+        while self._completions and self._completions[0] < cutoff:
+            self._completions.popleft()
+
+    def observe_event(self, event: Any) -> None:
+        """Telemetry-bus subscriber: tallies OracleViolation events."""
+        if type(event) is OracleViolation:
+            self.violations += 1
+            self.recent_violations.append(
+                f"{event.subject}/{event.kind} "
+                f"({event.generator} seed {event.seed})"
+            )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def cells_per_second(self) -> float:
+        """Completion rate over the sliding window (0 when idle)."""
+        if not self._completions:
+            return 0.0
+        now = self._clock()
+        span = max(1e-9, min(self.window_s, now - self.started_at))
+        return len(self._completions) / span
+
+    def eta_seconds(self) -> float | None:
+        pending = self.total_cells - self.completed - self.failed
+        if pending <= 0:
+            return 0.0
+        rate = self.cells_per_second()
+        return pending / rate if rate > 0 else None
+
+    def utilization(self) -> float:
+        """Busy worker-seconds over elapsed worker capacity (0..1-ish)."""
+        elapsed = max(1e-9, self._clock() - self.started_at)
+        return min(1.0, self.busy_seconds / (elapsed * self.workers))
+
+    def snapshot(
+        self, cache_counters: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """One JSON-able progress frame (dashboard + heartbeat payload)."""
+        done = self.completed + self.failed
+        per_scheme = {
+            scheme: {
+                "acts": int(acts),
+                "seconds": round(seconds, 3),
+                "cells": int(cells),
+                "acts_per_sec": (acts / seconds) if seconds > 0 else 0.0,
+            }
+            for scheme, (acts, seconds, cells) in sorted(
+                self.scheme_totals.items()
+            )
+        }
+        hits = misses = None
+        if cache_counters:
+            hits = cache_counters.get("hits")
+            misses = cache_counters.get("misses")
+        return {
+            "total": self.total_cells,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cached": self.cached,
+            "pending": max(0, self.total_cells - done),
+            "elapsed_s": round(self._clock() - self.started_at, 3),
+            "cells_per_sec": round(self.cells_per_second(), 4),
+            "eta_s": self.eta_seconds(),
+            "utilization": round(self.utilization(), 4),
+            "workers": self.workers,
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "violations": self.violations,
+            "recent_violations": list(self.recent_violations),
+            "schemes": per_scheme,
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def render(
+        snapshot: Mapping[str, Any], name: str = "", width: int = 72
+    ) -> list[str]:
+        """Dashboard lines for one progress frame (no ANSI codes)."""
+        total = snapshot["total"] or 1
+        done = snapshot["completed"] + snapshot["failed"]
+        fraction = done / total
+        bar_width = max(10, width - 50)
+        filled = int(round(fraction * bar_width))
+        bar = "#" * filled + "." * (bar_width - filled)
+        title = f"campaign {name}: " if name else "campaign: "
+        lines = [
+            f"{title}{done}/{snapshot['total']} cells "
+            f"({snapshot['completed']} ok, {snapshot['failed']} failed, "
+            f"{snapshot['cached']} cached)  {100.0 * fraction:5.1f}%",
+            f"[{bar}]  {snapshot['cells_per_sec']:.2f} cells/s  "
+            f"ETA {format_eta(snapshot['eta_s'])}  "
+            f"workers {snapshot['workers']} @ "
+            f"{100.0 * snapshot['utilization']:.0f}% util",
+        ]
+        hits, misses = snapshot["cache_hits"], snapshot["cache_misses"]
+        if hits is not None and misses is not None and (hits + misses):
+            ratio = hits / (hits + misses)
+            cache_text = (
+                f"cache: {hits:,} hits / {misses:,} misses "
+                f"({100.0 * ratio:.1f}%)"
+            )
+        else:
+            cache_text = "cache: off"
+        lines.append(
+            f"{cache_text}   violations: {snapshot['violations']}"
+        )
+        for scheme, row in snapshot["schemes"].items():
+            lines.append(
+                f"  {scheme:16s} {_rate_unit(row['acts_per_sec']):>8s} "
+                f"ACTs/s  ({row['cells']} cells, {row['seconds']:.1f}s)"
+            )
+        for text in snapshot["recent_violations"]:
+            lines.append(f"  ! {text}")
+        return lines
+
+
+class DashboardRenderer:
+    """Paints ProgressSampler frames to a terminal without curses.
+
+    On a TTY the previous frame is erased with ANSI cursor-up/clear
+    sequences and redrawn in place; on a pipe (CI logs) one compact
+    line is emitted at most every ``min_interval_s`` so logs stay
+    readable.  ``close()`` leaves the final frame on screen.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        min_interval_s: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self._clock = clock
+        self._last_paint = float("-inf")
+        self._painted_lines = 0
+        self._is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def paint(
+        self,
+        snapshot: Mapping[str, Any],
+        name: str = "",
+        force: bool = False,
+    ) -> bool:
+        """Render one frame; returns whether anything was written."""
+        now = self._clock()
+        if not force and now - self._last_paint < self.min_interval_s:
+            return False
+        self._last_paint = now
+        lines = ProgressSampler.render(snapshot, name=name)
+        if self._is_tty:
+            erase = "\x1b[F\x1b[K" * self._painted_lines
+            self.stream.write(erase + "\n".join(lines) + "\n")
+            self._painted_lines = len(lines)
+        else:
+            done = snapshot["completed"] + snapshot["failed"]
+            self.stream.write(
+                f"[campaign {name}] {done}/{snapshot['total']} cells, "
+                f"{snapshot['cells_per_sec']:.2f} cells/s, "
+                f"ETA {format_eta(snapshot['eta_s'])}, "
+                f"{snapshot['violations']} violations\n"
+            )
+        self.stream.flush()
+        return True
+
+    def close(self, snapshot: Mapping[str, Any], name: str = "") -> None:
+        """Paint the final frame unconditionally."""
+        self.paint(snapshot, name=name, force=True)

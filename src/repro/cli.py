@@ -25,6 +25,14 @@ Commands:
   the exact-count protection oracle (``fuzz``), re-run a saved
   reproducer artifact (``replay``), or replay the committed regression
   corpus (``corpus``).  Non-zero exit on any oracle violation.
+* ``campaign run|resume|status|report`` -- checkpointed grid sweeps
+  (:mod:`repro.campaign`): expand a declarative JSON grid into
+  simulation cells, fan them across workers with a live terminal
+  dashboard and durable per-cell checkpoints, resume an interrupted
+  sweep without recomputing completed cells, inspect a campaign
+  directory, or render its self-contained HTML report.  ``run`` and
+  ``resume`` exit 0 when complete, 1 with failed cells, and 3 when a
+  ``--max-cells`` bound stopped the sweep early (cells still pending).
 """
 
 from __future__ import annotations
@@ -330,6 +338,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", action="store_true",
         help="include the sharded+chunked fastpath leg in every replay",
     )
+
+    campaign = commands.add_parser(
+        "campaign",
+        help="checkpointed grid sweeps with live observability",
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def _campaign_run_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--workers", type=_job_count, default=1, metavar="N",
+            help="worker processes for simulation cells "
+                 "(1 = serial, 0 = all CPU cores; default 1)",
+        )
+        sub.add_argument(
+            "--max-cells", type=int, default=None, metavar="N",
+            help="stop after N pending cells (checkpoint-then-exit; "
+                 "exit code 3 when cells remain)",
+        )
+        sub.add_argument(
+            "--batch-size", type=int, default=None, metavar="N",
+            help="cells per runner batch (default 4 x workers)",
+        )
+        sub.add_argument(
+            "--no-cache", action="store_true",
+            help="recompute every cell, bypassing the campaign's "
+                 "result cache",
+        )
+        sub.add_argument(
+            "--no-dashboard", action="store_true",
+            help="suppress the live terminal dashboard",
+        )
+        sub.add_argument(
+            "--heartbeat-s", type=float, default=10.0, metavar="S",
+            help="minimum spacing of manifest heartbeat lines "
+                 "(default 10)",
+        )
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="start a fresh campaign from a JSON grid spec"
+    )
+    campaign_run.add_argument("spec", help="campaign grid spec (JSON file)")
+    campaign_run.add_argument(
+        "--dir", required=True, metavar="DIR", dest="directory",
+        help="campaign directory (manifest, telemetry, cache, report)",
+    )
+    _campaign_run_args(campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume",
+        help="resume an interrupted campaign (spec comes from the "
+             "manifest; completed cells are never recomputed)",
+    )
+    campaign_resume.add_argument(
+        "directory", metavar="DIR", help="campaign directory"
+    )
+    _campaign_run_args(campaign_resume)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="summarize a campaign directory's manifest"
+    )
+    campaign_status.add_argument(
+        "directory", metavar="DIR", help="campaign directory"
+    )
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="render the self-contained HTML report"
+    )
+    campaign_report.add_argument(
+        "directory", metavar="DIR", help="campaign directory"
+    )
+    campaign_report.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="report path (default <DIR>/report.html)",
+    )
     return parser
 
 
@@ -375,9 +459,12 @@ def _command_experiment(args: argparse.Namespace) -> int:
                     prefix = "\n" if index else ""
                     print(f"{prefix}=== {name} ===")
                 load(name).main()
-    print(f"\n[{runner.stats.summary()}]")
-    for line in runner.stats.breakdown():
-        print(f"  {line}")
+        print(f"\n[{runner.stats.summary()}]")
+        for line in runner.stats.breakdown():
+            print(f"  {line}")
+        cache_line = runner.cache_summary()
+        if cache_line is not None:
+            print(f"  {cache_line}")
     if bus is not None:
         print()
         print(summarize(bus.events, bus.registry.snapshot(), bus.dropped))
@@ -584,6 +671,86 @@ def _command_verify(args: argparse.Namespace) -> int:
     raise AssertionError("unreachable")
 
 
+def _campaign_summary_lines(summary: dict) -> list[str]:
+    counts = summary["manifest"]
+    lines = [
+        f"campaign {summary['name']}: {summary['status']}",
+        f"  {counts['completed']}/{counts['total']} completed, "
+        f"{counts['failed']} failed, {counts['pending']} pending "
+        f"({summary['cells_skipped']} already done, "
+        f"{len(summary['computed_keys'])} computed this run)",
+    ]
+    counters = summary.get("cache_counters")
+    if counters:
+        lines.append(
+            f"  cache: {counters['hits']:,} hits / "
+            f"{counters['misses']:,} misses "
+            f"({100.0 * counters['hit_ratio']:.1f}% hit rate)"
+        )
+    snapshot = summary.get("snapshot") or {}
+    if snapshot.get("violations"):
+        lines.append(f"  oracle violations: {snapshot['violations']}")
+    lines.append(f"  manifest:  {summary['manifest_path']}")
+    lines.append(f"  telemetry: {summary['telemetry_path']}")
+    return lines
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    from .campaign import (
+        CampaignDriver,
+        CampaignManifest,
+        DashboardRenderer,
+        load_spec,
+        write_report,
+    )
+
+    if args.campaign_command == "report":
+        target = write_report(args.directory, output=args.out)
+        print(f"wrote {target}")
+        return 0
+
+    if args.campaign_command == "status":
+        manifest = CampaignManifest.open(args.directory)
+        counts = manifest.status_counts()
+        header = manifest.header or {}
+        print(
+            f"campaign {header.get('name', '?')} "
+            f"(spec {manifest.spec_digest[:12]})"
+        )
+        print(
+            f"  {counts['completed']}/{counts['total']} completed, "
+            f"{counts['failed']} failed, {counts['pending']} pending"
+        )
+        for record in sorted(
+            manifest.failed().values(), key=lambda r: r.cell_id
+        ):
+            print(f"  FAILED {record.cell_id}: {record.error}")
+        return 0
+
+    dashboard = (
+        None if args.no_dashboard else DashboardRenderer(stream=sys.stderr)
+    )
+    kwargs = dict(
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        dashboard=dashboard,
+        heartbeat_s=args.heartbeat_s,
+        batch_size=args.batch_size,
+    )
+    if args.campaign_command == "run":
+        driver = CampaignDriver.start(
+            load_spec(args.spec), args.directory, **kwargs
+        )
+    else:
+        driver = CampaignDriver.resume(args.directory, **kwargs)
+    summary = driver.run(max_cells=args.max_cells)
+    for line in _campaign_summary_lines(summary):
+        print(line)
+    if summary["status"] == "interrupted":
+        return 3
+    return 1 if summary["manifest"]["failed"] else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -598,6 +765,8 @@ def main(argv: list[str] | None = None) -> int:
         return _command_trace(args)
     if args.command == "verify":
         return _command_verify(args)
+    if args.command == "campaign":
+        return _command_campaign(args)
     raise AssertionError("unreachable")
 
 

@@ -301,6 +301,11 @@ class ExperimentRunner:
         max_events_per_job: Event-retention cap per traced job; beyond
             it events are counted but dropped (reported in summaries),
             bounding memory for long traced sweeps.
+        on_progress: Optional callback invoked in the *calling* process
+            as each job resolves -- ``(index, job, result, seconds,
+            source)`` with source ``"cache"`` or ``"computed"``.  For
+            parallel batches it fires from the completion loop, in
+            completion order, so live dashboards tick mid-batch.
     """
 
     def __init__(
@@ -310,6 +315,7 @@ class ExperimentRunner:
         progress: bool = False,
         sample_interval_ns: float | None = None,
         max_events_per_job: int | None = 200_000,
+        on_progress: Callable[[int, Job, Any, float, str], None] | None = None,
     ) -> None:
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
@@ -318,6 +324,7 @@ class ExperimentRunner:
         self.progress = progress
         self.sample_interval_ns = sample_interval_ns
         self.max_events_per_job = max_events_per_job
+        self.on_progress = on_progress
         self.stats = RunnerStats()
 
     # ------------------------------------------------------------------
@@ -429,6 +436,11 @@ class ExperimentRunner:
                         )
                     )
                     self._emit(index, total, job, "cache hit")
+                    if self.on_progress is not None:
+                        self.on_progress(
+                            index, job, value,
+                            time.perf_counter() - lookup_started, "cache",
+                        )
                     continue
             pending.append(index)
 
@@ -453,6 +465,11 @@ class ExperimentRunner:
                     index, total, batch[index],
                     f"computed in {elapsed[index]:.2f}s",
                 )
+                if self.on_progress is not None:
+                    self.on_progress(
+                        index, batch[index], results[index],
+                        elapsed[index], "computed",
+                    )
 
         # Merge per-job telemetry and timing in submission order, so
         # parallel completion order cannot leak into any output.
@@ -520,6 +537,11 @@ class ExperimentRunner:
                         index, total, batch[index],
                         f"computed in {elapsed[index]:.2f}s",
                     )
+                    if self.on_progress is not None:
+                        self.on_progress(
+                            index, batch[index], results[index],
+                            elapsed[index], "computed",
+                        )
 
     def call(
         self,
@@ -530,6 +552,61 @@ class ExperimentRunner:
     ) -> Any:
         """Run one job through the runner (cache-aware convenience)."""
         return self.run([Job(fn, kwargs, label=label, cacheable=cacheable)])[0]
+
+    def cache_counters(self) -> dict[str, Any] | None:
+        """Cache hit/miss counters for end-of-run summaries, or ``None``.
+
+        When a telemetry session is active its ``cache.hits`` /
+        ``cache.misses`` registry counters are preferred: they include
+        lookups performed *inside* worker jobs (absorbed back across
+        the process boundary), which the runner-level
+        :class:`~repro.sim.cache.ResultCache` session counters cannot
+        see.  Stores and evictions are only tracked at the runner's own
+        cache.  Returns ``None`` when the runner has no cache and no
+        telemetry counters exist.
+        """
+        bus = _telemetry.BUS
+        hits = misses = 0
+        source = None
+        if bus is not None and bus.registry.enabled:
+            hits = bus.registry.counter("cache.hits").value
+            misses = bus.registry.counter("cache.misses").value
+            if hits or misses:
+                source = "telemetry"
+        if source is None:
+            if self.cache is None:
+                return None
+            hits, misses = self.cache.hits, self.cache.misses
+            source = "cache"
+        counters: dict[str, Any] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": hits / (hits + misses) if hits + misses else 0.0,
+            "source": source,
+        }
+        if self.cache is not None:
+            counters["stores"] = self.cache.stores
+            counters["evictions"] = self.cache.evictions
+        return counters
+
+    def cache_summary(self) -> str | None:
+        """One cache line for the CLI footer, or ``None`` without a cache."""
+        counters = self.cache_counters()
+        if counters is None:
+            return None
+        line = (
+            f"cache: {counters['hits']:,} hit"
+            f"{'s' if counters['hits'] != 1 else ''} / "
+            f"{counters['misses']:,} miss"
+            f"{'es' if counters['misses'] != 1 else ''} "
+            f"({100.0 * counters['hit_ratio']:.1f}% hit rate)"
+        )
+        if "stores" in counters:
+            line += (
+                f", {counters['stores']:,} stored, "
+                f"{counters['evictions']:,} evicted"
+            )
+        return line
 
 
 # ----------------------------------------------------------------------

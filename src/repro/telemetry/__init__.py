@@ -48,7 +48,13 @@ from .events import (
     event_from_record,
     event_record,
 )
-from .export import iter_jsonl, summarize, write_chrome_trace, write_jsonl
+from .export import (
+    iter_jsonl,
+    summarize,
+    summarize_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
 from .registry import NULL_METRIC, Counter, Gauge, Histogram, MetricsRegistry
 from .runtime import TelemetryBus, current, install, session, uninstall
 from .sampler import TimeSeriesSampler
@@ -82,4 +88,5 @@ __all__ = [
     "iter_jsonl",
     "write_chrome_trace",
     "summarize",
+    "summarize_jsonl",
 ]

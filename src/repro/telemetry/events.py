@@ -212,24 +212,46 @@ EVENT_TYPES: dict[str, type] = {
 }
 
 
-def event_record(event: TelemetryEvent) -> dict[str, Any]:
-    """Flatten an event to ``{"type": name, **fields}`` (JSON-able)."""
+def event_record(event: TelemetryEvent | Mapping[str, Any]) -> dict[str, Any]:
+    """Flatten an event to ``{"type": name, **fields}`` (JSON-able).
+
+    Mappings pass through as-is (they are already records): exporters
+    re-serializing a stream that contains foreign event types -- e.g. a
+    JSONL log written by a newer version of this package -- must not
+    lose those records just because this version cannot type them.
+    """
+    if isinstance(event, Mapping):
+        return dict(event)
     record = asdict(event)
     record["type"] = type(event).__name__
     return record
 
 
-def event_from_record(record: Mapping[str, Any]) -> TelemetryEvent:
-    """Rebuild an event from :func:`event_record` output."""
+def event_from_record(
+    record: Mapping[str, Any], strict: bool = True
+) -> TelemetryEvent | dict[str, Any]:
+    """Rebuild an event from :func:`event_record` output.
+
+    With ``strict=True`` (the default) an unknown event type or an
+    unexpected field raises ``ValueError``.  With ``strict=False`` such
+    records come back as plain dicts instead -- the forward-compatible
+    mode log readers use so a stream written by a newer version (new
+    event types, new fields) survives a round trip byte-identically
+    rather than crashing the reader.
+    """
     data = dict(record)
-    name = data.pop("type")
+    name = data.pop("type", None)
     cls = EVENT_TYPES.get(name)
     if cls is None:
-        raise ValueError(f"unknown telemetry event type {name!r}")
+        if strict:
+            raise ValueError(f"unknown telemetry event type {name!r}")
+        return dict(record)
     allowed = {f.name for f in fields(cls)}
     unexpected = set(data) - allowed
     if unexpected:
-        raise ValueError(
-            f"unexpected fields for {name}: {sorted(unexpected)}"
-        )
+        if strict:
+            raise ValueError(
+                f"unexpected fields for {name}: {sorted(unexpected)}"
+            )
+        return dict(record)
     return cls(**data)

@@ -44,11 +44,12 @@ __all__ = [
     "iter_jsonl",
     "write_chrome_trace",
     "summarize",
+    "summarize_jsonl",
 ]
 
 
 def write_jsonl(
-    events: Iterable[TelemetryEvent],
+    events: Iterable[TelemetryEvent | Mapping[str, Any]],
     path: str | Path,
     run_summary: Mapping[str, Any] | None = None,
 ) -> int:
@@ -81,17 +82,22 @@ def write_jsonl(
 
 
 def iter_jsonl(path: str | Path) -> Iterator[TelemetryEvent | dict[str, Any]]:
-    """Re-read a JSONL log; yields events (``RunSummary`` rows as dicts)."""
+    """Re-read a JSONL log; yields typed events, foreign rows as dicts.
+
+    Forward-compatible by design: records whose ``type`` this version
+    does not know (``RunSummary`` rows, campaign markers, event types
+    added by a newer version) -- or known types carrying unexpected new
+    fields -- come back as plain dicts instead of raising, so an old
+    reader can still stream, filter and re-export a newer log.  The
+    file is streamed line by line; callers that only tally never hold
+    the log in memory.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
-            if record.get("type") == "RunSummary":
-                yield record
-            else:
-                yield event_from_record(record)
+            yield event_from_record(json.loads(line), strict=False)
 
 
 # ----------------------------------------------------------------------
@@ -111,7 +117,7 @@ def _event_args(record: dict[str, Any]) -> dict[str, Any]:
 
 
 def write_chrome_trace(
-    events: Sequence[TelemetryEvent],
+    events: Sequence[TelemetryEvent | Mapping[str, Any]],
     path: str | Path,
     samples: Sequence[Mapping[str, Any]] = (),
     trace_name: str = "repro",
@@ -123,6 +129,10 @@ def write_chrome_trace(
     event per probe per numeric field, named ``<probe>.<field>``, which
     Perfetto draws as per-track area charts.  All timestamps are in
     microseconds and sorted non-decreasing.
+
+    Events may be plain record dicts (as :func:`iter_jsonl` yields for
+    foreign types): they render as instant events on the host track, so
+    re-exporting a newer version's log never crashes an older reader.
     """
     path = Path(path)
     jobs: dict[str | None, int] = {None: 0}
@@ -140,13 +150,16 @@ def write_chrome_trace(
         tid = bank if isinstance(bank, int) and bank >= 0 else 0
         if isinstance(event, (CacheHit, CacheMiss)):
             tid = 0
+        time_ns = record.get("time_ns", 0.0)
+        if not isinstance(time_ns, (int, float)):
+            time_ns = 0.0
         trace_events.append(
             {
-                "name": record["type"],
+                "name": str(record.get("type", "unknown")),
                 "ph": "i",
                 "s": "t",
-                "ts": record.get("time_ns", 0.0) / 1000.0,
-                "pid": pid_of(job),
+                "ts": time_ns / 1000.0,
+                "pid": pid_of(job if isinstance(job, str) else None),
                 "tid": tid,
                 "args": _event_args(record),
             }
@@ -215,31 +228,74 @@ def write_chrome_trace(
 # ----------------------------------------------------------------------
 
 
+def _snapshot_percentile(data: Mapping[str, Any], fraction: float) -> float:
+    """Bucket-resolution percentile from a histogram *snapshot* dict.
+
+    Mirrors :meth:`repro.telemetry.registry.Histogram.percentile` on the
+    serialized ``{"count", "max", "buckets"}`` form the registry
+    snapshots to, so summaries of merged/offline metrics report the
+    same numbers a live registry would.
+    """
+    count = data.get("count", 0)
+    if not count:
+        return 0.0
+    buckets = data.get("buckets")
+    if not buckets:
+        return data.get("max", 0.0)
+    target = fraction * count
+    running = 0
+    for index, bucket in enumerate(buckets):
+        running += bucket
+        if running >= target:
+            return 0.0 if index == 0 else float(2**index)
+    return data.get("max", 0.0)
+
+
+def _event_type_name(event: TelemetryEvent | Mapping[str, Any]) -> str:
+    if isinstance(event, Mapping):
+        return str(event.get("type", "unknown"))
+    return type(event).__name__
+
+
 def summarize(
-    events: Sequence[TelemetryEvent],
+    events: Iterable[TelemetryEvent | Mapping[str, Any]],
     metrics: Mapping[str, Any] | None = None,
     dropped: int = 0,
 ) -> str:
-    """Human-readable digest of an event stream for terminal output."""
+    """Human-readable digest of an event stream for terminal output.
+
+    Single-pass and allocation-light: ``events`` may be any iterable --
+    a bus's in-memory list or a lazily-streamed JSONL log (see
+    :func:`summarize_jsonl`) -- and only per-type tallies and per-bank
+    NRR aggregates are held, so summarizing a multi-GB log runs at
+    constant memory.  Record dicts for foreign event types tally under
+    their ``type`` string.
+    """
     lines: list[str] = []
-    type_counts = TallyCounter(type(event).__name__ for event in events)
-    lines.append(f"telemetry: {len(events):,} events"
+    type_counts: TallyCounter = TallyCounter()
+    nrr_by_bank: dict[int, list[int]] = {}
+    total = 0
+    for event in events:
+        total += 1
+        type_counts[_event_type_name(event)] += 1
+        if type(event) is NrrEmit:
+            stats = nrr_by_bank.setdefault(event.bank, [0, 0])
+            stats[0] += 1
+            stats[1] += event.victim_rows
+
+    lines.append(f"telemetry: {total:,} events"
                  + (f" (+{dropped:,} dropped)" if dropped else ""))
     for name, count in sorted(type_counts.items(),
                               key=lambda kv: (-kv[1], kv[0])):
         lines.append(f"  {name:16s} {count:>10,}")
 
-    nrr_by_bank: dict[int, list[int]] = {}
-    for event in events:
-        if type(event) is NrrEmit:
-            nrr_by_bank.setdefault(event.bank, []).append(event.victim_rows)
     if nrr_by_bank:
         lines.append("NRR activity by bank:")
         for bank in sorted(nrr_by_bank):
-            rows = nrr_by_bank[bank]
+            commands, rows = nrr_by_bank[bank]
             lines.append(
-                f"  bank {bank:>3d}: {len(rows):>8,} commands, "
-                f"{sum(rows):>9,} victim rows"
+                f"  bank {bank:>3d}: {commands:>8,} commands, "
+                f"{rows:>9,} victim rows"
             )
 
     if metrics:
@@ -261,6 +317,22 @@ def summarize(
             mean = data.get("total", 0.0) / count
             lines.append(
                 f"  {name:24s} n={count:,} mean={mean:,.1f} "
+                f"p50={_snapshot_percentile(data, 0.50):,.1f} "
+                f"p95={_snapshot_percentile(data, 0.95):,.1f} "
+                f"p99={_snapshot_percentile(data, 0.99):,.1f} "
                 f"max={data.get('max', 0.0):,.1f}"
             )
     return "\n".join(lines)
+
+
+def summarize_jsonl(
+    path: str | Path, metrics: Mapping[str, Any] | None = None
+) -> str:
+    """Summarize a saved JSONL log without loading it into memory.
+
+    Streams the file through :func:`iter_jsonl` (foreign record types
+    tally under their ``type`` string), so the digest of an
+    arbitrarily large campaign log costs O(event types + banks), not
+    O(events).
+    """
+    return summarize(iter_jsonl(path), metrics=metrics)

@@ -1,0 +1,202 @@
+"""Tests for the benchmark trajectory history and its regression gate.
+
+The contract: every bench run appends one schema'd JSONL entry; the
+gate compares the newest entry's ``*_per_sec`` metrics against the
+rolling median of up to five predecessors and exits nonzero on a >30%
+drop -- proven here by injecting a halved-throughput entry.  First
+entries are baselines (never failures), torn lines are skipped, and
+the metric extractors understand the real BENCH artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.history import (
+    HISTORY_SCHEMA_VERSION,
+    append_entry,
+    check_regression,
+    hotpath_metrics,
+    iter_entries,
+    make_entry,
+    runner_metrics,
+)
+
+check_script = None
+
+
+def _script_main(argv):
+    global check_script
+    if check_script is None:
+        import importlib.util
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "scripts"
+            / "check_bench_regression.py"
+        )
+        spec = importlib.util.spec_from_file_location(
+            "check_bench_regression", path
+        )
+        check_script = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(check_script)
+    return check_script.main(argv)
+
+
+class TestHistoryFile:
+    def test_append_and_iterate(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        entry = append_entry(
+            "hotpath", {"a_acts_per_sec": 100.0}, path=path, git_sha="abc"
+        )
+        assert entry["schema"] == HISTORY_SCHEMA_VERSION
+        assert entry["git_sha"] == "abc"
+        assert entry["cpu_count"] >= 1
+        (read,) = iter_entries(path)
+        assert read["metrics"] == {"a_acts_per_sec": 100.0}
+
+    def test_bench_filter_and_torn_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_entry("hotpath", {"x_per_sec": 1.0}, path=path)
+        append_entry("runner", {"jobs_per_sec": 2.0}, path=path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn": ')
+        assert [e["bench"] for e in iter_entries(path)] == [
+            "hotpath", "runner",
+        ]
+        assert [e["bench"] for e in iter_entries(path, bench="runner")] == [
+            "runner",
+        ]
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(iter_entries(tmp_path / "absent.jsonl")) == []
+
+    def test_empty_bench_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_entry("", {})
+
+
+class TestMetricExtraction:
+    def test_hotpath_metrics(self):
+        payload = {
+            "workloads": {
+                "hammer": {
+                    "schemes": {
+                        "graphene": {
+                            "fast_acts_per_sec": 2_000_000,
+                            "reference_acts_per_sec": 400_000,
+                        }
+                    }
+                }
+            }
+        }
+        assert hotpath_metrics(payload) == {
+            "hammer.graphene.fast_acts_per_sec": 2_000_000.0,
+            "hammer.graphene.reference_acts_per_sec": 400_000.0,
+        }
+
+    def test_runner_metrics(self):
+        assert runner_metrics({"jobs": 30, "wall_seconds": 10.0}) == {
+            "jobs_per_sec": 3.0
+        }
+        assert runner_metrics({"jobs": 0, "wall_seconds": 10.0}) == {}
+
+
+class TestRegressionGate:
+    def _seed(self, path, values, bench="hotpath"):
+        for value in values:
+            append_entry(
+                bench, {"hammer.graphene.fast_acts_per_sec": value},
+                path=path,
+            )
+
+    def test_steady_trajectory_passes(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        self._seed(path, [100.0, 105.0, 95.0, 102.0])
+        assert check_regression(path) == []
+        assert _script_main(["--history", str(path)]) == 0
+
+    def test_injected_50_percent_drop_fails(self, tmp_path):
+        # The acceptance scenario: halve the throughput, gate goes red.
+        path = tmp_path / "history.jsonl"
+        self._seed(path, [100.0, 105.0, 95.0, 50.0])
+        (finding,) = check_regression(path)
+        assert finding["metric"] == "hammer.graphene.fast_acts_per_sec"
+        assert finding["drop"] == pytest.approx(0.5, abs=0.01)
+        assert _script_main(["--history", str(path)]) == 1
+
+    def test_first_entry_is_a_baseline(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        self._seed(path, [100.0])
+        assert check_regression(path) == []
+        assert _script_main(["--history", str(path)]) == 0
+
+    def test_empty_history_passes(self, tmp_path):
+        assert _script_main(
+            ["--history", str(tmp_path / "none.jsonl")]
+        ) == 0
+
+    def test_window_bounds_the_median(self, tmp_path):
+        # Five fast priors then a slow era: with the default window the
+        # median tracks the recent era, so the newest entry passes.
+        path = tmp_path / "history.jsonl"
+        self._seed(path, [1000.0] * 5 + [100.0] * 5 + [95.0])
+        assert check_regression(path, window=5) == []
+        assert check_regression(path, window=10) != []
+
+    def test_non_throughput_metrics_are_never_gated(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_entry("hotpath", {"peak_mb": 100.0}, path=path)
+        append_entry("hotpath", {"peak_mb": 900.0}, path=path)
+        assert check_regression(path) == []
+
+    def test_benches_are_gated_independently(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        self._seed(path, [100.0, 100.0], bench="hotpath")
+        append_entry("runner", {"jobs_per_sec": 10.0}, path=path)
+        append_entry("runner", {"jobs_per_sec": 2.0}, path=path)
+        findings = check_regression(path)
+        assert [f["bench"] for f in findings] == ["runner"]
+        assert check_regression(path, bench="hotpath") == []
+
+
+class TestBenchWiring:
+    def test_conftest_appends_runner_entry(self, tmp_path, monkeypatch):
+        # Run one tiny bench module under the benchmarks conftest with
+        # the history redirected; the session must append one runner
+        # entry and write the schema-3 stats artifact with the cache
+        # counter block.
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        history = tmp_path / "history.jsonl"
+        env = dict(
+            __import__("os").environ,
+            GRAPHENE_BENCH_HISTORY=str(history),
+            GRAPHENE_BENCH_CACHE=str(tmp_path / "cache"),
+            PYTHONPATH=str(repo / "src"),
+        )
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "pytest",
+                "benchmarks/bench_table2_parameters.py",
+                "-q", "-p", "no:cacheprovider",
+            ],
+            cwd=repo,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        entries = list(iter_entries(history, bench="runner"))
+        if entries:  # the module may run zero runner jobs; then no entry
+            assert entries[-1]["metrics"]["jobs_per_sec"] > 0
+        stats = json.loads((repo / "BENCH_runner.json").read_text())
+        assert stats["schema"] == 3
+        assert "cache" in stats

@@ -442,3 +442,100 @@ def test_parallel_jsonl_export_is_byte_identical_to_serial(tmp_path):
     assert serial, "traced runs must produce events"
     assert serial == parallel
     assert samples[1] == samples[2]
+
+
+# ----------------------------------------------------------------------
+# Forward compatibility: logs from a newer version of the repo
+# ----------------------------------------------------------------------
+
+
+def test_unknown_event_types_round_trip_through_jsonl(tmp_path):
+    """A log written by a newer version (with event types this reader
+    does not know) streams through iter_jsonl as plain dicts and
+    re-exports byte-identically -- an old reader can filter and relay
+    a newer log without understanding it."""
+    path = tmp_path / "future.jsonl"
+    foreign = [
+        {"type": "LaneMigration", "time_ns": 5.0, "from_lane": 1,
+         "to_lane": 3, "job": "w1"},
+        {"type": "ThermalSample", "time_ns": 9.5, "celsius": 61.2,
+         "extra": {"nested": [1, 2, 3]}},
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in foreign:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    recovered = list(iter_jsonl(path))
+    assert recovered == foreign
+    assert all(isinstance(r, dict) for r in recovered)
+
+    again = tmp_path / "relay.jsonl"
+    write_jsonl(recovered, again)
+    assert again.read_bytes() == path.read_bytes()
+
+
+def test_known_type_with_unexpected_fields_degrades_to_dict(tmp_path):
+    path = tmp_path / "newer-fields.jsonl"
+    record = {"type": "TableInsert", "time_ns": 1.0, "bank": 0,
+              "row": 7, "count": 1, "job": None,
+              "added_by_a_newer_version": True}
+    path.write_text(json.dumps(record) + "\n", encoding="utf-8")
+    (recovered,) = iter_jsonl(path)
+    assert isinstance(recovered, dict)
+    assert recovered == record
+    # The strict default still refuses, so tests catch schema drift.
+    with pytest.raises(ValueError):
+        event_from_record(record)
+
+
+def test_chrome_trace_accepts_foreign_records(tmp_path):
+    """Mixed typed + dict streams (what iter_jsonl yields for a newer
+    log) must export to a valid Chrome trace, not crash."""
+    events = [
+        TableInsert(time_ns=1.0, bank=0, row=7, count=1),
+        {"type": "LaneMigration", "time_ns": 2.0, "from_lane": 1,
+         "to_lane": 3},
+        {"type": "NoTimestamp", "time_ns": "not-a-number"},
+    ]
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(events, path)
+    assert count == 3
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    names = [e["name"] for e in payload["traceEvents"] if e["ph"] == "i"]
+    assert "LaneMigration" in names and "NoTimestamp" in names
+    stamps = [e["ts"] for e in payload["traceEvents"] if e["ph"] == "i"]
+    assert stamps == sorted(stamps)
+
+
+def test_oracle_violation_survives_export_import_byte_identically(tmp_path):
+    from repro.telemetry.events import OracleViolation
+
+    violations = [
+        OracleViolation(time_ns=123.0, subject="graphene", kind="theorem",
+                        generator="uniform", seed=7, step=42, job="cell-1"),
+        OracleViolation(time_ns=456.5, subject="tracker:count-min",
+                        kind="gap", generator="burst", seed=9),
+    ]
+    path = tmp_path / "violations.jsonl"
+    write_jsonl(violations, path)
+
+    recovered = list(iter_jsonl(path))
+    assert recovered == violations
+    assert all(type(v) is OracleViolation for v in recovered)
+
+    again = tmp_path / "again.jsonl"
+    write_jsonl(recovered, again)
+    assert again.read_bytes() == path.read_bytes()
+
+
+def test_summarize_jsonl_streams_and_tallies_foreign_types(tmp_path):
+    from repro.telemetry import summarize_jsonl
+
+    path = tmp_path / "mixed.jsonl"
+    events = [TableInsert(time_ns=float(i), bank=0, row=i, count=1)
+              for i in range(3)]
+    write_jsonl(events, path, run_summary={"scheme": "graphene"})
+    text = summarize_jsonl(path)
+    assert "4 events" in text  # 3 inserts + the RunSummary record
+    assert "TableInsert" in text
+    assert "RunSummary" in text
