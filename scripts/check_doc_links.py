@@ -27,6 +27,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: docs are pinned here and their disappearance fails the gate.
 REQUIRED_DOCS = (
     "README.md",
+    "docs/baselines.md",
     "docs/observability.md",
     "docs/campaigns.md",
     "docs/performance.md",

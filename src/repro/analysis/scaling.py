@@ -21,8 +21,10 @@ from dataclasses import dataclass
 
 from ..core.config import GrapheneConfig
 from ..dram.timing import DDR4_2400, DramTimings
+from ..mitigations.abacus import abacus_factory
 from ..mitigations.base import MitigationFactory
 from ..mitigations.cbt import cbt_factory
+from ..mitigations.comet import comet_factory
 from ..mitigations.graphene import graphene_factory
 from ..mitigations.para import PAPER_PARA_P_SERIES, para_factory
 from ..mitigations.twice import twice_factory
@@ -97,7 +99,8 @@ def scheme_factories(
     """Per-bank engine factories for every compared scheme.
 
     Returns a dict keyed by the labels used throughout the figures:
-    ``para``, ``cbt``, ``twice``, ``graphene``.
+    ``para``, ``cbt``, ``twice``, ``graphene``, plus the later
+    deterministic siblings ``comet`` and ``abacus``.
     """
     point = sweep_point(hammer_threshold, timings, reset_window_divisor)
     return {
@@ -110,4 +113,12 @@ def scheme_factories(
         ),
         "twice": twice_factory(hammer_threshold, timings=timings),
         "graphene": graphene_factory(point.graphene_config),
+        "comet": comet_factory(
+            hammer_threshold, timings=timings,
+            reset_window_divisor=reset_window_divisor,
+        ),
+        "abacus": abacus_factory(
+            hammer_threshold, timings=timings,
+            reset_window_divisor=reset_window_divisor,
+        ),
     }

@@ -49,6 +49,8 @@ GRID_SCHEMES: dict[str, Sequence[Any]] = {
     "cbt": ["scaling", "cbt"],
     "twice": ["scaling", "twice"],
     "graphene": ["scaling", "graphene"],
+    "comet": ["scaling", "comet"],
+    "abacus": ["scaling", "abacus"],
     "prohit": ["capability", "prohit"],
     "mrloc": ["capability", "mrloc"],
     "cra": ["capability", "cra"],

@@ -76,7 +76,8 @@ TRACE_WORKLOADS = (
     + ["double-sided"]
 )
 
-TRACE_SCHEMES = ["none", "para", "cbt", "twice", "graphene"]
+TRACE_SCHEMES = ["none", "para", "cbt", "twice", "graphene", "comet",
+                 "abacus"]
 
 __all__ = ["main", "build_parser"]
 
@@ -189,8 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument("--pattern", choices=sorted(SYNTHETIC_PATTERNS),
                         default="S3")
-    attack.add_argument("--scheme",
-                        choices=["none", "para", "cbt", "twice", "graphene"],
+    attack.add_argument("--scheme", choices=TRACE_SCHEMES,
                         default="graphene")
     attack.add_argument("--trh", type=int, default=3_000,
                         help="Row Hammer threshold (scaled default 3000)")
@@ -427,7 +427,7 @@ def _command_list() -> int:
               f"{profile.acts_per_second_per_bank / 1e6:4.1f}M ACT/s/bank")
     print("\nadversarial patterns:", ", ".join(sorted(SYNTHETIC_PATTERNS)))
     print("schemes: none, para, prohit, mrloc, cbt, twice, cra, graphene, "
-          "refresh-rate")
+          "comet, abacus, refresh-rate")
     return 0
 
 

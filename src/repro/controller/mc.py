@@ -146,9 +146,14 @@ class MemoryController:
         # 3. Report the ACT to the mitigation engine.
         directives.extend(engine.on_activate(event.row, issue_ns))
 
-        # 4. Execute every directive as an NRR, immediately.
+        # 4. Execute every directive as an NRR, immediately.  The NRR
+        #    lands on the bank the directive names -- not necessarily
+        #    the ACT's bank: cross-bank trackers (ABACuS) refresh the
+        #    victim neighborhood in *every* bank on one trigger.
         for directive in directives:
-            self._execute_directive(bank_model, directive, issue_ns)
+            self._execute_directive(
+                self.device.bank(directive.bank), directive, issue_ns
+            )
         return directives
 
     def _execute_directive(self, bank_model, directive, now_ns: float) -> None:

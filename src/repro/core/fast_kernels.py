@@ -36,6 +36,22 @@ at a time.  The per-scheme batching arguments:
   across the batch too.
 * **refresh-rate** does all its work at REF ticks; ACTs are pure
   no-ops, so the whole run commits unconditionally.
+* **CoMeT** splits rows into the exact-count RAT and the sketch.  RAT
+  entries batch exactly like TWiCe's (truncate before the first entry
+  that would reach the threshold); any *non*-RAT row must run the
+  sketch's hashed update and threshold test, so the batch truncates at
+  its first occurrence and replays it scalar.  Hammered rows live in
+  the RAT after their first trigger, which is where batching pays.
+* **ABACuS** shares one table across banks (``cross_bank = True`` --
+  the dispatcher runs same-bank runs serially in global order, never
+  sharded).  Within a same-bank run the SAV discipline collapses: the
+  first occurrence of a tracked row increments iff the bank's bit is
+  already set, and every later occurrence increments (the SAV resets
+  to exactly this bank's bit on each bump), so a row's committed
+  occurrences map to ``k`` or ``k - 1`` RAC increments.  The batch
+  truncates before the first event whose increment would land the RAC
+  on a trigger multiple, and before any miss (insert/evict/spillover
+  replay scalar).
 
 ``reference_state(engine)`` produces the comparable table snapshot for
 any kernel-covered scheme; the differential subject
@@ -59,8 +75,10 @@ from typing import Any
 
 import numpy as np
 
+from ..mitigations.abacus import AbacusEntry, AbacusMitigation
 from ..mitigations.base import MitigationEngine, RefreshDirective
 from ..mitigations.cbt import CBT, _Counter
+from ..mitigations.comet import CoMeTMitigation
 from ..mitigations.graphene import GrapheneMitigation
 from ..mitigations.para import PARA
 from ..mitigations.refresh_rate import IncreasedRefreshRate
@@ -72,6 +90,8 @@ __all__ = [
     "FastTwiceKernel",
     "FastCbtKernel",
     "FastRefreshRateKernel",
+    "FastCometKernel",
+    "FastAbacusKernel",
     "reference_state",
 ]
 
@@ -371,6 +391,210 @@ class FastRefreshRateKernel(_WrappedKernel):
         self.stats.__dict__.update(stats.__dict__)
 
 
+class FastCometKernel(_WrappedKernel):
+    """Batched RAT updates; sketch-path rows replay scalar.
+
+    Between events every RAT entry sits strictly below the threshold
+    (triggers re-arm to zero), so the batch commits per-row occurrence
+    counts up to (not including) the first event that would reach the
+    threshold -- and truncates at the first occurrence of any row
+    *outside* the RAT, whose hashed sketch update and promotion test
+    run scalar on the real state.
+    """
+
+    def __init__(self, mitigation: CoMeTMitigation) -> None:
+        super().__init__(mitigation)
+
+    def next_blocking_ns(self) -> float:
+        m: CoMeTMitigation = self.mitigation
+        return (m.current_window + 1) * m.window_len
+
+    def commit_run(
+        self, times: np.ndarray, rows: np.ndarray
+    ) -> tuple[int, list[RefreshDirective]]:
+        m: CoMeTMitigation = self.mitigation
+        rat = m.rat
+        extent = len(rows)
+        uniq, first_pos, inverse = np.unique(
+            rows, return_index=True, return_inverse=True
+        )
+        present = np.fromiter(
+            (int(u) in rat for u in uniq),
+            dtype=np.bool_,
+            count=len(uniq),
+        )
+        if not present.all():
+            # A sketch-path row: everything before its first occurrence
+            # is pure RAT arithmetic; the miss itself replays scalar.
+            extent = int(first_pos[~present].min())
+            if extent == 0:
+                return 0, []
+            inverse = inverse[:extent]
+        counts = np.fromiter(
+            (rat[int(u)] if present[i] else 0 for i, u in enumerate(uniq)),
+            dtype=np.int64,
+            count=len(uniq),
+        )
+        # Invariant: counts < threshold between events; clamp so a
+        # violated invariant truncates instead of mis-indexing.
+        needed = np.maximum(m.threshold - counts, 1)
+        occurrences = np.bincount(inverse, minlength=len(uniq))
+        crossing = occurrences >= needed
+        if crossing.any():
+            first_trigger = extent
+            for u in np.flatnonzero(crossing):
+                positions = np.flatnonzero(inverse == u)
+                event_index = int(positions[int(needed[u]) - 1])
+                if event_index < first_trigger:
+                    first_trigger = event_index
+            extent = first_trigger
+            if extent == 0:
+                return 0, []
+            occurrences = np.bincount(
+                inverse[:extent], minlength=len(uniq)
+            )
+        for u in np.flatnonzero(occurrences):
+            rat[int(uniq[u])] += int(occurrences[u])
+        self.stats.activations += extent
+        return extent, []
+
+    def snapshot(self) -> Any:
+        m: CoMeTMitigation = self.mitigation
+        return (
+            m.sketch._table.copy(),
+            dict(m.rat),
+            m.current_window,
+            copy.copy(m.cstats),
+            copy.copy(self.stats),
+        )
+
+    def restore(self, state: Any) -> None:
+        m: CoMeTMitigation = self.mitigation
+        table, rat, m.current_window, cstats, stats = state
+        m.sketch._table[:] = table
+        m.rat = dict(rat)
+        m.cstats.__dict__.update(cstats.__dict__)
+        self.stats.__dict__.update(stats.__dict__)
+
+
+class FastAbacusKernel(_WrappedKernel):
+    """Batched shared-table RAC updates for one bank's ABACuS view.
+
+    Declares ``cross_bank``: the wrapped engine mutates rank-level
+    state, so the dispatcher must execute same-bank runs in global
+    order on a single lane (see ``FastMemoryController``).  Within one
+    same-bank run a tracked row's RAC gains ``k`` increments when the
+    bank's SAV bit starts set, else ``k - 1`` (the first occurrence
+    only claims the bit); the batch truncates before the first event
+    whose increment lands on a trigger multiple, and before any miss.
+    """
+
+    cross_bank = True
+
+    def __init__(self, mitigation: AbacusMitigation) -> None:
+        super().__init__(mitigation)
+
+    def next_blocking_ns(self) -> float:
+        state = self.mitigation.state
+        return (state.current_window + 1) * state.window_ns
+
+    def commit_run(
+        self, times: np.ndarray, rows: np.ndarray
+    ) -> tuple[int, list[RefreshDirective]]:
+        m: AbacusMitigation = self.mitigation
+        state = m.state
+        entries = state.entries
+        bit = 1 << m.bank
+        extent = len(rows)
+        uniq, first_pos, inverse = np.unique(
+            rows, return_index=True, return_inverse=True
+        )
+        present = np.fromiter(
+            (int(u) in entries for u in uniq),
+            dtype=np.bool_,
+            count=len(uniq),
+        )
+        if not present.all():
+            # Misses mutate shared Misra-Gries state (insert, evict,
+            # spillover): scalar territory.
+            extent = int(first_pos[~present].min())
+            if extent == 0:
+                return 0, []
+            inverse = inverse[:extent]
+        has_bit = np.fromiter(
+            (
+                bool(entries[int(u)].sav & bit) if present[i] else False
+                for i, u in enumerate(uniq)
+            ),
+            dtype=np.bool_,
+            count=len(uniq),
+        )
+        racs = np.fromiter(
+            (entries[int(u)].rac if present[i] else 0
+             for i, u in enumerate(uniq)),
+            dtype=np.int64,
+            count=len(uniq),
+        )
+        # Increments to the next trigger multiple; occurrence count
+        # needed is one more when the first occurrence only sets the
+        # bit.  (rac % T == 0 means the last bump just triggered, so a
+        # full period remains.)
+        to_next = state.threshold - racs % state.threshold
+        needed = np.maximum(to_next + np.where(has_bit, 0, 1), 1)
+        occurrences = np.bincount(inverse, minlength=len(uniq))
+        crossing = occurrences >= needed
+        if crossing.any():
+            first_trigger = extent
+            for u in np.flatnonzero(crossing):
+                positions = np.flatnonzero(inverse == u)
+                event_index = int(positions[int(needed[u]) - 1])
+                if event_index < first_trigger:
+                    first_trigger = event_index
+            extent = first_trigger
+            if extent == 0:
+                return 0, []
+            occurrences = np.bincount(
+                inverse[:extent], minlength=len(uniq)
+            )
+        for u in np.flatnonzero(occurrences):
+            entry = entries[int(uniq[u])]
+            k = int(occurrences[u])
+            if has_bit[u]:
+                increments = k
+            else:
+                increments = k - 1
+                state.stats.sav_sets += 1
+            entry.rac += increments
+            if increments:
+                entry.sav = bit
+                state.stats.rac_increments += increments
+            else:
+                entry.sav |= bit
+        state.stats.observations += extent
+        self.stats.activations += extent
+        return extent, []
+
+    def snapshot(self) -> Any:
+        state = self.mitigation.state
+        return (
+            state.tracked(),
+            state.spillover,
+            state.current_window,
+            copy.copy(state.stats),
+            copy.copy(self.stats),
+        )
+
+    def restore(self, snap: Any) -> None:
+        state = self.mitigation.state
+        tracked, state.spillover, state.current_window, sstats, stats = snap
+        state.entries = {
+            row: AbacusEntry(rac=rac, sav=sav)
+            for row, (rac, sav) in tracked.items()
+        }
+        state.stats.__dict__.update(sstats.__dict__)
+        self.stats.__dict__.update(stats.__dict__)
+
+
 def reference_state(engine: Any) -> dict[str, Any]:
     """Comparable tracking-table snapshot for any kernel-covered scheme.
 
@@ -405,6 +629,33 @@ def reference_state(engine: Any) -> dict[str, Any]:
         }
     if isinstance(engine, IncreasedRefreshRate):
         return {"pointer": engine._pointer}
+    if isinstance(engine, CoMeTMitigation):
+        return {
+            # bytes for exact, hashable array comparison
+            "sketch": engine.sketch._table.tobytes(),
+            "rat": dict(engine.rat),
+            "window": engine.current_window,
+            "resets": engine.cstats.window_resets,
+            "sketch_triggers": engine.cstats.sketch_triggers,
+            "rat_triggers": engine.cstats.rat_triggers,
+            "evictions": engine.cstats.rat_evictions,
+        }
+    if isinstance(engine, AbacusMitigation):
+        state = engine.state
+        # Shared across banks: every bank reports the same snapshot,
+        # so per-bank comparison still covers the whole table.
+        return {
+            "tracked": state.tracked(),
+            "spillover": state.spillover,
+            "window": state.current_window,
+            "observations": state.stats.observations,
+            "rac_increments": state.stats.rac_increments,
+            "sav_sets": state.stats.sav_sets,
+            "triggers": state.stats.triggers,
+            "insertions": state.stats.insertions,
+            "evictions": state.stats.evictions,
+            "resets": state.stats.window_resets,
+        }
     raise TypeError(f"no reference state extractor for {type(engine)!r}")
 
 
@@ -412,3 +663,5 @@ register_kernel(PARA, FastParaKernel)
 register_kernel(TWiCe, FastTwiceKernel)
 register_kernel(CBT, FastCbtKernel)
 register_kernel(IncreasedRefreshRate, FastRefreshRateKernel)
+register_kernel(CoMeTMitigation, FastCometKernel)
+register_kernel(AbacusMitigation, FastAbacusKernel)

@@ -134,6 +134,15 @@ class FastKernel(Protocol):
     name: str
     #: The stats object ``simulate()`` reads (``MitigationStats``).
     stats: MitigationStats
+    #: Declared capability: ``True`` when the kernel's tracking state is
+    #: shared *across* banks (ABACuS), so per-bank lanes are not
+    #: independent.  The controller then executes contiguous same-bank
+    #: runs in global order on a single lane, and
+    #: :func:`build_fast_controller_ex` degrades sharding requests to
+    #: serial fast mode (lanes in separate processes would each mutate
+    #: a divergent copy of the shared table).  Per-bank kernels leave
+    #: this ``False`` (the protocol default via ``getattr``).
+    cross_bank: bool
 
     def on_activate(self, row: int, time_ns: float) -> list[RefreshDirective]:
         """Exact scalar replay of the reference engine's ``on_activate``."""
@@ -551,10 +560,19 @@ class _LaneEngine:
     """
 
     def __init__(
-        self, counters: ControllerCounters, keep_directive_log: bool
+        self,
+        counters: ControllerCounters,
+        keep_directive_log: bool,
+        bank_of: Callable[[int], Any] | None = None,
     ) -> None:
         self.counters = counters
         self.keep_directive_log = keep_directive_log
+        #: Resolves a directive's target bank model.  ``None`` in shard
+        #: workers, which only ever run per-bank kernels whose
+        #: directives target the lane's own bank; the serial dispatcher
+        #: passes ``device.bank`` so cross-bank directives (ABACuS)
+        #: land on the bank they name, as the reference MC does.
+        self.bank_of = bank_of
 
     def run_lane(
         self,
@@ -645,6 +663,8 @@ class _LaneEngine:
         rows = list(directive.victim_rows)
         if not rows:
             return
+        if self.bank_of is not None:
+            bank_model = self.bank_of(directive.bank)
         bank_model.bank.nearby_row_refresh(len(rows), now_ns)
         if bank_model.faults is not None:
             bank_model.faults.on_refresh_range(rows)
@@ -878,6 +898,20 @@ class FastMemoryController:
         self.directive_log: list[RefreshDirective] | None = (
             [] if keep_directive_log else None
         )
+        #: Any kernel with bank-shared tracking state forces single-lane
+        #: execution: same-bank runs in global order, never per-bank
+        #: lanes (and never a shard pool -- divergent copies of the
+        #: shared table would be silently wrong, so that combination is
+        #: rejected here; ``build_fast_controller_ex`` degrades the
+        #: request with a note before construction instead).
+        self.cross_bank = any(
+            getattr(engine, "cross_bank", False) for engine in engines
+        )
+        if self.cross_bank and shard_workers > 1:
+            raise ValueError(
+                "cross_bank kernels share tracking state across banks and "
+                "cannot run sharded lanes; use shard_workers=1"
+            )
         self.shard_workers = shard_workers
         #: Advisory note set by :func:`build_fast_controller_ex` when a
         #: sharding request silently degraded to serial fast mode.
@@ -885,7 +919,9 @@ class FastMemoryController:
         #: Timestamp of the last event consumed (across all chunks), so
         #: streaming callers need not keep the trace around.
         self.last_event_ns = 0.0
-        self._lane = _LaneEngine(self.counters, keep_directive_log)
+        self._lane = _LaneEngine(
+            self.counters, keep_directive_log, bank_of=device.bank
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -927,6 +963,9 @@ class FastMemoryController:
         # -- the fold seeds its cumsum with the tracker's running total,
         # so chunked folding reproduces the unchunked float sums).
         delays = np.zeros(n, dtype=np.float64)
+        if self.cross_bank:
+            self._run_chunk_single_lane(trace, delays)
+            return
         flip_lanes: list[list[tuple[int, list[BitFlip]]]] = []
         directive_lanes: list[list[tuple[int, RefreshDirective]]] = []
         for bank_index, lane_indices in trace.bank_partition():
@@ -945,6 +984,36 @@ class FastMemoryController:
             flip_lanes.append(lane_flips)
             directive_lanes.append(lane_directives)
         self._merge_chunk(trace, delays, flip_lanes, directive_lanes)
+
+    def _run_chunk_single_lane(
+        self, trace: TraceArray, delays: np.ndarray
+    ) -> None:
+        """One chunk in global order for cross-bank kernels.
+
+        A kernel whose tracking state spans banks (ABACuS) makes bank
+        lanes order-dependent: an ACT on bank 0 can trigger refreshes
+        on bank 3, and the shared table's next decision depends on the
+        interleaved sequence.  So the chunk executes as contiguous
+        same-bank *runs* in global order -- each run still goes through
+        the vector/scalar lane machinery, so batching survives wherever
+        same-bank runs are long -- and every output tag is globally
+        ascending by construction (no per-lane merge needed).
+        """
+        flips_out: list[tuple[int, list[BitFlip]]] = []
+        directives_out: list[tuple[int, RefreshDirective]] = []
+        for start, stop, bank_index in trace.bank_runs():
+            gids = np.arange(start, stop, dtype=np.int64)
+            self._lane.run_lane(
+                self.device.bank(bank_index),
+                self.engines[bank_index],
+                trace.time_ns[start:stop],
+                trace.row[start:stop],
+                gids,
+                delays,
+                flips_out,
+                directives_out,
+            )
+        self._merge_chunk(trace, delays, [flips_out], [directives_out])
 
     def _run_chunk_sharded(self, trace: TraceArray, pool) -> None:
         """One chunk with lanes fanned across the shard worker pool.
@@ -1101,10 +1170,13 @@ def build_fast_controller_ex(
 
     ``shard_workers > 1`` requests the process-pool lane dispatcher.
     On a device with fewer than two banks there is only one lane, so
-    sharding degrades to serial fast mode; the built controller then
-    carries a ``shard_note`` naming the requested worker count so
-    callers (``simulate``, the experiment runner's job notes) can
-    surface the silent degrade instead of swallowing it.
+    sharding degrades to serial fast mode; likewise when any kernel
+    declares the ``cross_bank`` capability (ABACuS) -- independent
+    worker processes would each mutate a divergent copy of the shared
+    tracking table.  The built controller then carries a ``shard_note``
+    naming the requested worker count *and the capability that forced
+    the degrade* so callers (``simulate``, the experiment runner's job
+    notes) can surface the silent degrade instead of swallowing it.
     """
     if shard_workers < 1:
         # A nonsense worker count is a caller bug, not a configuration
@@ -1131,6 +1203,20 @@ def build_fast_controller_ex(
         shard_note = (
             f"sharding requested ({shard_workers} workers) but the device "
             f"has a single bank (one lane); running serial fast mode"
+        )
+        shard_workers = 1
+    cross_bank_schemes = sorted(
+        {
+            engine.name
+            for engine in engines
+            if getattr(engine, "cross_bank", False)
+        }
+    )
+    if shard_workers > 1 and cross_bank_schemes:
+        shard_note = (
+            f"sharding requested ({shard_workers} workers) but scheme "
+            f"{cross_bank_schemes[0]!r} declares the cross_bank capability "
+            f"(tracking state shared across banks); running serial fast mode"
         )
         shard_workers = 1
     controller = FastMemoryController(

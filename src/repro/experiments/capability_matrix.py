@@ -15,7 +15,9 @@ from __future__ import annotations
 from ..analysis.scaling import para_probability_for
 from ..core.config import GrapheneConfig
 from ..mitigations import (
+    abacus_factory,
     cbt_factory,
+    comet_factory,
     cra_factory,
     graphene_factory,
     increased_refresh_rate_factory,
@@ -52,6 +54,8 @@ SCHEMES = {
         ),
         True,
     ),
+    "comet": (lambda trh: comet_factory(trh), True),
+    "abacus": (lambda trh: abacus_factory(trh), True),
 }
 
 

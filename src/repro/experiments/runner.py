@@ -382,7 +382,8 @@ class ExperimentRunner:
             probe = factory(0, int(job.kwargs.get("rows_per_bank", 65536)))
         except Exception:
             return ""  # malformed spec: let the job itself report it
-        if kernel_for(probe) is None:
+        kernel = kernel_for(probe)
+        if kernel is None:
             scheme = getattr(probe, "name", type(probe).__name__)
             return (
                 "fast engine fell back to the reference loop"
@@ -396,6 +397,13 @@ class ExperimentRunner:
                 f"sharding requested ({shard_workers} workers) but the "
                 "device has a single bank (one lane); cell ran serial "
                 "fast mode"
+            )
+        if shard_workers > 1 and getattr(kernel, "cross_bank", False):
+            scheme = getattr(probe, "name", type(probe).__name__)
+            return (
+                f"sharding requested ({shard_workers} workers) but scheme "
+                f"{scheme!r} declares the cross_bank capability (tracking "
+                "state shared across banks); cell ran serial fast mode"
             )
         return ""
 

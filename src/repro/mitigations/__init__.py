@@ -5,7 +5,11 @@ Counter-based, deterministic-guarantee schemes:
 * :class:`GrapheneMitigation` -- the paper's contribution;
 * :class:`TWiCe` -- time-window counters (state of the art compared);
 * :class:`CBT` -- counter-based tree;
-* :class:`CRA` -- DRAM-resident counters with a counter cache.
+* :class:`CRA` -- DRAM-resident counters with a counter cache;
+* :class:`CoMeTMitigation` -- count-min-sketch tracking + recent
+  aggressor table (HPCA 2024 sibling of Graphene);
+* :class:`AbacusMitigation` -- rank-level row-ID counters shared
+  across banks via sibling activation vectors (USENIX Sec 2024).
 
 Probabilistic schemes:
 
@@ -18,6 +22,11 @@ Plus :class:`NoMitigation` as the unprotected control.  Use the
 simulator.
 """
 
+from .abacus import (
+    AbacusMitigation,
+    AbacusState,
+    abacus_factory,
+)
 from .base import (
     MitigationEngine,
     MitigationFactory,
@@ -25,6 +34,7 @@ from .base import (
     RefreshDirective,
 )
 from .cbt import CBT, cbt_factory
+from .comet import CoMeTMitigation, comet_factory
 from .cra import CRA, cra_factory
 from .graphene import GrapheneMitigation, graphene_factory
 from .mrloc import MRLoc, mrloc_factory
@@ -60,6 +70,11 @@ __all__ = [
     "twice_factory",
     "CRA",
     "cra_factory",
+    "CoMeTMitigation",
+    "comet_factory",
+    "AbacusMitigation",
+    "AbacusState",
+    "abacus_factory",
     "NoMitigation",
     "IncreasedRefreshRate",
     "increased_refresh_rate_factory",

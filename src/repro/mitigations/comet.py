@@ -1,0 +1,230 @@
+"""CoMeT: count-min-sketch row tracking (Bostanci et al., HPCA 2024).
+
+CoMeT (arXiv 2402.18769) replaces per-row counters with a per-bank
+**Count-Min Sketch** -- ``depth`` hash rows of ``width`` counters whose
+minimum over-approximates any row's true ACT count -- plus a small
+exact-count **Recent Aggressor Table** (RAT) for the rows that have
+already crossed the sketch threshold.  Mechanics per ACT:
+
+* the tracking state resets lazily every ``tREFW / k`` (the same
+  Graphene-style reset-window argument sizes the threshold);
+* a row resident in the RAT counts exactly: its entry increments, and
+  reaching the threshold triggers a victim refresh of the neighbors and
+  re-arms the entry at zero;
+* any other row updates the sketch; once its estimate reaches the
+  threshold it is refreshed immediately and promoted into the RAT (the
+  sketch cannot *name* hot rows, so the check rides on the row
+  currently activating -- which is exactly sufficient, see the
+  :class:`~repro.core.trackers.CountMinSketch` notes).
+
+The protection argument mirrors Graphene's Section III-C gap theorem:
+the sketch estimate never undercounts, so a row's first trigger in a
+window comes at or before its ``T``-th own ACT; RAT residency then
+bounds every later gap by ``T`` exactly.  RAT eviction (capacity hit:
+smallest count, then smallest row, evicted) is safe because the
+evicted row's sketch estimate is already at the threshold -- its very
+next ACT re-triggers and re-inserts it, so an evicted row's gap grows
+by at most one.  Collisions in the sketch only *inflate* estimates:
+they cause early (spurious) refreshes, never missed ones -- the
+paper's area-vs-overrefresh trade-off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.config import GrapheneConfig
+from ..core.trackers import CountMinSketch
+from ..dram.timing import DDR4_2400, DramTimings
+from .base import MitigationEngine, MitigationFactory, RefreshDirective
+
+__all__ = ["CoMeTMitigation", "comet_factory"]
+
+#: Default sketch geometry and RAT capacity (the paper's per-bank
+#: configuration: 512 counters per hash row, 4 hash rows, 32-entry RAT).
+DEFAULT_WIDTH = 512
+DEFAULT_DEPTH = 4
+DEFAULT_RAT_ENTRIES = 32
+#: Base hash seed; each bank salts it with its index so banks hash
+#: independently (per-bank sketches, per the paper).
+DEFAULT_SEED = 0x5EED
+
+
+@dataclass
+class CoMeTStats:
+    """CoMeT-specific tallies (protocol-level stats live in ``stats``)."""
+
+    window_resets: int = 0
+    sketch_triggers: int = 0
+    rat_triggers: int = 0
+    rat_insertions: int = 0
+    rat_evictions: int = 0
+    tracked_peak: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class CoMeTMitigation(MitigationEngine):
+    """One bank's CoMeT tracker: count-min sketch + recent aggressor table.
+
+    Args:
+        bank: Flat bank index (also salts the hash seed).
+        rows: Rows in the bank.
+        config: Graphene-style derivation supplying the tracking
+            threshold ``T`` and the reset window; CoMeT triggers on the
+            same ``T`` so the gap theorem transfers unchanged.
+        width / depth: Sketch geometry.
+        rat_entries: RAT capacity.
+        seed: Base hash seed (salted per bank).
+    """
+
+    name = "comet"
+
+    def __init__(
+        self,
+        bank: int,
+        rows: int,
+        config: GrapheneConfig,
+        width: int = DEFAULT_WIDTH,
+        depth: int = DEFAULT_DEPTH,
+        rat_entries: int = DEFAULT_RAT_ENTRIES,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        super().__init__(bank, rows)
+        if rat_entries < 1:
+            raise ValueError(f"rat_entries must be >= 1, got {rat_entries}")
+        self.config = config
+        self.threshold = config.tracking_threshold
+        self.window_len = config.reset_window_ns
+        self.blast_radius = config.blast_radius
+        self.width = width
+        self.depth = depth
+        self.rat_entries = rat_entries
+        self.sketch = CountMinSketch(width, depth, seed=seed + bank)
+        #: row -> exact ACT count since the entry's last trigger.
+        self.rat: dict[int, int] = {}
+        self.current_window = 0
+        self.cstats = CoMeTStats()
+
+    # ------------------------------------------------------------------
+    # ACT processing
+    # ------------------------------------------------------------------
+
+    def _process_activation(
+        self, row: int, time_ns: float
+    ) -> list[RefreshDirective]:
+        if time_ns < 0:
+            raise ValueError("time must be non-negative")
+        self._maybe_reset(time_ns)
+        count = self.rat.get(row)
+        if count is not None:
+            # Exact-count path: RAT entries trigger every T ACTs.
+            count += 1
+            if count < self.threshold:
+                self.rat[row] = count
+                return []
+            self.rat[row] = 0
+            self.cstats.rat_triggers += 1
+            return [self._directive(row, time_ns, "comet-rat")]
+        # Sketch path: the estimate upper-bounds the true count, so the
+        # first trigger lands at or before the row's T-th own ACT.
+        estimate = self.sketch.observe(row)
+        if estimate < self.threshold:
+            return []
+        self._insert_rat(row)
+        self.cstats.sketch_triggers += 1
+        return [self._directive(row, time_ns, "comet-sketch")]
+
+    def _insert_rat(self, row: int) -> None:
+        if len(self.rat) >= self.rat_entries:
+            victim = min(self.rat, key=lambda r: (self.rat[r], r))
+            del self.rat[victim]
+            self.cstats.rat_evictions += 1
+        # The triggering ACT is consumed by the trigger itself, so the
+        # fresh entry starts at zero.
+        self.rat[row] = 0
+        self.cstats.rat_insertions += 1
+        if len(self.rat) > self.cstats.tracked_peak:
+            self.cstats.tracked_peak = len(self.rat)
+
+    def _directive(
+        self, row: int, time_ns: float, reason: str
+    ) -> RefreshDirective:
+        return RefreshDirective(
+            bank=self.bank,
+            victim_rows=self.neighbors_of(row, self.blast_radius),
+            time_ns=time_ns,
+            aggressor_row=row,
+            reason=reason,
+        )
+
+    def _maybe_reset(self, time_ns: float) -> None:
+        window = int(time_ns // self.window_len)
+        if window != self.current_window:
+            if window < self.current_window:
+                raise ValueError(
+                    f"time moved backwards across windows: window {window} "
+                    f"after window {self.current_window}"
+                )
+            self.sketch.reset()
+            self.rat.clear()
+            self.cstats.window_resets += 1
+            self.current_window = window
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def tracked(self) -> dict[int, int]:
+        """row -> current RAT count snapshot."""
+        return dict(self.rat)
+
+    def table_bits(self) -> int:
+        """Sketch array + RAT (address + count bits per entry)."""
+        address_bits = max(1, math.ceil(math.log2(self.rows)))
+        count_bits = max(1, math.ceil(math.log2(self.threshold + 1)))
+        return self.sketch.table_bits + self.rat_entries * (
+            address_bits + count_bits
+        )
+
+    def describe(self) -> str:
+        return (
+            f"comet(T={self.threshold}, sketch={self.width}x{self.depth}, "
+            f"rat={self.rat_entries}, k={self.config.k})"
+        )
+
+
+def comet_factory(
+    hammer_threshold: int,
+    timings: DramTimings = DDR4_2400,
+    reset_window_divisor: int = 2,
+    width: int = DEFAULT_WIDTH,
+    depth: int = DEFAULT_DEPTH,
+    rat_entries: int = DEFAULT_RAT_ENTRIES,
+    seed: int = DEFAULT_SEED,
+) -> MitigationFactory:
+    """Factory building one :class:`CoMeTMitigation` per bank.
+
+    The trigger threshold and reset window derive through
+    :class:`~repro.core.config.GrapheneConfig` (same two-window
+    argument; ``k=2`` matches the evaluated Graphene configuration).
+    """
+
+    def build(bank: int, rows: int) -> CoMeTMitigation:
+        config = GrapheneConfig(
+            hammer_threshold=hammer_threshold,
+            timings=timings,
+            rows_per_bank=max(2, rows),
+            reset_window_divisor=reset_window_divisor,
+        )
+        return CoMeTMitigation(
+            bank,
+            rows,
+            config,
+            width=width,
+            depth=depth,
+            rat_entries=rat_entries,
+            seed=seed,
+        )
+
+    return build

@@ -18,11 +18,15 @@ replayable (``repro verify replay <file>``) and committable: the
 regression corpus under ``tests/corpus/`` is exactly this format with
 ``"expect": "pass"`` and is replayed by the tier-1 suite.
 
-The deliberate-weakening hook (``threshold_offset``) runs the campaign
-against an engine that triggers at ``T + offset`` instead of ``T``;
-the self-test in ``tests/test_verify_campaign.py`` uses it to prove
-the oracle catches a real protection bug and shrinks it to a
-few-dozen-ACT reproducer.
+The deliberate-weakening hooks run the campaign against a mutated
+engine: ``threshold_offset`` keeps its historical meaning (weakened
+*graphene* triggering at ``T + offset``), while the general
+``weakened`` label (e.g. ``"comet-weakened+1"`` or
+``"abacus-weakened-spill1"``, resolved by
+:func:`~repro.verify.differential.weakened_subject`) selects any
+scheme's mutant.  The self-tests in ``tests/test_verify_campaign.py``
+use both to prove the oracle catches real protection bugs in every
+deterministic scheme and shrinks them to few-dozen-ACT reproducers.
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ from .differential import (
     core_subjects,
     run_stream,
     weakened_graphene_subject,
+    weakened_subject,
 )
 from .generators import GENERATOR_NAMES, StreamSpec, generate_stream
 from .shrink import shrink_stream
@@ -71,8 +76,17 @@ ARTIFACT_SCHEMA = 1
 def _cell_subjects(
     scale: VerifyScale, threshold_offset: int,
     parallel_fastpath: bool = False,
+    weakened: str | None = None,
 ):
-    """Subject roster for a cell (weakened graphene when offset != 0)."""
+    """Subject roster for a cell.
+
+    A ``weakened`` label (e.g. ``"abacus-weakened-spill1"``) narrows
+    the roster to that one mutated engine; a non-zero
+    ``threshold_offset`` keeps the historical graphene-only weakening.
+    Otherwise the full core roster runs.
+    """
+    if weakened is not None:
+        return {weakened: weakened_subject(weakened, scale)}
     if threshold_offset:
         name = f"graphene-weakened+{threshold_offset}"
         return {name: weakened_graphene_subject(scale, threshold_offset)}
@@ -88,6 +102,7 @@ def run_cell(
     scale: Mapping[str, Any],
     threshold_offset: int = 0,
     parallel_fastpath: bool = False,
+    weakened: str | None = None,
 ) -> dict[str, Any]:
     """Run one fuzz cell; returns a JSON-able result dict.
 
@@ -107,19 +122,22 @@ def run_cell(
     spec = StreamSpec(generator=generator, seed=seed, length=length)
     events = generate_stream(spec, current)
     subjects = _cell_subjects(
-        current, threshold_offset, parallel_fastpath=parallel_fastpath
+        current, threshold_offset, parallel_fastpath=parallel_fastpath,
+        weakened=weakened,
     )
+    skip_mitigation = threshold_offset or weakened is not None
     report = run_stream(
         events,
         current,
         subjects=subjects,
-        mitigation_schemes=() if threshold_offset else tuple(schemes),
+        mitigation_schemes=() if skip_mitigation else tuple(schemes),
     )
     return {
         "generator": generator,
         "seed": seed,
         "length": length,
         "threshold_offset": threshold_offset,
+        "weakened": weakened,
         "schemes": list(schemes),
         "acts": report.acts,
         "violations": [v.to_dict() for v in report.violations],
@@ -193,13 +211,15 @@ def _reproduces(
     threshold_offset: int,
     schemes: Sequence[str],
     parallel_fastpath: bool = False,
+    weakened: str | None = None,
 ):
     """Predicate: does a candidate stream still hit the same failures?"""
     subject_names = {subject for subject, _ in targets}
     subjects = {
         name: fn
         for name, fn in _cell_subjects(
-            scale, threshold_offset, parallel_fastpath=parallel_fastpath
+            scale, threshold_offset, parallel_fastpath=parallel_fastpath,
+            weakened=weakened,
         ).items()
         if name in subject_names
     }
@@ -227,6 +247,7 @@ def run_campaign(
     threshold_offset: int = 0,
     scale: VerifyScale = DEFAULT_SCALE,
     parallel_fastpath: bool = False,
+    weakened: str | None = None,
 ) -> CampaignReport:
     """Run a budgeted differential-fuzzing campaign.
 
@@ -240,8 +261,11 @@ def run_campaign(
             runner, giving ``--jobs``/cache behavior for free).
         shrink: Reduce each failing stream to a minimal reproducer.
         artifact_dir: Where reproducer JSONs go (None: don't write).
-        threshold_offset: Weaken the engine to trigger at ``T+offset``
+        threshold_offset: Weaken graphene to trigger at ``T+offset``
             (self-test hook; skips the mitigation layer).
+        weakened: General weakened-subject label (any deterministic
+            scheme, e.g. ``"comet-weakened+1"``); narrows each cell to
+            that one mutant and skips the mitigation layer.
         scale: Verification scale (must be the default scale for now --
             cells are cached against its ``describe()`` dict).
         parallel_fastpath: Extend each cell's ``fastpath`` subject with
@@ -265,10 +289,12 @@ def run_campaign(
             scale=scale.describe(),
             threshold_offset=threshold_offset,
         )
-        # Only widen the cache key when the parallel leg is on, so
-        # existing serial campaign results keep their addresses.
+        # Only widen the cache key when the optional legs are on, so
+        # existing campaign results keep their addresses.
         if parallel_fastpath:
             kwargs["parallel_fastpath"] = True
+        if weakened is not None:
+            kwargs["weakened"] = weakened
         jobs.append(
             Job(
                 fn="repro.verify.campaign:run_cell",
@@ -325,6 +351,7 @@ def _shrink_and_save(
     failing = _reproduces(
         targets, scale, cell["threshold_offset"], cell["schemes"],
         parallel_fastpath=parallel_fastpath,
+        weakened=cell.get("weakened"),
     )
     reduced = shrink_stream(events, failing)
     first = cell["violations"][0]
@@ -340,6 +367,7 @@ def _shrink_and_save(
         violations=list(cell["violations"]),
         schemes=list(cell["schemes"]),
         threshold_offset=cell["threshold_offset"],
+        weakened=cell.get("weakened"),
         scale=scale,
         note=f"shrunk from {cell['acts']} to {len(reduced)} ACTs",
     )
@@ -362,6 +390,7 @@ def save_artifact(
     violations: Sequence[Mapping[str, Any]] = (),
     schemes: Sequence[str] | None = None,
     threshold_offset: int = 0,
+    weakened: str | None = None,
     scale: VerifyScale = DEFAULT_SCALE,
     note: str = "",
 ) -> Path:
@@ -379,6 +408,7 @@ def save_artifact(
         "length": length,
         "acts": len(events),
         "threshold_offset": threshold_offset,
+        "weakened": weakened,
         "schemes": list(schemes) if schemes is not None else None,
         "scale": scale.describe(),
         "violations": [dict(v) for v in violations],
@@ -430,11 +460,13 @@ def replay_artifact(
             f"regenerate the artifact"
         )
     offset = artifact.get("threshold_offset", 0)
+    weakened = artifact.get("weakened")
     subjects = _cell_subjects(
-        scale, offset, parallel_fastpath=parallel_fastpath
+        scale, offset, parallel_fastpath=parallel_fastpath,
+        weakened=weakened,
     )
     schemes = artifact.get("schemes")
-    if offset:
+    if offset or weakened is not None:
         mitigation: tuple[str, ...] = ()
     elif schemes is None:
         mitigation = DETERMINISTIC_SCHEMES + PROBABILISTIC_SCHEMES

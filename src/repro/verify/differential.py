@@ -14,6 +14,10 @@ repository and checks each against **exact ground truth**:
   logical :class:`~repro.core.misra_gries.MisraGriesTable`, flagging
   any trigger/spillover/tracked-set divergence;
 * ``rank``                 -- the rank-level shared table;
+* ``comet`` / ``abacus``   -- the CoMeT (count-min sketch + recent
+  aggressor table) and ABACuS (rank-level shared row-ID counters)
+  reference engines from :mod:`repro.mitigations`, each under the same
+  exact-count gap oracle as Graphene;
 * ``fastpath``             -- the columnar batch engine
   (:mod:`repro.core.fastpath`) against the reference controller,
   requiring byte-identical results, directives, bit flips and table
@@ -60,6 +64,9 @@ __all__ = [
     "MITIGATION_SCHEMES",
     "core_subjects",
     "weakened_graphene_subject",
+    "weakened_comet_subject",
+    "weakened_abacus_subject",
+    "weakened_subject",
     "run_stream",
 ]
 
@@ -67,7 +74,9 @@ TRACKER_KINDS = ("misra-gries", "space-saving", "lossy-counting", "count-min")
 
 #: Schemes whose design carries a deterministic protection guarantee:
 #: any bit flip under an in-range stream is an implementation bug.
-DETERMINISTIC_SCHEMES = ("graphene", "twice", "cbt", "cra", "oracle")
+DETERMINISTIC_SCHEMES = (
+    "graphene", "twice", "cbt", "cra", "oracle", "comet", "abacus"
+)
 #: Probabilistic / best-effort schemes: executed for crash-freedom and
 #: sanity only (flips are recorded, not gated).
 PROBABILISTIC_SCHEMES = ("none", "para", "prohit", "mrloc", "refresh-rate")
@@ -257,6 +266,108 @@ def _run_tracker(
     return [], {"triggers": triggers}
 
 
+def _run_comet(
+    events: Sequence[ActEvent],
+    scale: VerifyScale,
+    threshold_offset: int = 0,
+    subject: str = "comet",
+) -> tuple[list[Violation], dict[str, Any]]:
+    """Per-bank CoMeT engines under the gap oracle.
+
+    Deliberately *small* sketch and RAT at verify scale (64x2 counters,
+    4 entries) so hash collisions and RAT evictions actually happen --
+    collisions may only over-trigger, and eviction must not open a gap
+    (the evicted row's sketch estimate re-triggers on its next ACT).
+    ``threshold_offset`` weakens the trigger threshold to ``T+offset``
+    for mutation tests; the oracle always checks the true ``T``.
+    """
+    from ..mitigations.comet import CoMeTMitigation
+
+    config = scale.config
+    engines: dict[int, CoMeTMitigation] = {}
+    oracle = _GapOracle(scale.threshold, scale.window_ns)
+    triggers = 0
+    for step, event in enumerate(events):
+        engine = engines.get(event.bank)
+        if engine is None:
+            engine = CoMeTMitigation(
+                event.bank, scale.rows_per_bank, config,
+                width=64, depth=2, rat_entries=4,
+            )
+            engine.threshold += threshold_offset
+            engines[event.bank] = engine
+        try:
+            requests = engine.on_activate(event.row, event.time_ns)
+        except Exception as exc:  # noqa: BLE001 - crash capture is the point
+            return (
+                [Violation(subject, "crash", f"{type(exc).__name__}: {exc}",
+                           step)],
+                {"triggers": triggers},
+            )
+        triggers += len(requests)
+        violation = oracle.on_act(
+            subject, step, event.bank, event.row, event.time_ns,
+            [(r.bank, r.aggressor_row) for r in requests],
+        )
+        if violation is not None:
+            return [violation], {"triggers": triggers}
+    return [], {"triggers": triggers}
+
+
+def _run_abacus(
+    events: Sequence[ActEvent],
+    scale: VerifyScale,
+    threshold_offset: int = 0,
+    insert_offset: int = 0,
+    subject: str = "abacus",
+) -> tuple[list[Violation], dict[str, Any]]:
+    """The shared cross-bank ABACuS table under the gap oracle.
+
+    All banks are attached up front (the shared table needs the full
+    directive fan-out set), sized by the rank-wide budget at verify
+    scale so the Misra-Gries eviction/spillover machinery is exercised.
+    A trigger refreshes the row's neighborhood in *every* bank, so the
+    oracle resets the gap for each directive's own bank.  The two
+    offsets are mutation-test seams: ``threshold_offset`` delays the
+    RAC trigger period, ``insert_offset`` re-creates the Misra-Gries
+    insert-at-spillover off-by-one.
+    """
+    from ..mitigations.abacus import abacus_factory
+
+    config = scale.config
+    factory = abacus_factory(
+        config.hammer_threshold,
+        timings=scale.timings,
+        reset_window_divisor=config.reset_window_divisor,
+        total_banks=scale.banks,
+    )
+    engines = [factory(b, scale.rows_per_bank) for b in range(scale.banks)]
+    state = engines[0].state
+    state.threshold += threshold_offset
+    state.insert_offset = insert_offset
+    oracle = _GapOracle(scale.threshold, scale.window_ns)
+    triggers = 0
+    for step, event in enumerate(events):
+        try:
+            requests = engines[event.bank].on_activate(
+                event.row, event.time_ns
+            )
+        except Exception as exc:  # noqa: BLE001 - crash capture is the point
+            return (
+                [Violation(subject, "crash", f"{type(exc).__name__}: {exc}",
+                           step)],
+                {"triggers": triggers},
+            )
+        triggers += len(requests)
+        violation = oracle.on_act(
+            subject, step, event.bank, event.row, event.time_ns,
+            [(r.bank, r.aggressor_row) for r in requests],
+        )
+        if violation is not None:
+            return [violation], {"triggers": triggers}
+    return [], {"triggers": triggers}
+
+
 def _run_hardware_vs_logical(
     events: Sequence[ActEvent], scale: VerifyScale
 ) -> tuple[list[Violation], dict[str, Any]]:
@@ -376,6 +487,8 @@ def core_subjects(
 
     subjects: dict[str, Callable] = {
         "graphene": lambda ev: _run_graphene(ev, scale),
+        "comet": lambda ev: _run_comet(ev, scale),
+        "abacus": lambda ev: _run_abacus(ev, scale),
         "hardware-vs-logical": lambda ev: _run_hardware_vs_logical(ev, scale),
         "rank": lambda ev: _run_rank(ev, scale),
         "fastpath": fastpath_subject(scale, parallel=parallel_fastpath),
@@ -402,6 +515,72 @@ def weakened_graphene_subject(
     )
 
 
+def weakened_comet_subject(
+    scale: VerifyScale = DEFAULT_SCALE, threshold_offset: int = 1
+) -> Callable[[Sequence[ActEvent]], tuple[list[Violation], dict]]:
+    """A deliberately broken CoMeT (both paths trigger at ``T + offset``).
+
+    Same contract as :func:`weakened_graphene_subject`: campaigns
+    against this subject MUST report gap violations.
+    """
+    return lambda ev: _run_comet(
+        ev, scale, threshold_offset=threshold_offset,
+        subject=f"comet-weakened+{threshold_offset}",
+    )
+
+
+def weakened_abacus_subject(
+    scale: VerifyScale = DEFAULT_SCALE,
+    threshold_offset: int = 0,
+    insert_offset: int = 1,
+) -> Callable[[Sequence[ActEvent]], tuple[list[Violation], dict]]:
+    """A deliberately broken ABACuS.
+
+    The default mutation is the Misra-Gries insert-at-spillover
+    off-by-one (``insert_offset=1``): a churned row re-enters the
+    shared table one count short each time, so its trigger arrives late
+    and the gap oracle must catch it.  ``threshold_offset`` delays the
+    RAC trigger period instead.
+    """
+    label = (
+        f"abacus-weakened+{threshold_offset}"
+        if threshold_offset
+        else f"abacus-weakened-spill{insert_offset}"
+    )
+    return lambda ev: _run_abacus(
+        ev, scale, threshold_offset=threshold_offset,
+        insert_offset=insert_offset, subject=label,
+    )
+
+
+def weakened_subject(
+    name: str, scale: VerifyScale = DEFAULT_SCALE
+) -> Callable[[Sequence[ActEvent]], tuple[list[Violation], dict]]:
+    """Resolve a weakened-subject label to its subject callable.
+
+    Labels are the same strings the subjects report as their
+    ``Violation.subject`` (so campaign artifacts can carry them):
+    ``graphene-weakened+1``, ``comet-weakened+1``,
+    ``abacus-weakened+2``, ``abacus-weakened-spill1``.
+    """
+    scheme, sep, mutation = name.partition("-weakened")
+    if sep and mutation.startswith("+"):
+        offset = int(mutation)
+        if scheme == "graphene":
+            return weakened_graphene_subject(scale, offset)
+        if scheme == "comet":
+            return weakened_comet_subject(scale, offset)
+        if scheme == "abacus":
+            return weakened_abacus_subject(
+                scale, threshold_offset=offset, insert_offset=0
+            )
+    if sep and scheme == "abacus" and mutation.startswith("-spill"):
+        return weakened_abacus_subject(
+            scale, insert_offset=int(mutation[len("-spill"):])
+        )
+    raise ValueError(f"unknown weakened subject {name!r}")
+
+
 # ----------------------------------------------------------------------
 # Full-system mitigation layer
 # ----------------------------------------------------------------------
@@ -412,7 +591,9 @@ def _mitigation_factory(scheme: str, trh: int):
     from ..analysis.scaling import para_probability_for
     from ..core.config import GrapheneConfig
     from ..mitigations import (
+        abacus_factory,
         cbt_factory,
+        comet_factory,
         cra_factory,
         graphene_factory,
         increased_refresh_rate_factory,
@@ -434,6 +615,10 @@ def _mitigation_factory(scheme: str, trh: int):
         return cbt_factory(trh, num_counters=64, num_levels=8)
     if scheme == "cra":
         return cra_factory(trh, cache_entries=128)
+    if scheme == "comet":
+        return comet_factory(trh)
+    if scheme == "abacus":
+        return abacus_factory(trh)
     if scheme == "oracle":
         return oracle_factory(trh)
     if scheme == "none":

@@ -41,8 +41,12 @@ __all__ = ["KERNEL_SCHEMES", "run_fastpath_check", "fastpath_subject"]
 _PACE_INTERVAL_NS = 45.0
 
 #: Every scheme with a registered batched kernel; each verify stream is
-#: differentially checked once per entry.
-KERNEL_SCHEMES = ("graphene", "para", "twice", "cbt", "refresh-rate")
+#: differentially checked once per entry.  ABACuS declares the
+#: ``cross_bank`` capability, so its ``parallel`` leg exercises the
+#: degrade-to-serial path (still chunked) rather than true sharding.
+KERNEL_SCHEMES = (
+    "graphene", "para", "twice", "cbt", "refresh-rate", "comet", "abacus"
+)
 
 
 def _result_dict(controller, device, scheme, banks, rows_per_bank,

@@ -73,7 +73,9 @@ class TestScalingHelpers:
 
     def test_factories_build_engines(self):
         factories = scheme_factories(50_000)
-        assert set(factories) == {"para", "cbt", "twice", "graphene"}
+        assert set(factories) == {
+            "para", "cbt", "twice", "graphene", "comet", "abacus",
+        }
         for name, factory in factories.items():
             engine = factory(0, 65536)
             assert engine.rows == 65536

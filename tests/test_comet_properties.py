@@ -1,0 +1,136 @@
+"""Property suite for the count-min sketch primitive CoMeT builds on.
+
+CoMeT's protection argument (docs/baselines.md) leans on exactly one
+structural property of :class:`repro.core.trackers.CountMinSketch`:
+**no undercount** -- after any stream, any seed, any geometry, the
+sketch's estimate for an item is at least its true count.  If that
+ever broke, a hot row could hide below the tracking threshold and the
+deterministic gap bound would be gone.  The companion bound -- the
+estimate never exceeds the *total* stream length (each hash row's
+counter absorbs at most every observation) -- keeps the
+over-approximation finite, so false-positive refreshes are a cost,
+not an unbounded failure mode.
+
+Hypothesis drives random streams, hash seeds and widths/depths through
+both invariants plus the API contracts the CoMeT engine relies on
+(``observe`` returning the post-increment estimate, ``reset`` zeroing
+state, exact counts when the sketch is collision-free).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis ships in CI
+    pytest.skip("hypothesis not installed", allow_module_level=True)
+
+from repro.core.trackers import CountMinSketch
+
+#: Small geometries force collisions, which is where undercounts would
+#: hide if the min-of-rows logic were wrong.
+_WIDTHS = st.integers(min_value=1, max_value=32)
+_DEPTHS = st.integers(min_value=1, max_value=5)
+_SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+_STREAMS = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=0, max_size=200
+)
+
+
+class TestNoUndercount:
+    @settings(max_examples=150, deadline=None)
+    @given(stream=_STREAMS, width=_WIDTHS, depth=_DEPTHS, seed=_SEEDS)
+    def test_estimate_is_at_least_the_true_count(
+        self, stream, width, depth, seed
+    ):
+        sketch = CountMinSketch(width, depth=depth, seed=seed)
+        for item in stream:
+            sketch.observe(item)
+        truth = Counter(stream)
+        for item, count in truth.items():
+            assert sketch.estimated_count(item) >= count
+
+    @settings(max_examples=100, deadline=None)
+    @given(stream=_STREAMS, width=_WIDTHS, depth=_DEPTHS, seed=_SEEDS)
+    def test_observe_returns_running_no_undercount_estimates(
+        self, stream, width, depth, seed
+    ):
+        """The value ``observe`` returns is the post-increment estimate
+        -- CoMeT compares it against the threshold directly, so it must
+        itself respect the no-undercount bound at every step."""
+        sketch = CountMinSketch(width, depth=depth, seed=seed)
+        running = Counter()
+        for item in stream:
+            running[item] += 1
+            estimate = sketch.observe(item)
+            assert estimate >= running[item]
+            assert estimate == sketch.estimated_count(item)
+
+
+class TestBoundedOvercount:
+    @settings(max_examples=150, deadline=None)
+    @given(stream=_STREAMS, width=_WIDTHS, depth=_DEPTHS, seed=_SEEDS)
+    def test_estimate_never_exceeds_the_stream_length(
+        self, stream, width, depth, seed
+    ):
+        """Each hash row adds exactly one count per observation, so no
+        cell -- hence no min-over-rows estimate -- can exceed the total
+        number of observations."""
+        sketch = CountMinSketch(width, depth=depth, seed=seed)
+        for item in stream:
+            sketch.observe(item)
+        for item in set(stream):
+            assert sketch.estimated_count(item) <= len(stream)
+
+    @settings(max_examples=100, deadline=None)
+    @given(stream=_STREAMS, depth=_DEPTHS, seed=_SEEDS)
+    def test_wide_sketch_without_collisions_is_exact(
+        self, stream, depth, seed
+    ):
+        """With one hash row per possible item value and no observed
+        collisions, estimates must be *exact* -- over-approximation
+        only ever comes from collisions, nothing else."""
+        sketch = CountMinSketch(width=4096, depth=depth, seed=seed)
+        for item in stream:
+            sketch.observe(item)
+        truth = Counter(stream)
+        occupied = (sketch._table[0] > 0).sum()
+        if occupied != len(truth):  # row-0 collision: bound still holds
+            for item, count in truth.items():
+                assert sketch.estimated_count(item) >= count
+            return
+        for item, count in truth.items():
+            assert sketch.estimated_count(item) == count
+
+
+class TestApiContracts:
+    @settings(max_examples=50, deadline=None)
+    @given(stream=_STREAMS, width=_WIDTHS, depth=_DEPTHS, seed=_SEEDS)
+    def test_reset_zeroes_everything(self, stream, width, depth, seed):
+        sketch = CountMinSketch(width, depth=depth, seed=seed)
+        for item in stream:
+            sketch.observe(item)
+        sketch.reset()
+        assert sketch.observations == 0
+        assert not sketch._table.any()
+        for item in set(stream):
+            assert sketch.estimated_count(item) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(stream=_STREAMS, width=_WIDTHS, depth=_DEPTHS, seed=_SEEDS)
+    def test_same_seed_is_deterministic(self, stream, width, depth, seed):
+        first = CountMinSketch(width, depth=depth, seed=seed)
+        second = CountMinSketch(width, depth=depth, seed=seed)
+        for item in stream:
+            assert first.observe(item) == second.observe(item)
+
+    def test_geometry_validation_and_table_bits(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0)
+        with pytest.raises(ValueError):
+            CountMinSketch(4, depth=0)
+        assert CountMinSketch(512, depth=4).table_bits == 512 * 4 * 32

@@ -276,6 +276,28 @@ class TestDegradeWarnings:
             for r in caplog.records
         ), "fallback warning did not name the requested worker count"
 
+    def test_cross_bank_degrade_names_capability(self, caplog):
+        """ABACuS's kernel declares ``cross_bank``: a sharded run must
+        degrade to serial fast mode (identical results) and the warning
+        must name the capability, not just the scheme."""
+        trace = _banked_trace(banks=4)
+        kwargs = _sim_kwargs("abacus", trace, banks=4)
+        serial = simulate(
+            trace, _mitigation_factory("abacus", TRH), fast=True, **kwargs
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.sim"):
+            degraded = simulate(
+                trace, _mitigation_factory("abacus", TRH), fast=True,
+                shard_workers=2, **kwargs,
+            )
+        assert degraded.to_dict() == serial.to_dict()
+        messages = [r.getMessage() for r in caplog.records]
+        assert any(
+            "2 workers" in m and "cross_bank" in m
+            and "serial fast mode" in m
+            for m in messages
+        ), f"degrade warning must name the cross_bank capability: {messages}"
+
     def test_rejects_nonpositive_worker_count(self):
         trace = _banked_trace(banks=1, acts_per_bank=10)
         with pytest.raises(ValueError):
@@ -319,6 +341,27 @@ class TestRunnerShardNotes:
             banks=4,
         )
         assert ExperimentRunner._job_note(job) == ""
+
+    def test_cross_bank_fast_job_notes_degraded_sharding(self):
+        """A sharded abacus job degrades to serial fast mode; the job
+        note must statically mirror the runtime warning, naming the
+        ``cross_bank`` capability."""
+        from repro.experiments.runner import ExperimentRunner, sim_job
+
+        job = sim_job(
+            trace={"kind": "synthetic", "label": "double_sided"},
+            factory=["scaling", "abacus"],
+            scheme="abacus",
+            workload="probe",
+            duration_ns=1e6,
+            engine="fast",
+            shard_workers=2,
+            banks=4,
+        )
+        note = ExperimentRunner._job_note(job)
+        assert "sharding requested (2 workers)" in note
+        assert "cross_bank" in note
+        assert "serial fast mode" in note
 
     def test_fallback_note_names_requested_workers(self):
         from repro.experiments.runner import ExperimentRunner, sim_job

@@ -37,6 +37,8 @@ from repro.verify import (
 from repro.verify.differential import (
     DETERMINISTIC_SCHEMES,
     core_subjects,
+    weakened_abacus_subject,
+    weakened_comet_subject,
     weakened_graphene_subject,
 )
 from repro.workloads.trace import ActEvent
@@ -137,6 +139,87 @@ class TestDifferentialExecutor:
         assert violations == []
 
 
+class TestWeakenedNewSchemes:
+    """ISSUE-8: the gap oracle has teeth against the CoMeT and ABACuS
+    mutants too, mirroring the graphene T+1 test above."""
+
+    def test_weakened_comet_caught_and_shrinks(self):
+        """CoMeT triggering at T+1 (both RAT and sketch paths) is
+        caught and ddmin-reduced to a small reproducer."""
+        events = generate_stream(StreamSpec("eviction", seed=3, length=400))
+        subject = weakened_comet_subject(threshold_offset=1)
+        violations, _ = subject(events)
+        assert violations, "the weakened CoMeT must be flagged"
+        assert violations[0].kind == "gap"
+        assert f"T={DEFAULT_SCALE.threshold}" in violations[0].detail
+        reduced = shrink_stream(
+            events, lambda candidate: bool(subject(candidate)[0])
+        )
+        assert len(reduced) <= 50
+        assert subject(reduced)[0]
+
+    def test_stock_comet_clean_on_the_same_stream(self):
+        events = generate_stream(StreamSpec("eviction", seed=3, length=400))
+        assert weakened_comet_subject(threshold_offset=0)(events)[0] == []
+
+    @staticmethod
+    def _abacus_churn_stream():
+        """A handcrafted stream that compounds the ABACuS insert
+        off-by-one (``insert_offset=1``).
+
+        A single weakened insert only loses one count, and the design's
+        ``T_abacus = T - 1`` slack absorbs exactly one -- so generator
+        streams never catch it.  The exploit is churn *compounding*:
+        weakened inserts land AT the spillover floor, making the row
+        immediately replaceable, so two rows (X=2, Y=4) can evict each
+        other repeatedly, each round-trip losing another count with no
+        RAC progress.  After two lost counts the hammered row's refresh
+        arrives at gap T+1 and the oracle fires.
+        """
+        scale = DEFAULT_SCALE
+        dt = scale.act_interval_ns
+        events: list[ActEvent] = []
+
+        def emit(row):
+            events.append(ActEvent(len(events) * dt, 0, row))
+
+        # Fill the shared table: every entry at rac=1.
+        for i in range(24):
+            emit(100 + 2 * i)
+        # One decoy miss bumps spillover 0 -> 1 (nothing replaceable
+        # yet at the stock insert position; everything replaceable at
+        # the weakened one).
+        emit(300)
+        # Churn X and Y through the weakened insert position.
+        for _ in range(3):
+            emit(2)  # X miss -> insert (weakened: rac = spillover)
+            emit(4)  # Y miss -> evicts X (smallest replaceable row)
+        emit(2)  # X re-enters one last time...
+        for _ in range(24):  # ...and gets hammered.
+            emit(2)
+        return events
+
+    def test_weakened_abacus_churn_caught_and_shrinks(self):
+        events = self._abacus_churn_stream()
+        subject = weakened_abacus_subject()  # insert_offset=1
+        violations, _ = subject(events)
+        assert violations, "the weakened ABACuS must be flagged"
+        assert violations[0].kind == "gap"
+        assert f"T={DEFAULT_SCALE.threshold}" in violations[0].detail
+        reduced = shrink_stream(
+            events, lambda candidate: bool(subject(candidate)[0])
+        )
+        assert subject(reduced)[0]
+        # 1-minimality: no single event is removable.
+        for index in range(len(reduced)):
+            candidate = reduced[:index] + reduced[index + 1:]
+            assert not subject(candidate)[0]
+
+    def test_stock_abacus_clean_on_the_churn_stream(self):
+        events = self._abacus_churn_stream()
+        assert weakened_abacus_subject(insert_offset=0)(events)[0] == []
+
+
 # ----------------------------------------------------------------------
 # Shrinking
 # ----------------------------------------------------------------------
@@ -216,6 +299,25 @@ class TestCampaign:
         for path in report.artifacts:
             artifact = load_artifact(path)
             assert artifact["expect"] == "fail"
+            assert artifact["acts"] <= 50
+            replay_report, loaded = replay_artifact(path)
+            ok, message = artifact_verdict(replay_report, loaded)
+            assert ok, message
+
+    def test_weakened_comet_campaign_roundtrip(self, tmp_path):
+        """The general ``weakened`` channel: campaign -> violation ->
+        ddmin -> artifact (carrying the weakened label) -> replay."""
+        report = run_campaign(
+            2, seed=3, length=400, weakened="comet-weakened+1",
+            runner=ExperimentRunner(jobs=1),
+            artifact_dir=tmp_path / "artifacts",
+        )
+        assert not report.ok
+        assert report.artifacts
+        for path in report.artifacts:
+            artifact = load_artifact(path)
+            assert artifact["expect"] == "fail"
+            assert artifact["weakened"] == "comet-weakened+1"
             assert artifact["acts"] <= 50
             replay_report, loaded = replay_artifact(path)
             ok, message = artifact_verdict(replay_report, loaded)
