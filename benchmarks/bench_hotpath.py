@@ -18,7 +18,10 @@ Three workloads:
 * ``rr8`` -- the same hammer spread round-robin across 8 banks, the
   *dispatcher's* worst case: every per-bank run has length 1, so the
   lane-partition path (whole-trace per-bank segments merged back in
-  global order) is what rescues batching.
+  global order) is what rescues batching.  For ABACuS this is also the
+  cross-bank lane's proving ground: its kernel batches multi-bank
+  windows in global order (``commit_run_banked``), so the scheme must
+  beat the reference here too instead of degrading to scalar stepping.
 * ``multirank32`` -- double-sided hammers on all 32 banks of a
   two-rank device (16 banks/rank), interleaved in 32-ACT bursts at
   one ACT per tRC channel-wide.  This is the system-scale workload the
@@ -26,7 +29,11 @@ Three workloads:
   ``shard_workers`` process-pool dispatch (one entry per worker count,
   scaled to the machine) and once in streaming mode
   (``chunk_events`` = 1/8 of the trace, so the carried-state path
-  crosses seven chunk boundaries).  Aggregate ACTs/s here is the
+  crosses seven chunk boundaries).  Each sharded entry is timed twice
+  against the *persistent* shard pool: a cold pass right after
+  ``close_pool()`` (pays worker spawn) and a warm pass on the reused
+  pool -- the warm number is the headline, and the cold/warm split
+  prices the pool's amortization claim.  Aggregate ACTs/s here is the
   headline throughput number; on a many-core machine the 8-worker
   sharded run is where the >=10M ACTs/s target lives.
 
@@ -47,7 +54,7 @@ only apply when ``os.cpu_count() >= 4`` -- on a 1-2 core box a process
 pool cannot beat serial and the honest numbers say so.  The artifact
 records ``cpu_count`` so readers can interpret the sharded entries.
 
-Numbers land in ``BENCH_hotpath.json`` (schema 3) at the repo root,
+Numbers land in ``BENCH_hotpath.json`` (schema 4) at the repo root,
 and every run appends a ``hotpath`` entry (per-cell fast/reference
 ACTs/s) to the bench-trajectory history
 (:mod:`repro.bench.history`; redirect with ``GRAPHENE_BENCH_HISTORY``)
@@ -69,6 +76,7 @@ import numpy as np
 
 from repro.core.config import GrapheneConfig
 from repro.core.fastpath import kernel_for
+from repro.core.shard_pool import close_pool, pool_stats
 from repro.dram.timing import DDR4_2400
 from repro.sim.simulator import simulate
 from repro.workloads.columnar import TraceArray, merge_arrays, pace_array
@@ -76,15 +84,19 @@ from repro.workloads.trace import ActEvent
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 
-#: Schema 3: adds the multi-rank sharded/streaming workload, the
-#: streaming-memory section and the recorded ``cpu_count`` (schema 2
-#: had per-workload sections with serial ref/fast rows only; schema 1
-#: a single workload and only graphene/para rows).
-SCHEMA = 3
+#: Schema 4: sharded entries split into cold (pool spawn included) and
+#: warm (reused persistent pool) passes, and the payload carries a
+#: ``shard_pool`` lifecycle section (schema 3 added the multi-rank
+#: sharded/streaming workload, the streaming-memory section and the
+#: recorded ``cpu_count``; schema 2 per-workload sections with serial
+#: ref/fast rows only; schema 1 a single workload and only
+#: graphene/para rows).
+SCHEMA = 4
 
 #: Every scheme with a registered batched kernel.  ABACuS's kernel
-#: declares ``cross_bank``, so its multirank sharded entries record the
-#: degrade-to-serial behavior (speedup_vs_fast ~1x) honestly.
+#: declares ``cross_bank``: multirank sharded entries record its
+#: degrade-to-serial behavior (speedup_vs_fast ~1x) honestly, while on
+#: rr8 the vectorized banked lane carries it past the reference loop.
 SCHEMES = ("graphene", "para", "twice", "cbt", "refresh-rate", "comet",
            "abacus")
 
@@ -297,6 +309,7 @@ def _streaming_memory_probe(duration_ns: float) -> dict:
 def run(duration_ns: float) -> dict:
     """Time every (scheme, workload) cell both ways; returns the payload."""
     workloads: dict[str, dict] = {}
+    pool_snapshot: dict | None = None
     for workload, (build, banks, ranks) in WORKLOADS.items():
         trace = build(duration_ns)
         acts = len(trace)
@@ -321,21 +334,44 @@ def run(duration_ns: float) -> dict:
             if workload == "multirank32":
                 sharded = []
                 for workers in _shard_worker_counts():
-                    seconds, result = _timed(
+                    # Cold pass: a fresh pool, so the spawn cost is in
+                    # the measurement.  Warm pass: the same workers,
+                    # resident and reused -- the steady-state number
+                    # every later sharded simulate() in a process pays.
+                    close_pool()
+                    cold_seconds, cold_result = _timed(
+                        trace, scheme, workload, banks, ranks, fast=True,
+                        shard_workers=workers,
+                    )
+                    warm_seconds, warm_result = _timed(
                         trace, scheme, workload, banks, ranks, fast=True,
                         shard_workers=workers,
                     )
                     sharded.append({
                         "workers": workers,
-                        "seconds": round(seconds, 4),
-                        "acts_per_sec": round(acts / seconds),
-                        "speedup_vs_fast": round(fast_seconds / seconds, 2),
-                        "speedup_vs_reference": round(
-                            ref_seconds / seconds, 2
+                        "seconds": round(warm_seconds, 4),
+                        "cold_seconds": round(cold_seconds, 4),
+                        "pool_spawn_overhead_seconds": round(
+                            max(0.0, cold_seconds - warm_seconds), 4
                         ),
-                        "identical": result == ref_result,
+                        "acts_per_sec": round(acts / warm_seconds),
+                        "speedup_vs_fast": round(
+                            fast_seconds / warm_seconds, 2
+                        ),
+                        "speedup_vs_reference": round(
+                            ref_seconds / warm_seconds, 2
+                        ),
+                        "identical": (
+                            cold_result == ref_result
+                            and warm_result == ref_result
+                        ),
                     })
                 entry["sharded"] = sharded
+                # Keep the latest pool that actually sharded (ABACuS's
+                # cross_bank kernel degrades to serial and spawns
+                # none): runs_served == 2 with workers_spawned == the
+                # cold spawn is the warm pass's reuse, on the record.
+                pool_snapshot = pool_stats() or pool_snapshot
                 chunk_events = max(1, acts // _MR_CHUNKS)
                 seconds, result = _timed(
                     trace, scheme, workload, banks, ranks, fast=True,
@@ -356,6 +392,10 @@ def run(duration_ns: float) -> dict:
             "total_banks": banks * ranks,
             "schemes": schemes,
         }
+    # Torn down before returning so a bench run leaves no resident
+    # workers or shared-memory segments behind.
+    close_pool()
+    assert pool_stats() is None
     return {
         "schema": SCHEMA,
         "duration_ns": duration_ns,
@@ -364,6 +404,7 @@ def run(duration_ns: float) -> dict:
         "shard_worker_counts": _shard_worker_counts(),
         "workloads": workloads,
         "streaming_memory": _streaming_memory_probe(duration_ns),
+        "shard_pool": pool_snapshot,
     }
 
 
@@ -379,7 +420,16 @@ def _append_history(payload: dict) -> None:
             "hotpath",
             metrics,
             path=os.environ.get("GRAPHENE_BENCH_HISTORY") or None,
-            extra={"duration_ns": payload["duration_ns"]},
+            # The sharded/pooled config rides along so the regression
+            # gate only compares like-for-like runs: a 2-core entry's
+            # sharded throughput is not a baseline for an 8-core one,
+            # and a cold-pool timing is not a baseline for a warm one.
+            extra={
+                "duration_ns": payload["duration_ns"],
+                "shard_workers": payload["shard_worker_counts"],
+                "pool_reuse": True,
+                "cpu_count": payload["cpu_count"],
+            },
         )
     except OSError:
         pass
@@ -429,11 +479,14 @@ def bench_hotpath(benchmark, bench_duration_ns):
     assert rr8["graphene"]["speedup"] >= 2.0, payload
     assert multirank["graphene"]["speedup"] >= 2.0, payload
     # The ISSUE-8 schemes: batched kernels must pay for themselves on
-    # the long-run hammer.  (ABACuS on rr8 is ~1x by design: cross_bank
-    # forces single-lane batching and every same-bank run has length 1;
-    # the artifact records that honestly rather than gating it.)
+    # the long-run hammer.  ABACuS used to bottom out at ~0.8x on rr8
+    # (cross_bank forced single-lane scalar stepping when every
+    # same-bank run had length 1); the vectorized banked lane commits
+    # multi-bank windows in global order, so rr8 must now at least
+    # break even at smoke scale (the full-tREFW artifact records >=2x).
     assert hammer["comet"]["speedup"] >= 2.0, payload
     assert hammer["abacus"]["speedup"] >= 2.0, payload
+    assert rr8["abacus"]["speedup"] >= 1.0, payload
     # Sharded gates only where a pool can physically win: with fewer
     # than 4 cores the workers time-slice one or two CPUs and the
     # honest numbers record the loss instead of faking a floor.
@@ -442,6 +495,19 @@ def bench_hotpath(benchmark, bench_duration_ns):
         assert two_workers["workers"] == 2
         assert two_workers["speedup_vs_reference"] >= 2.0, two_workers
         assert two_workers["speedup_vs_fast"] >= 1.2, two_workers
+        # Warm runs on the resident pool must not be slower than cold
+        # spawn-included ones beyond timer noise.
+        assert two_workers["seconds"] <= two_workers["cold_seconds"] * 1.5, (
+            two_workers
+        )
+    # The system-scale throughput target lives on the warm 8-worker
+    # pool of a machine with the cores to feed it.
+    if (os.cpu_count() or 1) >= 8:
+        best = max(
+            shard["acts_per_sec"]
+            for shard in multirank["graphene"]["sharded"]
+        )
+        assert best >= 10_000_000, multirank["graphene"]["sharded"]
 
 
 if __name__ == "__main__":

@@ -2,11 +2,15 @@
 """Gate on benchmark-throughput regressions in the trajectory history.
 
 Compares the newest ``results/bench_history.jsonl`` entry of each bench
-against the rolling median of up to ``--window`` predecessors; any
+against the rolling median of up to ``--window`` *like-for-like*
+predecessors -- entries whose config fingerprint (``cpu_count`` plus
+the recorded ``shard_workers`` / ``pool_reuse`` extras) matches, so a
+hardware or measurement-protocol change starts a fresh baseline; any
 ``*_per_sec`` metric more than ``--threshold`` below its median fails
-the gate (exit 1).  A bench with no prior entries is a baseline and
-passes.  CI runs this after appending the current run's entries, so a
-commit that halves a kernel's throughput fails its own build.
+the gate (exit 1).  A bench with no prior comparable entries is a
+baseline and passes.  CI runs this after appending the current run's
+entries, so a commit that halves a kernel's throughput fails its own
+build.
 
 Usage::
 

@@ -16,9 +16,12 @@ Conventions:
   metrics ride along as context and are never gated;
 * lines are append-only and torn/foreign lines are skipped on read,
   the same durability posture as the campaign manifest;
-* entries from machines of different sizes coexist: the gate compares
-  medians, and ``cpu_count`` is recorded so a human can spot a
-  hardware change behind a step in the trajectory.
+* entries from machines of different sizes coexist: the gate only
+  compares entries whose config fingerprint matches -- ``cpu_count``
+  plus the sharded-execution fields the hotpath bench records in
+  ``extra`` (``shard_workers``, ``pool_reuse``) -- so a 2-core entry's
+  process-pool throughput is never the baseline for an 8-core run,
+  and a cold-pool timing protocol never gates a warm-pool one.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ __all__ = [
     "make_entry",
     "append_entry",
     "iter_entries",
+    "config_fingerprint",
     "hotpath_metrics",
     "runner_metrics",
     "check_regression",
@@ -137,6 +141,28 @@ def iter_entries(
             yield entry
 
 
+def config_fingerprint(entry: Mapping[str, Any]) -> tuple[Any, ...]:
+    """The execution-config identity a comparison must hold fixed.
+
+    ``cpu_count`` plus the sharded-execution fields benches record in
+    ``extra`` (``shard_workers``, the worker counts swept, and
+    ``pool_reuse``, whether sharded timings came off a warm persistent
+    pool).  Entries written before a bench recorded these carry
+    ``None`` in the missing slots, so pre-existing history still
+    compares against itself -- but never against a run measured under
+    a different protocol.
+    """
+    extra = entry.get("extra") or {}
+    shard_workers = extra.get("shard_workers")
+    if isinstance(shard_workers, (list, tuple)):
+        shard_workers = tuple(shard_workers)
+    return (
+        entry.get("cpu_count"),
+        shard_workers,
+        extra.get("pool_reuse"),
+    )
+
+
 # ----------------------------------------------------------------------
 # Metric extraction from the bench artifacts
 # ----------------------------------------------------------------------
@@ -186,10 +212,14 @@ def check_regression(
 
     For each bench name, the newest entry's throughput metrics
     (``*_per_sec``) are compared against the median of the same metric
-    over up to ``window`` immediately preceding entries.  A metric
-    whose newest value sits more than ``threshold`` below that median
-    is a regression.  Benches or metrics without prior entries are
-    baselines, never failures.
+    over up to ``window`` immediately preceding *like-for-like*
+    entries -- predecessors whose :func:`config_fingerprint`
+    (``cpu_count``, ``shard_workers``, ``pool_reuse``) matches the
+    newest entry's, so a hardware or measurement-protocol change
+    starts a fresh baseline instead of tripping (or masking) the gate.
+    A metric whose newest value sits more than ``threshold`` below
+    that median is a regression.  Benches or metrics without prior
+    comparable entries are baselines, never failures.
 
     Returns the regression findings (empty = gate passes).
     """
@@ -200,7 +230,13 @@ def check_regression(
     findings: list[dict[str, Any]] = []
     for name, entries in sorted(by_bench.items()):
         newest = entries[-1]
-        priors = entries[max(0, len(entries) - 1 - window) : -1]
+        fingerprint = config_fingerprint(newest)
+        comparable = [
+            entry
+            for entry in entries[:-1]
+            if config_fingerprint(entry) == fingerprint
+        ]
+        priors = comparable[max(0, len(comparable) - window) :]
         if not priors:
             continue
         for metric, value in sorted(newest.get("metrics", {}).items()):

@@ -147,11 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument(
         "--shard-workers", type=_worker_count, default=1, metavar="N",
-        help="with --fast: dispatch per-bank lanes across N worker "
-             "processes inside each simulation cell (byte-identical "
-             "results; 1 = serial fast mode; see docs/scaling.md for "
-             "sizing, and note --jobs parallelism composes "
-             "multiplicatively with this)",
+        help="with --fast: dispatch per-bank lanes across N processes "
+             "from the persistent shard pool inside each simulation "
+             "cell (workers spawn once and are reused across cells; "
+             "traces cross via shared memory; byte-identical results; "
+             "1 = serial fast mode; see docs/scaling.md for sizing, "
+             "and note --jobs parallelism composes multiplicatively "
+             "with this)",
     )
     experiment.add_argument(
         "--quiet", action="store_true",
@@ -753,21 +755,31 @@ def _command_campaign(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return _command_list()
-    if args.command == "experiment":
-        return _command_experiment(args)
-    if args.command == "derive":
-        return _command_derive(args)
-    if args.command == "attack":
-        return _command_attack(args)
-    if args.command == "trace":
-        return _command_trace(args)
-    if args.command == "verify":
-        return _command_verify(args)
-    if args.command == "campaign":
-        return _command_campaign(args)
-    raise AssertionError("unreachable")
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "experiment":
+            return _command_experiment(args)
+        if args.command == "derive":
+            return _command_derive(args)
+        if args.command == "attack":
+            return _command_attack(args)
+        if args.command == "trace":
+            return _command_trace(args)
+        if args.command == "verify":
+            return _command_verify(args)
+        if args.command == "campaign":
+            return _command_campaign(args)
+        raise AssertionError("unreachable")
+    finally:
+        # Deterministic shard-pool teardown on every exit path,
+        # KeyboardInterrupt included: stops the persistent workers and
+        # unlinks any shared-memory segments a dying run left mapped.
+        # (atexit would catch a clean interpreter exit; this also
+        # covers main() being driven in-process, e.g. from tests.)
+        from .core.shard_pool import close_pool
+
+        close_pool()
 
 
 if __name__ == "__main__":  # pragma: no cover

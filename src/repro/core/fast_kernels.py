@@ -43,15 +43,23 @@ at a time.  The per-scheme batching arguments:
   its first occurrence and replays it scalar.  Hammered rows live in
   the RAT after their first trigger, which is where batching pays.
 * **ABACuS** shares one table across banks (``cross_bank = True`` --
-  the dispatcher runs same-bank runs serially in global order, never
-  sharded).  Within a same-bank run the SAV discipline collapses: the
-  first occurrence of a tracked row increments iff the bank's bit is
-  already set, and every later occurrence increments (the SAV resets
-  to exactly this bank's bit on each bump), so a row's committed
-  occurrences map to ``k`` or ``k - 1`` RAC increments.  The batch
-  truncates before the first event whose increment would land the RAC
-  on a trigger multiple, and before any miss (insert/evict/spillover
-  replay scalar).
+  the dispatcher never shards it, but runs it through the vectorized
+  cross-bank lane: long same-bank runs use ``commit_run``,
+  interleave-heavy stretches use ``commit_run_banked`` over
+  multi-bank windows in global order).  Within a same-bank run the
+  SAV discipline collapses: the first occurrence of a tracked row
+  increments iff the bank's bit is already set, and every later
+  occurrence increments (the SAV resets to exactly this bank's bit on
+  each bump), so a row's committed occurrences map to ``k`` or
+  ``k - 1`` RAC increments.  Across banks the same recurrence runs
+  per row group over (bank-bit, SAV) state -- closed form for
+  uniform-bank groups, an era-skip scan otherwise.  Either way the
+  batch truncates before the first event whose increment would land
+  the RAC on a trigger multiple, and before any miss
+  (insert/evict/spillover replay scalar).  ABACuS also declares
+  ``ref_transparent``: REF ticks never touch its tracking state, so
+  the banked lane cuts each bank's events at that bank's *own* next
+  auto-refresh instead of the earliest one across banks.
 
 ``reference_state(engine)`` produces the comparable table snapshot for
 any kernel-covered scheme; the differential subject
@@ -374,6 +382,12 @@ class FastCbtKernel(_WrappedKernel):
 class FastRefreshRateKernel(_WrappedKernel):
     """Refresh-rate ACTs are no-ops; commit the whole run."""
 
+    #: ACTs never change this scheme's decisions, so a zero-consumption
+    #: vector failure is always a *timing* boundary (REF pop, blocked
+    #: bank), never a miss-heavy stream: the lane skips its exponential
+    #: scalar back-off and retries vectorizing immediately.
+    act_transparent = True
+
     def __init__(self, mitigation: IncreasedRefreshRate) -> None:
         super().__init__(mitigation)
 
@@ -491,6 +505,13 @@ class FastAbacusKernel(_WrappedKernel):
 
     cross_bank = True
 
+    #: REF ticks never touch ABACuS tracking state (no
+    #: ``_process_refresh_command`` override), so the banked lane may
+    #: cut each bank's lane at that bank's *own* next auto-refresh
+    #: instead of the earliest REF across all banks -- the tick is
+    #: forwarded by the cut event's scalar replay, as in per-bank lanes.
+    ref_transparent = True
+
     def __init__(self, mitigation: AbacusMitigation) -> None:
         super().__init__(mitigation)
 
@@ -573,6 +594,174 @@ class FastAbacusKernel(_WrappedKernel):
         state.stats.observations += extent
         self.stats.activations += extent
         return extent, []
+
+    def commit_run_banked(
+        self, times: np.ndarray, rows: np.ndarray, banks: np.ndarray
+    ) -> int:
+        """Global-order batch commit across banks (cross-bank lane).
+
+        Same contract as ``commit_run`` -- consume the longest prefix
+        whose tracking outcomes the bulk update reproduces exactly,
+        truncating before misses and trigger multiples -- except events
+        may interleave banks.  The caller owns per-bank
+        ``MitigationStats.activations`` (it knows each bank's committed
+        position count); this method owns only the shared-table side.
+
+        Per reference observe semantics, an event on bank ``b`` against
+        a tracked row increments the RAC iff bit ``b`` is in the SAV
+        (then resets the SAV to ``{b}``), else it just ORs the bit in.
+        Within one row group in global order that reduces to: event
+        ``t`` increments iff its bank occurred at or after the last
+        increment position ``L`` (which wiped the SAV to that event's
+        bit) -- or, before any increment, iff its bank occurred earlier
+        or started in the SAV.  Uniform-bank groups (every occurrence
+        on one bank) collapse to closed form: every occurrence
+        increments except a bit-less first.  Mixed-bank groups
+        (round-robin hammers share rows across banks) walk increment to
+        increment via :meth:`_scan_mixed` in O(increments), not
+        O(events).
+        """
+        m: AbacusMitigation = self.mitigation
+        state = m.state
+        entries = state.entries
+        threshold = state.threshold
+        extent = len(rows)
+        uniq, first_pos, inverse = np.unique(
+            rows, return_index=True, return_inverse=True
+        )
+        present = np.fromiter(
+            (int(u) in entries for u in uniq),
+            dtype=np.bool_,
+            count=len(uniq),
+        )
+        if not present.all():
+            # Misses mutate shared Misra-Gries state (insert, evict,
+            # spillover): scalar territory.
+            extent = int(first_pos[~present].min())
+            if extent == 0:
+                return 0
+        bits = np.int64(1) << banks[:extent]
+
+        # Phase 1: earliest trigger across row groups.  Each group's
+        # first trigger is computed independently; the global minimum
+        # is the true first trigger because every event before it has
+        # an outcome unaffected by anything at or after it.
+        plans = self._group_plans(
+            uniq, inverse[:extent], bits, entries, threshold
+        )
+        cut = extent
+        for positions, _, _, _, trigger in plans:
+            if trigger is not None:
+                cut = min(cut, int(positions[trigger]))
+        if cut == 0:
+            return 0
+        if cut < extent:
+            # Re-plan on the trigger-free prefix (every group's
+            # remaining events precede the first trigger, so the new
+            # plans carry no triggers).
+            extent = cut
+            bits = bits[:extent]
+            plans = self._group_plans(
+                uniq, inverse[:extent], bits, entries, threshold
+            )
+
+        # Phase 2: apply.
+        for positions, entry, count, last_inc, _ in plans:
+            entry.rac += count
+            if last_inc == -2:
+                # No increment: the SAV only accumulated bits.
+                entry.sav |= int(np.bitwise_or.reduce(bits[positions]))
+            else:
+                # The increment at ``last_inc`` wiped the SAV to that
+                # event's bit; later (non-increment) events OR theirs.
+                entry.sav = int(
+                    np.bitwise_or.reduce(bits[positions[last_inc:]])
+                )
+            state.stats.rac_increments += count
+            state.stats.sav_sets += len(positions) - count
+        state.stats.observations += extent
+        return extent
+
+    def _group_plans(self, uniq, inverse, bits, entries, threshold):
+        """Per row group: positions, entry, increment count, last
+        increment index (group-local, ``-2`` if none) and first trigger
+        index (group-local, ``None`` if none)."""
+        if not len(inverse):
+            return []
+        order = np.argsort(inverse, kind="stable")
+        sorted_inv = inverse[order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_inv[1:] != sorted_inv[:-1]]
+        )
+        ends = np.append(starts[1:], len(inverse))
+        plans = []
+        for s, e in zip(starts, ends):
+            positions = order[s:e]
+            entry = entries[int(uniq[sorted_inv[s]])]
+            group_bits = bits[positions]
+            rac0 = entry.rac
+            n = len(positions)
+            if (group_bits == group_bits[0]).all():
+                has_bit = bool(entry.sav & int(group_bits[0]))
+                count = n if has_bit else n - 1
+                last_inc = n - 1 if count else -2
+                trigger = None
+                needed = (
+                    threshold - rac0 % threshold + (0 if has_bit else 1)
+                )
+                if needed <= n:
+                    trigger = needed - 1
+            else:
+                count, last_inc, trigger = self._scan_mixed(
+                    entry.sav, rac0, group_bits, threshold
+                )
+            plans.append((positions, entry, count, last_inc, trigger))
+        return plans
+
+    @staticmethod
+    def _scan_mixed(sav0, rac0, group_bits, threshold):
+        """Walk one mixed-bank row group increment to increment.
+
+        An event increments iff its bank occurred at or after the last
+        increment ``L`` (or, while ``L == -2``, iff its bank occurred
+        before or starts in the SAV); each increment wipes the SAV, so
+        the *next* increment after ``L`` is the earliest event whose
+        same-bank predecessor sits at or after ``L`` -- that is
+        ``min(nxt[p] for p >= L)``, a precomputed suffix minimum of the
+        same-bank successor array.  The walk therefore costs one step
+        per increment, with all per-event work vectorized.
+
+        Returns ``(count, last_inc, trigger)``: increments performed,
+        group-local index of the last one (``-2`` if none), group-local
+        index of the first trigger (``None`` if none; ``count`` and
+        ``last_inc`` are then only valid up to it).
+        """
+        n = len(group_bits)
+        bid = np.unique(group_bits, return_inverse=True)[1]
+        order = np.argsort(bid, kind="stable")
+        sb = bid[order]
+        same = sb[1:] == sb[:-1]
+        prev = np.full(n, -2, dtype=np.int64)
+        prev[order[1:][same]] = order[:-1][same]
+        nxt = np.full(n, n, dtype=np.int64)
+        nxt[order[:-1][same]] = order[1:][same]
+        firsts = order[np.r_[True, ~same]]
+        seeded = (sav0 & group_bits[firsts]) != 0
+        prev[firsts[seeded]] = -1
+        sufmin_next = np.minimum.accumulate(nxt[::-1])[::-1]
+        candidates = np.flatnonzero(prev != -2)
+        if not len(candidates):
+            return 0, -2, None
+        t = int(candidates[0])
+        count = 0
+        while True:
+            count += 1
+            if (rac0 + count) % threshold == 0:
+                return count, t, t
+            step = int(sufmin_next[t])
+            if step >= n:
+                return count, t, None
+            t = step
 
     def snapshot(self) -> Any:
         state = self.mitigation.state

@@ -24,12 +24,18 @@ module provides the same semantics in batch form:
   round-robin interleave across 8 banks -- length-1 contiguous runs,
   the old dispatcher's worst case -- batches exactly as well as a
   single-bank hammer.  Two execution axes scale it further:
-  ``shard_workers=N`` fans the lanes across a process pool (one
-  :func:`_shard_lane_task` per bank, state shipped out and back,
-  outputs remapped to global indices), and ``run(...,
-  chunk_events=N)`` streams arbitrarily long traces in bounded chunks
-  with kernel/bank state carried across chunk boundaries -- both
-  byte-identical to the serial in-memory run.
+  ``shard_workers=N`` fans the lanes across the *persistent* shard
+  pool (:mod:`repro.core.shard_pool`): lane state ships to each worker
+  once per run and stays resident across chunks, event columns travel
+  through shared-memory segments, and only chunk boundary offsets
+  cross the IPC channel; ``run(..., chunk_events=N)`` streams
+  arbitrarily long traces in bounded chunks with kernel/bank state
+  carried across chunk boundaries, double-buffered so chunk ``n+1``
+  materializes while chunk ``n`` executes -- both byte-identical to
+  the serial in-memory run.  Kernels with bank-shared state (ABACuS)
+  run in-process on the vectorized cross-bank lane instead: short
+  same-bank runs coalesce into multi-bank segments committed through
+  :meth:`FastKernel.commit_run_banked`.
 
 **Equivalence contract.**  Driven over the same stream, the fast
 controller produces *byte-identical* state to the reference stack:
@@ -72,8 +78,13 @@ the measured speedups.
 from __future__ import annotations
 
 import heapq
+import itertools
+import logging
 import math
-from typing import Any, Callable, Protocol, runtime_checkable
+import queue
+import threading
+from collections import deque
+from typing import Any, Callable, Iterable, Iterator, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -109,14 +120,22 @@ __all__ = [
 _SPAN = 4096
 #: Minimum remaining events for a vector attempt to be worth the setup.
 _MIN_VECTOR = 8
-#: After a failed vector attempt, process this many events scalar before
-#: trying again (keeps miss-heavy streams from paying the vector setup
-#: cost on every event).
+#: Ceiling on the scalar back-off after consecutive failed vector
+#: attempts; the budget doubles per failure (1, 2, 4, ... _SCALAR_RUN)
+#: so one table miss costs one scalar replay, while genuinely
+#: miss-heavy streams still stop paying the vector setup per event.
 _SCALAR_RUN = 32
+#: Back-off ceiling for the *banked* cross-bank lane, whose attempt
+#: setup is an order of magnitude above a per-bank probe.
+_BANKED_SCALAR_RUN = 256
 #: Stay this far (ns) below a scheme blocking boundary in vector mode;
 #: boundary-adjacent ACTs take the scalar path where the reference
 #: ``int(t // window)`` decides.
 _WINDOW_MARGIN_NS = 1e-3
+
+#: Degrade/fallback warnings go to the same logger ``simulate`` uses,
+#: deduplicated to once per ``run`` (see ``_note_degrade``).
+_log = logging.getLogger("repro.sim")
 
 
 @runtime_checkable
@@ -136,13 +155,24 @@ class FastKernel(Protocol):
     stats: MitigationStats
     #: Declared capability: ``True`` when the kernel's tracking state is
     #: shared *across* banks (ABACuS), so per-bank lanes are not
-    #: independent.  The controller then executes contiguous same-bank
-    #: runs in global order on a single lane, and
-    #: :func:`build_fast_controller_ex` degrades sharding requests to
-    #: serial fast mode (lanes in separate processes would each mutate
-    #: a divergent copy of the shared table).  Per-bank kernels leave
-    #: this ``False`` (the protocol default via ``getattr``).
+    #: independent.  The controller then executes the trace in global
+    #: order on the in-process cross-bank lane -- long same-bank runs
+    #: batch through :meth:`commit_run`, and interleave-heavy stretches
+    #: coalesce into multi-bank segments batched through the optional
+    #: ``commit_run_banked(times, rows, banks) -> int`` hook when the
+    #: kernel provides one -- and :func:`build_fast_controller_ex`
+    #: degrades sharding requests to that lane (worker processes would
+    #: each mutate a divergent copy of the shared table).  Per-bank
+    #: kernels leave this ``False`` (the protocol default via
+    #: ``getattr``).
     cross_bank: bool
+
+    #: Optional capability (``getattr`` default ``False``): ``True``
+    #: when ACTs cannot change the kernel's tracking decisions at all
+    #: (refresh-rate -- all its work happens at REF ticks), so a failed
+    #: vector attempt is always a *timing* boundary and never a reason
+    #: to back off into a scalar run.
+    act_transparent: bool
 
     def on_activate(self, row: int, time_ns: float) -> list[RefreshDirective]:
         """Exact scalar replay of the reference engine's ``on_activate``."""
@@ -589,10 +619,12 @@ class _LaneEngine:
         n = len(times)
         index = 0
         scalar_budget = 0
+        vector_fails = 0
+        act_transparent = getattr(kernel, "act_transparent", False)
         while index < n:
             if scalar_budget == 0 and n - index >= _MIN_VECTOR:
                 limit = min(index + _SPAN, n)
-                consumed, table_bound = self._try_vector(
+                consumed, table_bound, kernel_cut = self._try_vector(
                     bank_model,
                     kernel,
                     times[index:limit],
@@ -604,13 +636,26 @@ class _LaneEngine:
                 )
                 if consumed:
                     index += consumed
+                    vector_fails = 0
+                    # A partial commit proves the *next* event is
+                    # table-special (miss, crossing, RNG success): one
+                    # scalar replay clears it, so skip the vector
+                    # attempt that is guaranteed to return 0 on it.
+                    scalar_budget = 1 if kernel_cut else 0
                     continue
                 # A timing-boundary failure (REF tick, window edge,
                 # blocked bank) is structural: one scalar step clears
-                # it.  A table-phase failure (miss/eviction/trigger at
-                # the very first event) signals a miss-heavy stream, so
-                # back off before paying the vector setup cost again.
-                scalar_budget = _SCALAR_RUN if table_bound else 1
+                # it.  So is any failure under an ACT-transparent
+                # kernel.  A table-phase failure (miss/eviction/trigger
+                # at the very first event) *may* signal a miss-heavy
+                # stream: back off exponentially -- one scalar replay
+                # for an isolated miss, up to _SCALAR_RUN when vector
+                # attempts keep dying.
+                if table_bound and not act_transparent:
+                    vector_fails += 1
+                    scalar_budget = min(_SCALAR_RUN, 1 << (vector_fails - 1))
+                else:
+                    scalar_budget = 1
             self._scalar_step(
                 bank_model,
                 kernel,
@@ -687,7 +732,7 @@ class _LaneEngine:
         delays: np.ndarray,
         flips_out: list,
         directives_out: list,
-    ) -> tuple[int, bool]:
+    ) -> tuple[int, bool, bool]:
         """Consume a prefix of ``times``/``rows`` in bulk; 0 if none.
 
         A prefix qualifies only while the per-event recurrence is one of
@@ -697,11 +742,17 @@ class _LaneEngine:
         can absorb in bulk.  The comparisons reuse the reference's
         epsilon expressions (``legal <= candidate + 1e-9``) verbatim so
         the regime boundary is decided by the same float operations.
+
+        Returns ``(consumed, table_bound, kernel_cut)``: ``table_bound``
+        flags a zero-consumption *tracking* failure (the stream may be
+        miss-heavy; the caller backs off), ``kernel_cut`` flags a
+        partial commit truncated by the kernel (the next event is
+        provably table-special; exactly one scalar replay clears it).
         """
         bank = bank_model.bank
         trc = bank.timings.trc
         if trc <= 2e-9:
-            return 0, False
+            return 0, False, False
         next_act = bank._next_act_ns
         busy = bank._busy_until_ns
         clock = bank_model._clock_ns
@@ -724,7 +775,7 @@ class _LaneEngine:
             # prev_time + trc legal (within epsilon) at each successor.
             extent = int(np.searchsorted(times, blocking_ns, side="left"))
             if extent == 0:
-                return 0, False
+                return 0, False, False
             times = times[:extent]
             gaps_ok = (times[:-1] + trc) <= (times[1:] + 1e-9)
             if not gaps_ok.all():
@@ -734,7 +785,7 @@ class _LaneEngine:
             # element is its max; this re-check keeps the searchsorted
             # bound honest even if the input was not globally sorted.
             if float(times[extent - 1]) >= blocking_ns:
-                return 0, False
+                return 0, False, False
             issue = times
         elif busy <= next_act and next_act > t0 + 1e-9 and next_act > clock + 1e-9:
             # Saturated regime: ACTs queue back-to-back, each issuing at
@@ -742,7 +793,7 @@ class _LaneEngine:
             # partial sums (cumsum accumulates left-to-right).
             chained = True
             if next_act >= blocking_ns:
-                return 0, False
+                return 0, False, False
             # issue[k] ~= next_act + k*trc, so this bound overshoots the
             # exact truncation below by at most a couple of elements.
             bound = min(
@@ -758,15 +809,15 @@ class _LaneEngine:
             else:
                 extent = int(np.argmin(ok))
                 if extent == 0:
-                    return 0, False
+                    return 0, False, False
             blocked = chain[:extent] >= blocking_ns
             if blocked.any():
                 extent = int(np.argmax(blocked))
                 if extent == 0:
-                    return 0, False
+                    return 0, False, False
             issue = chain
         else:
-            return 0, False
+            return 0, False, False
 
         # Tracking phase: the kernel absorbs as much of the prefix as
         # bulk arithmetic can reproduce; the truncating event (miss,
@@ -775,7 +826,8 @@ class _LaneEngine:
             issue[:extent], rows[:extent]
         )
         if consumed == 0:
-            return 0, True
+            return 0, True, False
+        kernel_cut = consumed < extent
         extent = consumed
 
         # ---- Commit the batch ----------------------------------------
@@ -811,46 +863,45 @@ class _LaneEngine:
                 int(gids[extent - 1]),
                 directives_out,
             )
-        return extent, False
+        return extent, False, kernel_cut
 
 
-def _shard_lane_task(
-    bank_model,
-    kernel: FastKernel,
-    times: np.ndarray,
-    rows: np.ndarray,
-    keep_directive_log: bool,
-):
-    """Worker entry point: run one bank lane in a shard process.
+def _prefetch_chunks(chunks: "Iterator[TraceArray]") -> "Iterator[TraceArray]":
+    """Double-buffer a lazy chunk stream on a pump thread.
 
-    The parent ships the lane's *state* (bank model + kernel) and its
-    event columns; the worker runs the identical lane machinery the
-    serial dispatcher uses -- against lane-local event indices and a
-    fresh counters object -- and ships everything back: the mutated
-    state (pickling round-trips float bits, dict insertion order and
-    numpy generator state exactly), the lane's delay column, and its
-    flip/directive outputs tagged with lane-local indices the parent
-    remaps to global ones.  Because each lane is self-contained, the
-    result is independent of worker scheduling; the parent collects in
-    bank order, so a sharded run is byte-identical to a serial one.
+    The pump materializes chunk ``n+1`` (list-buffering an event
+    iterable is pure-Python work that releases the GIL poorly but
+    overlaps fine with the numpy-heavy execution of chunk ``n``) while
+    the consumer executes chunk ``n``; the queue depth of one bounds
+    peak memory at two chunks.  Exceptions raised by the source ship
+    through the queue and re-raise in the consumer.  If the consumer
+    abandons the generator mid-stream, the daemon pump parks on its
+    final ``put`` holding at most one chunk.
     """
-    counters = ControllerCounters()
-    lane = _LaneEngine(counters, keep_directive_log)
-    n = len(times)
-    delays = np.zeros(n, dtype=np.float64)
-    flips_out: list[tuple[int, list[BitFlip]]] = []
-    directives_out: list[tuple[int, RefreshDirective]] = []
-    lane.run_lane(
-        bank_model,
-        kernel,
-        times,
-        rows,
-        np.arange(n, dtype=np.int64),
-        delays,
-        flips_out,
-        directives_out,
+    buffer: queue.Queue = queue.Queue(maxsize=1)
+    done = object()
+
+    def pump() -> None:
+        try:
+            for chunk in chunks:
+                buffer.put(chunk)
+            buffer.put(done)
+        except BaseException as exc:  # noqa: BLE001 - relayed to consumer
+            buffer.put(exc)
+
+    thread = threading.Thread(
+        target=pump, name="repro-chunk-prefetch", daemon=True
     )
-    return bank_model, kernel, delays, flips_out, directives_out, counters
+    thread.start()
+    while True:
+        item = buffer.get()
+        if item is done:
+            break
+        if isinstance(item, BaseException):
+            thread.join()
+            raise item
+        yield item
+    thread.join()
 
 
 class FastMemoryController:
@@ -869,14 +920,26 @@ class FastMemoryController:
     Two orthogonal execution axes on top of the serial in-process
     default:
 
-    * ``shard_workers > 1`` dispatches lanes across a process pool
-      (:func:`_shard_lane_task`); per-lane state ships out and back and
-      outputs are remapped to global event indices, so results stay
-      byte-identical to serial fast mode at any worker count;
+    * ``shard_workers > 1`` dispatches lanes across the persistent
+      shard pool (:mod:`repro.core.shard_pool`): every worker receives
+      its banks' models and kernels once per run and keeps them
+      resident across chunks; event columns travel through
+      shared-memory segments and per-chunk replies carry only sparse
+      outputs (positive delays, flips, directives, counter deltas), so
+      results stay byte-identical to serial fast mode at any worker
+      count.  The pool outlives the run -- and the controller -- and is
+      reused by every later sharded run in the process;
     * ``run(..., chunk_events=N)`` streams the trace through the engine
       in bounded chunks with all kernel/bank state carried across chunk
       boundaries -- peak working memory is O(chunk), and with a lazy
       event iterable the full trace is never materialized at all.
+      Chunk ``n+1`` materializes while chunk ``n`` executes (pump
+      thread in serial mode, pipelined double-buffering against the
+      pool in sharded mode).
+
+    Degenerate inputs never pay pool costs: an empty trace returns
+    immediately, and a trace whose events all land on one bank (a
+    single lane) runs serial fast mode with a once-per-run warning.
     """
 
     def __init__(
@@ -899,7 +962,7 @@ class FastMemoryController:
             [] if keep_directive_log else None
         )
         #: Any kernel with bank-shared tracking state forces single-lane
-        #: execution: same-bank runs in global order, never per-bank
+        #: execution: global order on the cross-bank lane, never per-bank
         #: lanes (and never a shard pool -- divergent copies of the
         #: shared table would be silently wrong, so that combination is
         #: rejected here; ``build_fast_controller_ex`` degrades the
@@ -922,6 +985,14 @@ class FastMemoryController:
         self._lane = _LaneEngine(
             self.counters, keep_directive_log, bank_of=device.bank
         )
+        #: Degrade warnings already logged this run (once-per-run dedupe
+        #: for per-chunk call sites).
+        self._run_warnings: set[str] = set()
+        #: Adaptive attempt window for the banked cross-bank lane; a
+        #: pure throughput heuristic (results are window-invariant),
+        #: carried across segments so each slab starts where the
+        #: workload's observed cadence left it.
+        self._banked_span = 4 * _MIN_VECTOR
 
     # ------------------------------------------------------------------
     # Execution
@@ -936,22 +1007,207 @@ class FastMemoryController:
         fully materialized); without it, non-array input is
         materialized into one :class:`TraceArray` first.
         """
-        if chunk_events is not None:
-            from ..workloads.columnar import iter_chunk_arrays
+        self._run_warnings.clear()
+        whole = events if isinstance(events, TraceArray) else None
+        if whole is None and chunk_events is None:
+            whole = TraceArray.from_events(events)
+        pooled = self.shard_workers > 1 and len(self.engines) > 1
 
-            chunks = iter_chunk_arrays(events, chunk_events)
-        else:
-            chunks = iter((TraceArray.from_events(events),))
-        if self.shard_workers > 1 and len(self.engines) > 1:
-            from concurrent.futures import ProcessPoolExecutor
+        if whole is not None:
+            if len(whole) == 0:
+                # Nothing to execute -- in particular, no worker pool is
+                # touched (the per-call executor used to spin up even
+                # for zero events).
+                return
+            if pooled and len(np.unique(whole.bank)) < 2:
+                self._note_degrade(self._single_lane_note())
+                pooled = False
+            if pooled:
+                self._run_pooled_whole(whole, chunk_events)
+            elif chunk_events is None:
+                self._run_chunk(whole)
+            else:
+                for chunk in whole.chunks(chunk_events):
+                    self._run_chunk(chunk)
+            return
 
-            workers = min(self.shard_workers, len(self.engines))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for chunk in chunks:
-                    self._run_chunk_sharded(chunk, pool)
+        from ..workloads.columnar import iter_chunk_arrays
+
+        chunks = iter_chunk_arrays(events, chunk_events)
+        first = next(chunks, None)
+        if first is None or len(first) == 0:
+            return
+        # A one-chunk stream whose events all hit one bank is a single
+        # lane: peek one chunk ahead so the guard can tell (multi-chunk
+        # streams go to the pool regardless -- later chunks may fan
+        # out, and scanning the whole stream would defeat streaming).
+        second = next(chunks, None) if pooled else None
+        if pooled and second is None and len(np.unique(first.bank)) < 2:
+            self._note_degrade(self._single_lane_note())
+            pooled = False
+        head = [c for c in (first, second) if c is not None]
+        stream = itertools.chain(head, chunks)
+        if pooled:
+            self._run_pooled_stream(stream)
         else:
-            for chunk in chunks:
+            for chunk in _prefetch_chunks(stream):
                 self._run_chunk(chunk)
+
+    def _single_lane_note(self) -> str:
+        return (
+            f"sharding requested ({self.shard_workers} workers) but the "
+            "trace resolved to a single lane (every event on one bank); "
+            "running serial fast mode without a worker pool"
+        )
+
+    def _note_degrade(self, message: str) -> None:
+        """Log a degrade/fallback warning once per ``run``.
+
+        Chunked streaming reaches degrade decisions once per chunk;
+        the dedupe keeps the log at one line per distinct reason per
+        run while the runner's job note machinery stays intact.
+        """
+        if message in self._run_warnings:
+            return
+        self._run_warnings.add(message)
+        _log.warning("fast path: %s", message)
+
+    # ------------------------------------------------------------------
+    # Pooled execution (persistent shard pool)
+    # ------------------------------------------------------------------
+
+    def _acquire_pool(self):
+        """The process pool plus this run's workers, or a degrade reason."""
+        from . import shard_pool as _shard_pool
+
+        requested = min(self.shard_workers, len(self.engines))
+        try:
+            pool = _shard_pool.get_pool()
+            workers = pool.ensure(requested)
+        except Exception as exc:  # noqa: BLE001 - any spawn failure degrades
+            return None, (
+                f"shard pool unavailable ({exc}); running serial fast mode"
+            )
+        return pool, workers
+
+    def _run_pooled_whole(
+        self, trace: TraceArray, chunk_events: int | None
+    ) -> None:
+        """Sharded run over an in-memory trace: one segment, many chunks.
+
+        The columns are exported to shared memory exactly once; chunk
+        messages carry only ``(segment, start, stop)`` offsets.
+        """
+        pool, workers = self._acquire_pool()
+        if pool is None:
+            size = chunk_events or len(trace)
+            for chunk in trace.chunks(size):
+                self._note_degrade(workers)
+                self._run_chunk(chunk)
+            return
+
+        def plan():
+            meta = pool.export(trace)
+            size = chunk_events or len(trace)
+            for start in range(0, len(trace), size):
+                stop = min(start + size, len(trace))
+                yield meta, start, stop, float(trace.time_ns[stop - 1]), False
+
+        self._drive_pool(pool, workers, plan())
+
+    def _run_pooled_stream(self, chunks) -> None:
+        """Sharded run over a lazy chunk stream: one segment per chunk.
+
+        Exporting chunk ``n+1`` (and materializing it from the source
+        iterable) overlaps with the workers executing chunk ``n`` --
+        the double buffer in :meth:`_drive_pool` collects a chunk only
+        after the next one has been queued.
+        """
+        pool, workers = self._acquire_pool()
+        if pool is None:
+            for chunk in chunks:
+                self._note_degrade(workers)
+                self._run_chunk(chunk)
+            return
+
+        def plan():
+            for chunk in chunks:
+                if len(chunk) == 0:
+                    continue
+                meta = pool.export(chunk)
+                yield meta, 0, len(chunk), float(chunk.time_ns[-1]), True
+
+        self._drive_pool(pool, workers, plan())
+
+    def _drive_pool(self, pool, workers, plan) -> None:
+        """Ship lane state once, stream chunk offsets, collect in order.
+
+        Bank ``i`` lives on worker ``i % len(workers)`` for the whole
+        run (deterministic assignment; collection is in worker order,
+        so scheduling never orders any output).  At most two chunks
+        are in flight: send chunk ``n+1``, then collect chunk ``n``.
+        On any failure -- a worker error, an interrupt -- the pool is
+        aborted: workers' resident state has diverged from the
+        parent's, so they are killed and every live shared-memory
+        segment is unlinked before the exception propagates.
+        """
+        keep_log = self.directive_log is not None
+        assignments: list[list] = [[] for _ in workers]
+        for bank_index in range(len(self.engines)):
+            assignments[bank_index % len(workers)].append((
+                bank_index,
+                self.device.bank(bank_index),
+                self.engines[bank_index],
+            ))
+        try:
+            for worker, lanes in zip(workers, assignments):
+                worker.send(("start", lanes, keep_log))
+            for worker in workers:
+                worker.recv()
+            pending: deque = deque()
+            for record in plan:
+                for worker in workers:
+                    worker.send(("chunk", record[0], record[1], record[2]))
+                pending.append(record)
+                if len(pending) >= 2:
+                    self._collect_pooled_chunk(
+                        pool, workers, pending.popleft()
+                    )
+            while pending:
+                self._collect_pooled_chunk(pool, workers, pending.popleft())
+            for worker in workers:
+                worker.send(("finish",))
+            for worker in workers:
+                for bank_index, bank_model, kernel in worker.recv()[1]:
+                    self.device.banks[bank_index] = bank_model
+                    self.engines[bank_index] = kernel
+            pool.runs_served += 1
+        except BaseException:
+            pool.abort()
+            raise
+        finally:
+            pool.release_all()
+
+    def _collect_pooled_chunk(self, pool, workers, record) -> None:
+        """Merge one chunk's worker replies (strict worker order)."""
+        meta, start, stop, last_time_ns, owned = record
+        delays = np.zeros(stop - start, dtype=np.float64)
+        flip_lanes: list[list[tuple[int, list[BitFlip]]]] = []
+        directive_lanes: list[list[tuple[int, RefreshDirective]]] = []
+        for worker in workers:
+            _, positions, values, w_flips, w_dirs, counters = worker.recv()
+            if len(positions):
+                delays[positions] = values
+            flip_lanes.extend(w_flips)
+            directive_lanes.extend(w_dirs)
+            self.counters.absorb(ControllerCounters(*counters))
+        self._merge_chunk(last_time_ns, delays, flip_lanes, directive_lanes)
+        if owned:
+            pool.release(meta.name)
+
+    # ------------------------------------------------------------------
+    # In-process execution
+    # ------------------------------------------------------------------
 
     def _run_chunk(self, trace: TraceArray) -> None:
         """One chunk through the in-process serial lane dispatcher."""
@@ -983,7 +1239,9 @@ class FastMemoryController:
             )
             flip_lanes.append(lane_flips)
             directive_lanes.append(lane_directives)
-        self._merge_chunk(trace, delays, flip_lanes, directive_lanes)
+        self._merge_chunk(
+            float(trace.time_ns[-1]), delays, flip_lanes, directive_lanes
+        )
 
     def _run_chunk_single_lane(
         self, trace: TraceArray, delays: np.ndarray
@@ -993,84 +1251,401 @@ class FastMemoryController:
         A kernel whose tracking state spans banks (ABACuS) makes bank
         lanes order-dependent: an ACT on bank 0 can trigger refreshes
         on bank 3, and the shared table's next decision depends on the
-        interleaved sequence.  So the chunk executes as contiguous
-        same-bank *runs* in global order -- each run still goes through
-        the vector/scalar lane machinery, so batching survives wherever
-        same-bank runs are long -- and every output tag is globally
-        ascending by construction (no per-lane merge needed).
+        interleaved sequence.  So the chunk executes in global order:
+        long contiguous same-bank runs go through the per-lane
+        vector/scalar machinery (batching survives wherever runs are
+        long), and stretches of *short* runs -- a round-robin
+        interleave degenerates to length-1 runs, pure scalar under the
+        old dispatcher -- coalesce into multi-bank segments that the
+        vectorized cross-bank lane (:meth:`_try_vector_banked`) commits
+        through the kernel's ``commit_run_banked`` hook.  Every output
+        tag is globally ascending by construction (no per-lane merge
+        needed).
         """
         flips_out: list[tuple[int, list[BitFlip]]] = []
         directives_out: list[tuple[int, RefreshDirective]] = []
-        for start, stop, bank_index in trace.bank_runs():
-            gids = np.arange(start, stop, dtype=np.int64)
-            self._lane.run_lane(
+        banked = self.engines and hasattr(
+            self.engines[0], "commit_run_banked"
+        )
+        if not banked:
+            for start, stop, bank_index in trace.bank_runs():
+                self._run_lane_span(
+                    trace, start, stop, bank_index,
+                    delays, flips_out, directives_out,
+                )
+            self._merge_chunk(
+                float(trace.time_ns[-1]), delays,
+                [flips_out], [directives_out],
+            )
+            return
+        # Run segmentation stays in numpy: a fully interleaved trace
+        # degenerates to length-1 same-bank runs, and iterating those
+        # one generator yield at a time costs more than executing them.
+        # Long runs go through the per-lane machinery; everything
+        # between two long runs feeds the banked engine in _SPAN-sized
+        # slabs (slab boundaries only bound what one call *sees*, never
+        # what a vector attempt may commit -- truncation rules are all
+        # prefix-local, so placement is identity-free).
+        bank_arr = trace.bank
+        n = len(bank_arr)
+        change = np.flatnonzero(bank_arr[1:] != bank_arr[:-1]) + 1
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), change))
+        ends = np.concatenate((change, np.array([n], dtype=np.int64)))
+        long_runs = np.flatnonzero((ends - starts) >= _MIN_VECTOR)
+        cursor = 0
+        for run in long_runs:
+            a, b = int(starts[run]), int(ends[run])
+            if cursor < a:
+                self._emit_banked_segments(
+                    trace, cursor, a, delays, flips_out, directives_out
+                )
+            self._run_lane_span(
+                trace, a, b, int(bank_arr[a]),
+                delays, flips_out, directives_out,
+            )
+            cursor = b
+        if cursor < n:
+            self._emit_banked_segments(
+                trace, cursor, n, delays, flips_out, directives_out
+            )
+        self._merge_chunk(
+            float(trace.time_ns[-1]), delays, [flips_out], [directives_out]
+        )
+
+    def _run_lane_span(
+        self, trace, start, stop, bank_index,
+        delays, flips_out, directives_out,
+    ) -> None:
+        """One contiguous same-bank run through the lane machinery."""
+        self._lane.run_lane(
+            self.device.bank(bank_index),
+            self.engines[bank_index],
+            trace.time_ns[start:stop],
+            trace.row[start:stop],
+            np.arange(start, stop, dtype=np.int64),
+            delays,
+            flips_out,
+            directives_out,
+        )
+
+    def _emit_banked_segments(
+        self, trace, start, stop, delays, flips_out, directives_out,
+    ) -> None:
+        """One interleave-heavy stretch, sliced into banked slabs.
+
+        The stretch is everything between two long same-bank runs (or a
+        chunk edge); ``_run_banked_segment`` handles any event mix, so
+        the only job here is bounding slab size to keep attempt windows
+        and per-slab slices cache-sized.
+        """
+        for a in range(start, stop, _SPAN):
+            self._run_banked_segment(
+                trace, a, min(a + _SPAN, stop),
+                delays, flips_out, directives_out,
+            )
+
+    def _run_banked_segment(
+        self, trace, seg_start, seg_stop,
+        delays, flips_out, directives_out,
+    ) -> None:
+        """An interleave-heavy stretch of a cross-bank chunk.
+
+        The same vector/scalar alternation as ``run_lane`` -- with the
+        same exponential back-off -- but a vector attempt spans every
+        bank in the segment: per-bank timing regimes validate
+        independently (banks share no timing state) and the shared
+        table commits in global order via ``commit_run_banked``.
+
+        Attempt windows are *adaptive*: a banked attempt's setup cost
+        (unique/argsort/grouping over the window) is paid whether or
+        not the kernel consumes much, so the window tracks recent
+        consumption -- doubling after a fully-consumed attempt up to
+        ``_SPAN``, shrinking toward the achieved extent after a
+        truncated one.  Window size only bounds how much is *offered*;
+        every truncation rule depends on the prefix alone, so results
+        are identical at any window size.
+        """
+        times = trace.time_ns[seg_start:seg_stop]
+        rows = trace.row[seg_start:seg_stop]
+        banks = trace.bank[seg_start:seg_stop]
+        n = seg_stop - seg_start
+        index = 0
+        scalar_budget = 0
+        vector_fails = 0
+        span = self._banked_span
+        while index < n:
+            if scalar_budget == 0 and n - index >= _MIN_VECTOR:
+                limit = min(index + span, n)
+                consumed, table_bound, kernel_cut = self._try_vector_banked(
+                    times[index:limit],
+                    rows[index:limit],
+                    banks[index:limit],
+                    seg_start + index,
+                    delays,
+                    flips_out,
+                )
+                if consumed:
+                    if consumed == limit - index:
+                        span = min(_SPAN, span * 2)
+                        scalar_budget = 0
+                        vector_fails = 0
+                    elif consumed >= 4 * _MIN_VECTOR:
+                        span = min(span, max(4 * _MIN_VECTOR, 2 * consumed))
+                        # A partial commit means the cut event itself
+                        # is unconsumable right now -- blocked by a REF
+                        # boundary, a timing-gap violation, or a
+                        # trigger landing on it.  Retrying the vector
+                        # immediately would fail on that same event, so
+                        # clear it scalar first (which also forwards
+                        # the REF tick when that is the blocker).
+                        scalar_budget = 1
+                        vector_fails = 0
+                    else:
+                        # A *tiny* commit repaid none of the attempt's
+                        # setup (unique/argsort/grouping over the
+                        # window).  Trigger-dense, miss-heavy or
+                        # jittered traffic produces these back to
+                        # back, so they back off exponentially exactly
+                        # like failures.
+                        span = max(4 * _MIN_VECTOR, span // 2)
+                        vector_fails += 1
+                        scalar_budget = min(
+                            _BANKED_SCALAR_RUN, 1 << (vector_fails - 1)
+                        )
+                    index += consumed
+                    continue
+                span = max(4 * _MIN_VECTOR, span // 2)
+                vector_fails += 1
+                # The banked cap is far above the per-bank lane's: a
+                # banked attempt's setup (unique/argsort/grouping over
+                # the whole window) dwarfs a per-bank probe, so a
+                # stream that keeps rebuffing it -- e.g. Misra-Gries
+                # misses on nearly every row at toy thresholds --
+                # must converge to the plain scalar loop, probing only
+                # once every few hundred events.
+                scalar_budget = min(
+                    _BANKED_SCALAR_RUN, 1 << (vector_fails - 1)
+                )
+            bank_index = int(banks[index])
+            self._lane._scalar_step(
                 self.device.bank(bank_index),
                 self.engines[bank_index],
-                trace.time_ns[start:stop],
-                trace.row[start:stop],
-                gids,
+                float(times[index]),
+                int(rows[index]),
+                seg_start + index,
                 delays,
                 flips_out,
                 directives_out,
             )
-        self._merge_chunk(trace, delays, [flips_out], [directives_out])
+            if scalar_budget:
+                scalar_budget -= 1
+            index += 1
+        # The window heuristic carries across segments and chunks: the
+        # workload's trigger/REF cadence, which is what the span tracks,
+        # does not reset at slab boundaries.
+        self._banked_span = span
 
-    def _run_chunk_sharded(self, trace: TraceArray, pool) -> None:
-        """One chunk with lanes fanned across the shard worker pool.
+    def _try_vector_banked(
+        self, times, rows, banks, gid_base, delays, flips_out
+    ) -> tuple[int, bool, bool]:
+        """Multi-bank vector attempt for the cross-bank lane.
 
-        Lanes are submitted in bank order and *collected* in submission
-        order -- worker completion order never orders any output.  Each
-        worker returns its lane's post-state, which is written back
-        into the live device/engine slots so the next chunk (or a final
-        table-state comparison) sees exactly the state a serial run
-        would have produced.
+        Timing validation is ``_try_vector``'s per-bank logic applied
+        to each bank's event subsequence against that bank's own state
+        (identical regimes, identical epsilon expressions); the global
+        extent is the minimum cut across banks, which keeps every
+        bank's committed prefix prefix-valid.  Tracking then commits in
+        *global order* through the kernel's ``commit_run_banked`` --
+        issue times may interleave non-monotonically across banks, but
+        the reference processes events in trace order too, so order,
+        not time, is what the shared table sees.  Returns the same
+        ``(consumed, table_bound, kernel_cut)`` triple as
+        ``_try_vector``.
+
+        REF boundaries cut *per bank* when the kernel declares
+        ``ref_transparent`` (REF ticks never touch its tracking state):
+        bank ``b``'s lane stops before its own next auto-refresh, but
+        the other banks' events continue past it -- without this, the
+        staggered per-bank tREFI ticks of an 8-bank interleave bound
+        every batch to ~tREFI/8 of events.  The tick itself is
+        forwarded by the cut event's scalar replay, exactly as in the
+        per-bank lane path.
         """
-        n = len(trace)
-        if n == 0:
-            return
-        delays = np.zeros(n, dtype=np.float64)
-        flip_lanes: list[list[tuple[int, list[BitFlip]]]] = []
-        directive_lanes: list[list[tuple[int, RefreshDirective]]] = []
-        lanes = list(trace.bank_partition())
-        futures = [
-            pool.submit(
-                _shard_lane_task,
-                self.device.bank(bank_index),
-                self.engines[bank_index],
-                trace.time_ns[lane_indices],
-                trace.row[lane_indices],
-                self.directive_log is not None,
+        if int(banks.max()) >= 63:
+            # The banked kernel's SAV bits live in int64 vector math;
+            # a >= 63-bank device replays scalar (Python ints) instead.
+            return 0, False, False
+        first_bank = int(banks[0])
+        kernel = self.engines[first_bank]
+        ref_transparent = getattr(kernel, "ref_transparent", False)
+        blocking_ns = kernel.next_blocking_ns() - _WINDOW_MARGIN_NS
+        # Cheap pre-check: a structural cut at position 0 can only come
+        # from the *first* event's bank (it alone owns global position
+        # 0), and that happens every time an attempt window starts on a
+        # REF boundary -- the per-boundary cadence of an interleaved
+        # trace.  Deciding it from one bank's scalars skips the whole
+        # windowed setup; any uncertain case falls through.
+        first_model = self.device.bank(first_bank)
+        first_t0 = float(times[0])
+        first_block = blocking_ns
+        if ref_transparent:
+            first_block = min(
+                blocking_ns, first_model.refresh_engine.next_time_ns
             )
-            for bank_index, lane_indices in lanes
-        ]
-        for (bank_index, lane_indices), future in zip(lanes, futures):
-            (
-                bank_model,
-                kernel,
-                lane_delays,
-                lane_flips,
-                lane_directives,
-                counters,
-            ) = future.result()
-            self.device.banks[bank_index] = bank_model
-            self.engines[bank_index] = kernel
-            delays[lane_indices] = lane_delays
-            flip_lanes.append(
-                [(int(lane_indices[i]), flips) for i, flips in lane_flips]
-            )
-            directive_lanes.append(
-                [(int(lane_indices[i]), d) for i, d in lane_directives]
-            )
-            self.counters.acts_issued += counters.acts_issued
-            self.counters.nrr_commands += counters.nrr_commands
-            self.counters.nrr_rows += counters.nrr_rows
-            self.counters.ref_ticks_forwarded += counters.ref_ticks_forwarded
-            self.counters.bit_flips += counters.bit_flips
-        self._merge_chunk(trace, delays, flip_lanes, directive_lanes)
+        fb = first_model.bank
+        if (
+            first_model._clock_ns <= first_t0
+            and fb._next_act_ns <= first_t0 + 1e-9
+            and fb._busy_until_ns <= first_t0 + 1e-9
+        ):
+            if first_t0 >= first_block:
+                return 0, False, False
+        elif (
+            fb._busy_until_ns <= fb._next_act_ns
+            and fb._next_act_ns > first_t0 + 1e-9
+            and fb._next_act_ns > first_model._clock_ns + 1e-9
+        ):
+            if fb._next_act_ns >= first_block:
+                return 0, False, False
+        else:
+            # Neither regime matches the first event's bank: the loop
+            # below would cut it at position 0 regardless.
+            return 0, False, False
+        uniq_banks = np.unique(banks)
+        models: dict[int, Any] = {}
+        for bank_index in uniq_banks:
+            model = self.device.bank(int(bank_index))
+            models[int(bank_index)] = model
+            if not ref_transparent:
+                blocking_ns = min(
+                    blocking_ns, model.refresh_engine.next_time_ns
+                )
+            if model.bank.timings.trc <= 2e-9:
+                return 0, False, False
+        extent = int(np.searchsorted(times, blocking_ns, side="left"))
+        if extent == 0:
+            return 0, False, False
+
+        issue = times[:extent].copy()
+        cut = extent
+        chained: list[int] = []
+        for bank_index in uniq_banks:
+            b = int(bank_index)
+            positions = np.flatnonzero(banks[:extent] == b)
+            if not len(positions):
+                continue
+            model = models[b]
+            bank = model.bank
+            trc = bank.timings.trc
+            bank_times = times[positions]
+            t0 = float(bank_times[0])
+            next_act = bank._next_act_ns
+            busy = bank._busy_until_ns
+            clock = model._clock_ns
+            bank_block = blocking_ns
+            if ref_transparent:
+                # This bank's own REF boundary; other banks' lanes run
+                # past it.  (Without ref_transparent, blocking_ns
+                # already folds in every bank's next REF.)
+                bank_block = min(
+                    blocking_ns, model.refresh_engine.next_time_ns
+                )
+            if clock <= t0 and next_act <= t0 + 1e-9 and busy <= t0 + 1e-9:
+                # Idle regime: this bank's ACTs issue at trace time.
+                ref_cut = int(
+                    np.searchsorted(bank_times, bank_block, side="left")
+                )
+                if ref_cut < len(positions):
+                    cut = min(cut, int(positions[ref_cut]))
+                gaps_ok = (
+                    (bank_times[:-1] + trc) <= (bank_times[1:] + 1e-9)
+                )
+                if not gaps_ok.all():
+                    bad = int(np.argmin(gaps_ok)) + 1
+                    cut = min(cut, int(positions[bad]))
+            elif (
+                busy <= next_act
+                and next_act > t0 + 1e-9
+                and next_act > clock + 1e-9
+            ):
+                # Saturated regime: this bank's ACTs chain off tRC.
+                if next_act >= bank_block:
+                    cut = min(cut, int(positions[0]))
+                    continue
+                seeded = np.full(len(bank_times), trc, dtype=np.float64)
+                seeded[0] = next_act
+                chain = np.cumsum(seeded)
+                ok = chain > bank_times + 1e-9
+                if not ok.all():
+                    cut = min(cut, int(positions[int(np.argmin(ok))]))
+                blocked = chain >= bank_block
+                if blocked.any():
+                    cut = min(
+                        cut, int(positions[int(np.argmax(blocked))])
+                    )
+                issue[positions] = chain
+                chained.append(b)
+            else:
+                cut = min(cut, int(positions[0]))
+            if cut == 0:
+                return 0, False, False
+        extent = cut
+        if extent == 0:
+            # A bank's cut can land on position 0 via a `continue`
+            # branch above, skipping the in-loop early return.
+            return 0, False, False
+
+        timing_extent = extent
+        consumed = kernel.commit_run_banked(
+            issue[:extent], rows[:extent], banks[:extent]
+        )
+        if consumed == 0:
+            return 0, True, False
+        kernel_cut = consumed < timing_extent
+        extent = consumed
+
+        # ---- Commit the batch (per-bank device state, global stats) --
+        for bank_index in uniq_banks:
+            b = int(bank_index)
+            positions = np.flatnonzero(banks[:extent] == b)
+            if not len(positions):
+                continue
+            model = models[b]
+            bank = model.bank
+            last = int(positions[-1])
+            last_issue = float(issue[last])
+            bank.open_row = int(rows[last])
+            bank._last_act_ns = last_issue
+            bank._next_act_ns = last_issue + bank.timings.trc
+            bank.stats.activations += len(positions)
+            bank.stats.row_buffer_misses += len(positions)
+            model._clock_ns = last_issue
+            # Per-bank engine stats: the reference bumps the receiving
+            # bank's MitigationStats per ACT; commit_run_banked owns
+            # only the shared-table side.
+            self.engines[b].stats.activations += len(positions)
+            if b in chained:
+                delays[gid_base + positions] = (
+                    issue[positions] - times[positions]
+                )
+        self.counters.acts_issued += extent
+
+        if any(models[int(b)].faults is not None for b in uniq_banks):
+            for k in range(extent):
+                model = models[int(banks[k])]
+                if model.faults is None:
+                    continue
+                flips = model.faults.on_activate(
+                    int(rows[k]), float(issue[k])
+                )
+                if flips:
+                    flips_out.append((gid_base + k, flips))
+                    self.counters.bit_flips += len(flips)
+        return extent, False, kernel_cut
 
     def _merge_chunk(
         self,
-        trace: TraceArray,
+        last_time_ns: float,
         delays: np.ndarray,
         flip_lanes: list,
         directive_lanes: list,
@@ -1087,7 +1662,7 @@ class FastMemoryController:
                 *directive_lanes, key=lambda tag: tag[0]
             ):
                 self.directive_log.append(directive)
-        self.last_event_ns = float(trace.time_ns[-1])
+        self.last_event_ns = last_time_ns
 
     def _fold_delays(self, delays: np.ndarray) -> None:
         """Fold the global delay scatter into the tracker in one pass.
@@ -1202,7 +1777,8 @@ def build_fast_controller_ex(
     if shard_workers > 1 and device.geometry.total_banks < 2:
         shard_note = (
             f"sharding requested ({shard_workers} workers) but the device "
-            f"has a single bank (one lane); running serial fast mode"
+            f"has a single bank (one lane); running serial fast mode "
+            f"without the shard pool"
         )
         shard_workers = 1
     cross_bank_schemes = sorted(
@@ -1216,7 +1792,8 @@ def build_fast_controller_ex(
         shard_note = (
             f"sharding requested ({shard_workers} workers) but scheme "
             f"{cross_bank_schemes[0]!r} declares the cross_bank capability "
-            f"(tracking state shared across banks); running serial fast mode"
+            f"(tracking state shared across banks); running serial fast "
+            f"mode on the vectorized cross-bank lane"
         )
         shard_workers = 1
     controller = FastMemoryController(

@@ -1,0 +1,386 @@
+"""Persistent shard-worker pool: resident lanes over shared memory.
+
+The first sharded dispatcher (PR 6) built a ``ProcessPoolExecutor``
+inside every ``FastMemoryController.run`` call and shipped each bank's
+full pickled state out and back *per chunk*.  That made every
+``simulate()`` call pay pool spin-up, and chunked streaming pay
+O(chunks x state) pickling.  This module replaces it with a pool that
+amortizes both costs across an entire session:
+
+* **Persistent workers.**  ``get_pool()`` returns a process-wide
+  singleton; workers are forked lazily on first use and survive across
+  ``simulate()`` calls, runner jobs and campaign cells.  ``close_pool``
+  (also registered via ``atexit``) shuts them down; a pool inherited
+  through ``fork`` (e.g. inside an experiment-runner job process) is
+  recognized by PID and silently replaced rather than shared.
+* **Resident lane state.**  At ``start``-of-run the parent ships each
+  worker its banks' models and kernels *once*; the worker keeps them
+  resident across every chunk of the run and ships them home in the
+  final ``finish`` reply.  Per chunk, only ``(segment, start, stop)``
+  crosses the pipe.
+* **Zero-copy traces.**  Event columns travel through
+  ``multiprocessing.shared_memory`` segments
+  (:func:`repro.workloads.columnar.export_shared_trace`); workers map
+  them read-only and slice views.  The parent exclusively owns segment
+  destruction and tracks every live segment in
+  :attr:`ShardPool.active_segments` so leak checks are one assertion.
+
+Protocol (strict FIFO per worker; the parent may queue the next chunk
+before collecting the previous reply, which is what overlaps chunk
+``n+1``'s materialization with chunk ``n``'s execution):
+
+========================  =============================================
+parent -> worker          worker -> parent
+========================  =============================================
+``("start", lanes, log)``  ``("ok",)``
+``("chunk", meta, a, b)``  ``("done", pos, vals, flips, dirs, counters)``
+``("finish",)``            ``("state", lanes)``
+``("exit",)``              ``("bye",)``
+========================  =============================================
+
+Any worker-side exception answers ``("error", traceback)`` instead;
+the parent raises :class:`ShardWorkerError` and aborts the pool (the
+resident state is no longer trustworthy), which terminates the workers
+and unlinks every live segment.  Workers are daemonic and ignore
+SIGINT, so a Ctrl-C unwinds through the parent's ``finally`` (abort +
+unlink) instead of racing the workers to death.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import signal
+import traceback
+from multiprocessing import get_context
+
+import numpy as np
+
+from ..controller.mc import ControllerCounters
+from ..workloads.columnar import (
+    SharedTraceMeta,
+    TraceArray,
+    attach_shared_trace,
+    export_shared_trace,
+)
+
+__all__ = [
+    "ShardPool",
+    "ShardWorkerError",
+    "get_pool",
+    "close_pool",
+    "pool_stats",
+]
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised; the embedded traceback is the worker's."""
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def _worker_chunk(lanes, keep_log, trace: TraceArray, start: int, stop: int):
+    """Run this worker's lanes over one chunk of the mapped trace.
+
+    Lane indices are recomputed here from the mapped bank column --
+    that is what keeps the forward IPC payload at three integers -- and
+    every output is tagged with *chunk-local* positions the parent
+    scatters into its per-chunk arrays.  Delay columns ship sparse:
+    only strictly positive entries exist (idle-regime delays are
+    exactly 0.0 and never written).
+    """
+    from .fastpath import _LaneEngine
+
+    chunk_banks = trace.bank[start:stop]
+    chunk_times = trace.time_ns[start:stop]
+    chunk_rows = trace.row[start:stop]
+    counters = ControllerCounters()
+    lane = _LaneEngine(counters, keep_log)
+    delays = np.zeros(stop - start, dtype=np.float64)
+    flip_lanes: list[list] = []
+    directive_lanes: list[list] = []
+    for bank_index, bank_model, kernel in lanes:
+        indices = np.flatnonzero(chunk_banks == bank_index)
+        if not len(indices):
+            continue
+        lane_flips: list = []
+        lane_directives: list = []
+        lane.run_lane(
+            bank_model,
+            kernel,
+            chunk_times[indices],
+            chunk_rows[indices],
+            indices,
+            delays,
+            lane_flips,
+            lane_directives,
+        )
+        if lane_flips:
+            flip_lanes.append(lane_flips)
+        if lane_directives:
+            directive_lanes.append(lane_directives)
+    positions = np.flatnonzero(delays != 0.0)
+    return (
+        "done",
+        positions,
+        delays[positions],
+        flip_lanes,
+        directive_lanes,
+        counters.as_tuple(),
+    )
+
+
+def _worker_main(conn) -> None:
+    """Shard worker event loop (child process entry point)."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    lanes: list = []
+    keep_log = False
+    attached: tuple[str, TraceArray, object] | None = None
+
+    def detach() -> None:
+        nonlocal attached
+        if attached is not None:
+            attached[2].close()
+            attached = None
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "exit":
+            detach()
+            try:
+                conn.send(("bye",))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        try:
+            if kind == "start":
+                lanes = message[1]
+                keep_log = message[2]
+                reply = ("ok",)
+            elif kind == "chunk":
+                meta: SharedTraceMeta = message[1]
+                if attached is None or attached[0] != meta.name:
+                    detach()
+                    trace, segment = attach_shared_trace(meta)
+                    attached = (meta.name, trace, segment)
+                reply = _worker_chunk(
+                    lanes, keep_log, attached[1], message[2], message[3]
+                )
+            elif kind == "finish":
+                detach()
+                reply = ("state", lanes)
+            else:
+                reply = ("error", f"unknown shard-pool message {kind!r}")
+        except BaseException:  # noqa: BLE001 - ships the traceback home
+            reply = ("error", traceback.format_exc())
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+class _WorkerHandle:
+    """One worker process plus its duplex pipe (parent end)."""
+
+    def __init__(self, ctx, index: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    def send(self, message) -> None:
+        self.conn.send(message)
+
+    def recv(self):
+        reply = self.conn.recv()
+        if reply[0] == "error":
+            raise ShardWorkerError(reply[1])
+        return reply
+
+    def stop(self, grace_s: float = 5.0) -> None:
+        """Graceful exit with a hard-kill fallback."""
+        try:
+            if self.process.is_alive():
+                self.conn.send(("exit",))
+                if self.conn.poll(grace_s):
+                    self.conn.recv()
+        except (BrokenPipeError, EOFError, OSError, ShardWorkerError):
+            pass
+        self.process.join(timeout=grace_s)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+            if self.process.is_alive():  # pragma: no cover - last resort
+                self.process.kill()
+                self.process.join(timeout=1.0)
+        self.conn.close()
+
+    def kill(self) -> None:
+        """Immediate termination (resident state is already suspect)."""
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join(timeout=1.0)
+        self.conn.close()
+
+
+class ShardPool:
+    """A reusable set of shard workers plus the segments they map.
+
+    Workers spawn lazily through :meth:`ensure` and persist until
+    :meth:`close` (or :meth:`abort` after a failure, which discards
+    them; the next ``ensure`` respawns).  All shared-memory segments
+    created through :meth:`export` are tracked in
+    :attr:`active_segments` until :meth:`release` -- after a clean run
+    *and* after an abort the dict is empty, which the leak tests
+    assert directly.
+    """
+
+    def __init__(self) -> None:
+        self._ctx = get_context("fork")
+        self._workers: list[_WorkerHandle] = []
+        self._owner_pid = os.getpid()
+        self._closed = False
+        #: segment name -> live SharedMemory object (parent-owned).
+        self.active_segments: dict[str, object] = {}
+        self.runs_served = 0
+        self.workers_spawned = 0
+        self.aborts = 0
+
+    # -- workers -------------------------------------------------------
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._workers)
+
+    def ensure(self, count: int) -> list[_WorkerHandle]:
+        """Return ``count`` live workers, spawning any that are missing."""
+        if self._closed:
+            raise RuntimeError("shard pool is closed")
+        self._workers = [w for w in self._workers if w.process.is_alive()]
+        while len(self._workers) < count:
+            self._workers.append(_WorkerHandle(self._ctx, len(self._workers)))
+            self.workers_spawned += 1
+        return self._workers[:count]
+
+    # -- shared-memory segments -----------------------------------------
+
+    def export(self, trace: TraceArray) -> SharedTraceMeta:
+        meta, segment = export_shared_trace(trace)
+        self.active_segments[meta.name] = segment
+        return meta
+
+    def release(self, name: str) -> None:
+        segment = self.active_segments.pop(name, None)
+        if segment is not None:
+            segment.close()
+            segment.unlink()
+
+    def release_all(self) -> None:
+        for name in list(self.active_segments):
+            self.release(name)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def abort(self) -> None:
+        """Kill every worker and unlink every live segment.
+
+        Used when a run failed mid-flight (worker error, interrupt):
+        the workers' resident state no longer matches the parent's, so
+        they cannot be reused.  The pool itself stays usable -- the
+        next :meth:`ensure` spawns fresh workers.
+        """
+        self.aborts += 1
+        for worker in self._workers:
+            worker.kill()
+        self._workers = []
+        self.release_all()
+
+    def close(self) -> None:
+        """Graceful shutdown: stop workers, unlink segments, refuse reuse."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+        self.release_all()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Lifecycle counters (surfaced in campaign summaries)."""
+        return {
+            "workers_alive": sum(
+                1 for w in self._workers if w.process.is_alive()
+            ),
+            "workers_spawned": self.workers_spawned,
+            "runs_served": self.runs_served,
+            "aborts": self.aborts,
+            "active_segments": len(self.active_segments),
+        }
+
+
+# ----------------------------------------------------------------------
+# Process-wide singleton
+# ----------------------------------------------------------------------
+
+_POOL: ShardPool | None = None
+
+
+def get_pool() -> ShardPool:
+    """The process-wide pool, created on first use.
+
+    A pool object inherited across ``fork`` (experiment-runner job
+    processes fork with the parent's module state) refers to workers
+    and pipes owned by the *parent*; it is detected by PID and dropped,
+    so every process lazily builds its own.
+    """
+    global _POOL
+    if _POOL is not None and _POOL._owner_pid != os.getpid():
+        _POOL = None
+    if _POOL is None or _POOL._closed:
+        _POOL = ShardPool()
+    return _POOL
+
+
+def close_pool() -> None:
+    """Shut down this process's pool, if it spawned one."""
+    global _POOL
+    pool, _POOL = _POOL, None
+    if pool is None or pool._owner_pid != os.getpid():
+        return
+    pool.close()
+
+
+def pool_stats() -> dict | None:
+    """This process's pool stats, or ``None`` if no pool was spawned."""
+    if _POOL is None or _POOL._owner_pid != os.getpid():
+        return None
+    return _POOL.stats()
+
+
+atexit.register(close_pool)

@@ -105,10 +105,15 @@ def simulate(
             reason -- and the requested shard-worker count, when
             sharding was asked for -- so a silent ~1x run is visible.
         shard_workers: With ``fast=True``, dispatch per-bank lanes
-            across this many worker processes (1 = in-process serial
-            fast mode).  Results are byte-identical at any worker
-            count.  On a single-bank device the request degrades to
-            serial fast mode with a logged warning naming the count.
+            across this many processes from the persistent shard pool
+            (1 = in-process serial fast mode).  Workers are spawned
+            lazily on first use and reused by every later sharded
+            ``simulate()`` call in this process; traces cross to them
+            through shared memory, not pickles.  Results are
+            byte-identical at any worker count.  On a single-bank
+            device -- or a trace whose events all land on one bank --
+            the request degrades to serial fast mode with one logged
+            warning naming the count.
         chunk_events: With ``fast=True``, stream the trace through the
             engine in chunks of at most this many events (state carried
             across chunk boundaries; bit-identical).  Bounds working

@@ -43,7 +43,9 @@ _PACE_INTERVAL_NS = 45.0
 #: Every scheme with a registered batched kernel; each verify stream is
 #: differentially checked once per entry.  ABACuS declares the
 #: ``cross_bank`` capability, so its ``parallel`` leg exercises the
-#: degrade-to-serial path (still chunked) rather than true sharding.
+#: degrade (still chunked) onto the vectorized cross-bank lane --
+#: ``commit_run_banked`` over interleaved multi-bank segments -- rather
+#: than true sharding.
 KERNEL_SCHEMES = (
     "graphene", "para", "twice", "cbt", "refresh-rate", "comet", "abacus"
 )
@@ -105,9 +107,11 @@ def _check_scheme(
 ) -> tuple[list, dict[str, Any] | None, dict[str, Any]]:
     """One scheme through the reference stack and one or two fast stacks.
 
-    With ``parallel`` a second fast stack runs sharded across two worker
-    processes *and* chunked (three chunks), so the differential covers
-    the full execution matrix, not just in-process serial fast mode.
+    With ``parallel`` two more fast stacks run sharded across two
+    persistent pool workers *and* chunked -- the first cold (it spawns
+    the workers), the second warm on the same pool with different chunk
+    boundaries -- so the differential covers the full execution matrix
+    including pool reuse, not just in-process serial fast mode.
     Returns ``(violations, skipped, stats)``; ``skipped`` is non-None
     only when the fast controller refused to build.
     """
@@ -149,6 +153,21 @@ def _check_scheme(
         stacks.append((
             "/sharded", sharded, shard_device,
             {"chunk_events": max(1, len(paced) // 3)},
+        ))
+        # Pool-reuse leg: a second sharded stack on the *same*
+        # persistent shard pool (the first sharded run warms it), with
+        # a different chunking, so the differential also proves that a
+        # warm pool and moved chunk boundaries change nothing.
+        reuse_device = device()
+        reused, reason = build_fast_controller_ex(
+            reuse_device, _mitigation_factory(scheme, trh),
+            keep_directive_log=True, shard_workers=2,
+        )
+        if reused is None:
+            return [], {"skipped": f"fast path unavailable ({reason})"}, {}
+        stacks.append((
+            "/pool-reuse", reused, reuse_device,
+            {"chunk_events": max(1, len(paced) // 2)},
         ))
 
     ref_device = device()
@@ -269,8 +288,9 @@ def run_fastpath_check(
     returned (with the scheme named in the detail) so the shrinker has
     one addressable failure to minimize.  ``stats`` aggregates across
     schemes and records the roster size.  With ``parallel`` each scheme
-    additionally runs a sharded + chunked fast stack (two worker
-    processes, three chunks) against the same reference.
+    additionally runs two sharded + chunked fast stacks -- cold pool,
+    then warm pool with moved chunk boundaries -- against the same
+    reference.
     """
     paced = [
         ActEvent(index * _PACE_INTERVAL_NS, event.bank, event.row)

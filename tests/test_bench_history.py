@@ -153,6 +153,50 @@ class TestRegressionGate:
         append_entry("hotpath", {"peak_mb": 900.0}, path=path)
         assert check_regression(path) == []
 
+    def test_config_change_starts_a_fresh_baseline(self, tmp_path):
+        # A drop measured under a *different* execution config (other
+        # cpu_count, other shard_workers sweep, cold vs warm pool) is
+        # not a regression: the newest entry has no comparable priors.
+        path = tmp_path / "history.jsonl"
+        self._seed(path, [100.0, 105.0, 95.0])
+        append_entry(
+            "hotpath",
+            {"hammer.graphene.fast_acts_per_sec": 40.0},
+            path=path,
+            extra={"shard_workers": [2, 8], "pool_reuse": True},
+        )
+        assert check_regression(path) == []
+
+    def test_like_for_like_priors_still_gate(self, tmp_path):
+        # Entries sharing the config fingerprint compare as before --
+        # including the extra fields -- so a real drop within one
+        # protocol era is still caught, and the old era is ignored.
+        path = tmp_path / "history.jsonl"
+        self._seed(path, [1000.0, 1000.0])  # old protocol, no extras
+        for value in (100.0, 105.0, 50.0):
+            append_entry(
+                "hotpath",
+                {"hammer.graphene.fast_acts_per_sec": value},
+                path=path,
+                extra={"shard_workers": [2, 8], "pool_reuse": True},
+            )
+        (finding,) = check_regression(path)
+        assert finding["drop"] == pytest.approx(0.512, abs=0.01)
+        assert finding["window"] == 2
+
+    def test_fingerprint_normalizes_list_and_tuple(self):
+        from repro.bench.history import config_fingerprint
+
+        as_list = make_entry(
+            "hotpath", {}, git_sha="x",
+            extra={"shard_workers": [2, 8], "pool_reuse": True},
+        )
+        as_tuple = make_entry(
+            "hotpath", {}, git_sha="x",
+            extra={"shard_workers": (2, 8), "pool_reuse": True},
+        )
+        assert config_fingerprint(as_list) == config_fingerprint(as_tuple)
+
     def test_benches_are_gated_independently(self, tmp_path):
         path = tmp_path / "history.jsonl"
         self._seed(path, [100.0, 100.0], bench="hotpath")

@@ -1,0 +1,380 @@
+"""Persistent shard pool: shared-memory round-trips, reuse, leaks.
+
+The pool's contract has three load-bearing faces, each pinned here:
+
+* **Zero-copy fidelity** -- a :class:`TraceArray` exported to shared
+  memory and re-attached (as a worker would) must read back
+  bit-identical, including arbitrary chunk views (property-tested).
+* **Reuse transparency** -- running twice on the *same* warm pool, with
+  different chunkings, is byte-identical to serial fast mode,
+  including PARA's generator state (the one scheme whose state is a
+  consumed RNG stream, not a table).
+* **No leaks** -- after clean runs, failed runs and KeyboardInterrupt,
+  every shared-memory segment is unlinked (``active_segments`` empty)
+  and no worker processes outlive ``close_pool``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - hypothesis ships in CI
+    pytest.skip("hypothesis not installed", allow_module_level=True)
+
+from repro.core import shard_pool
+from repro.core.fastpath import build_fast_controller_ex
+from repro.dram.timing import DDR4_2400
+from repro.sim.simulator import build_device
+from repro.verify.differential import _mitigation_factory
+from repro.workloads import ActEvent
+from repro.workloads.columnar import (
+    TraceArray,
+    attach_shared_trace,
+    export_shared_trace,
+    merge_arrays,
+    pace_array,
+)
+
+TRH = 600
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    """Each test gets (and cleans up) its own process-wide pool."""
+    shard_pool.close_pool()
+    yield
+    shard_pool.close_pool()
+
+
+def _interleaved_trace(banks: int = 4, acts_per_bank: int = 900,
+                       seed: int = 11) -> TraceArray:
+    rng = np.random.default_rng(seed)
+    per_bank = []
+    for bank in range(banks):
+        rows = np.asarray([100, 102] * (acts_per_bank // 2))
+        noise = rng.integers(0, 512, size=acts_per_bank // 25)
+        rows[rng.integers(0, len(rows), size=len(noise))] = noise
+        per_bank.append(
+            pace_array(rows, DDR4_2400.trc, bank=bank,
+                       start_ns=bank * (DDR4_2400.trc / banks))
+        )
+    return merge_arrays(*per_bank)
+
+
+def _device(banks: int = 4):
+    return build_device(banks=banks, rows_per_bank=512,
+                        hammer_threshold=TRH, track_faults=True)
+
+
+def _run_fast(scheme: str, trace: TraceArray, banks: int = 4,
+              shard_workers: int = 1, chunk_events: int | None = None):
+    device = _device(banks)
+    fast, reason = build_fast_controller_ex(
+        device, _mitigation_factory(scheme, TRH),
+        keep_directive_log=True, shard_workers=shard_workers,
+    )
+    assert fast is not None, reason
+    fast.run(trace, chunk_events=chunk_events)
+    return fast, device
+
+
+def _observable(controller, device, banks: int):
+    return (
+        controller.counters,
+        controller.latency_summary(),
+        [(d.bank, d.aggressor_row, tuple(d.victim_rows), d.time_ns,
+          d.reason) for d in controller.directive_log],
+        [(f.bank, f.row, f.time_ns) for f in controller.bit_flips],
+        [controller.engines[b].table_state() for b in range(banks)],
+        [device.bank(b).bank.stats for b in range(banks)],
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory round-trips (property-tested)
+# ----------------------------------------------------------------------
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=1, max_value=300))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n,
+        )
+    )
+    banks = draw(st.lists(st.integers(min_value=0, max_value=7),
+                          min_size=n, max_size=n))
+    rows = draw(st.lists(st.integers(min_value=0, max_value=2**40),
+                         min_size=n, max_size=n))
+    return TraceArray(
+        time_ns=np.cumsum(np.asarray(gaps, dtype=np.float64)),
+        bank=np.asarray(banks, dtype=np.int64),
+        row=np.asarray(rows, dtype=np.int64),
+    )
+
+
+class TestSharedTraceRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces())
+    def test_export_attach_is_bit_identical(self, trace):
+        meta, segment = export_shared_trace(trace)
+        try:
+            mapped, worker_segment = attach_shared_trace(meta)
+            try:
+                assert mapped.time_ns.dtype == np.float64
+                assert mapped.bank.dtype == np.int64
+                assert mapped.row.dtype == np.int64
+                np.testing.assert_array_equal(mapped.time_ns, trace.time_ns)
+                np.testing.assert_array_equal(mapped.bank, trace.bank)
+                np.testing.assert_array_equal(mapped.row, trace.row)
+            finally:
+                worker_segment.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=traces(), data=st.data())
+    def test_chunk_views_match_source_slices(self, trace, data):
+        """Workers slice ``[start:stop]`` views; any window must match."""
+        start = data.draw(
+            st.integers(min_value=0, max_value=len(trace)), label="start"
+        )
+        stop = data.draw(
+            st.integers(min_value=start, max_value=len(trace)), label="stop"
+        )
+        meta, segment = export_shared_trace(trace)
+        try:
+            mapped, worker_segment = attach_shared_trace(meta)
+            try:
+                np.testing.assert_array_equal(
+                    mapped.time_ns[start:stop], trace.time_ns[start:stop]
+                )
+                np.testing.assert_array_equal(
+                    mapped.bank[start:stop], trace.bank[start:stop]
+                )
+                np.testing.assert_array_equal(
+                    mapped.row[start:stop], trace.row[start:stop]
+                )
+            finally:
+                worker_segment.close()
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+# ----------------------------------------------------------------------
+# Pool reuse
+# ----------------------------------------------------------------------
+
+class TestPoolReuse:
+    @pytest.mark.parametrize("scheme", ["graphene", "para"])
+    def test_warm_pool_runs_stay_byte_identical(self, scheme):
+        """Two sharded runs on one pool == serial, PARA RNG included."""
+        trace = _interleaved_trace()
+        serial, serial_device = _run_fast(scheme, trace)
+
+        cold, cold_device = _run_fast(
+            scheme, trace, shard_workers=2,
+            chunk_events=len(trace) // 3,
+        )
+        pool = shard_pool.get_pool()
+        spawned_after_cold = pool.workers_spawned
+        assert pool.runs_served >= 1
+
+        warm, warm_device = _run_fast(
+            scheme, trace, shard_workers=2,
+            chunk_events=len(trace) // 2,
+        )
+        assert shard_pool.get_pool() is pool
+        assert pool.workers_spawned == spawned_after_cold, (
+            "the warm run must reuse the cold run's workers"
+        )
+
+        want = _observable(serial, serial_device, 4)
+        assert _observable(cold, cold_device, 4) == want
+        assert _observable(warm, warm_device, 4) == want
+
+    def test_pool_survives_across_controllers_and_tracks_runs(self):
+        trace = _interleaved_trace(acts_per_bank=400)
+        _run_fast("graphene", trace, shard_workers=2)
+        pool = shard_pool.get_pool()
+        served = pool.runs_served
+        _run_fast("twice", trace, shard_workers=2)
+        assert shard_pool.get_pool() is pool
+        assert pool.runs_served == served + 1
+        stats = pool.stats()
+        assert stats["workers_alive"] == 2
+        assert stats["active_segments"] == 0
+
+
+# ----------------------------------------------------------------------
+# Pool-spawn guards (empty / single-chunk / single-lane traces)
+# ----------------------------------------------------------------------
+
+class TestPoolSpawnGuards:
+    @pytest.fixture(autouse=True)
+    def _forbid_pool(self, monkeypatch):
+        def boom():  # pragma: no cover - the assertion *is* the test
+            raise AssertionError(
+                "get_pool() must not be called for this trace shape"
+            )
+
+        monkeypatch.setattr(shard_pool, "get_pool", boom)
+
+    def test_empty_trace_never_touches_the_pool(self):
+        empty = TraceArray.from_events([])
+        fast, _ = _run_fast_controller_only()
+        fast.run(empty)
+        fast.run(iter([]), chunk_events=64)
+        assert fast.counters.acts_issued == 0
+
+    def test_single_lane_trace_degrades_without_a_pool(self, caplog):
+        rows = np.asarray([100, 102] * 200)
+        trace = pace_array(rows, DDR4_2400.trc, bank=2)
+        fast, device = _run_fast_controller_only()
+        with caplog.at_level(logging.WARNING, logger="repro.sim"):
+            fast.run(trace)
+        assert any(
+            "4 workers" in r.message and "single lane" in r.message
+            for r in caplog.records
+        )
+        assert fast.counters.acts_issued == len(trace)
+
+    def test_single_chunk_single_lane_stream_degrades(self, caplog):
+        rows = np.asarray([100, 102] * 50)
+        trace = pace_array(rows, DDR4_2400.trc, bank=1)
+        events = [
+            ActEvent(float(t), int(b), int(r))
+            for t, b, r in zip(trace.time_ns, trace.bank, trace.row)
+        ]
+        fast, device = _run_fast_controller_only()
+        with caplog.at_level(logging.WARNING, logger="repro.sim"):
+            # One chunk covers the whole stream: the peek-ahead guard
+            # must notice and skip the pool.
+            fast.run(iter(events), chunk_events=10_000)
+        assert any("single lane" in r.message for r in caplog.records)
+        assert fast.counters.acts_issued == len(events)
+
+
+def _run_fast_controller_only(banks: int = 4, shard_workers: int = 4):
+    device = _device(banks)
+    fast, reason = build_fast_controller_ex(
+        device, _mitigation_factory("graphene", TRH),
+        keep_directive_log=True, shard_workers=shard_workers,
+    )
+    assert fast is not None, reason
+    return fast, device
+
+
+# ----------------------------------------------------------------------
+# Degrade-warning dedupe
+# ----------------------------------------------------------------------
+
+class TestDegradeDedupe:
+    def test_pool_failure_warns_once_per_run(self, monkeypatch, caplog):
+        """A chunked run reaches the degrade decision once per chunk;
+        the log must still carry exactly one line per run."""
+        def refuse():
+            raise OSError("no process spawning here")
+
+        monkeypatch.setattr(shard_pool, "get_pool", refuse)
+        trace = _interleaved_trace(acts_per_bank=300)
+        fast, _ = _run_fast_controller_only(shard_workers=2)
+        with caplog.at_level(logging.WARNING, logger="repro.sim"):
+            fast.run(trace, chunk_events=100)
+        degrades = [
+            r for r in caplog.records
+            if "shard pool unavailable" in r.message
+        ]
+        assert len(degrades) == 1
+        assert "no process spawning here" in degrades[0].message
+
+        # A fresh run on the same controller warns again (per *run*,
+        # not per controller lifetime).
+        caplog.clear()
+        with caplog.at_level(logging.WARNING, logger="repro.sim"):
+            fast.run(trace, chunk_events=100)
+        assert sum(
+            "shard pool unavailable" in r.message for r in caplog.records
+        ) == 1
+
+
+# ----------------------------------------------------------------------
+# Leak checks
+# ----------------------------------------------------------------------
+
+class TestNoLeaks:
+    def test_clean_runs_leave_no_segments_and_close_stops_workers(self):
+        trace = _interleaved_trace()
+        _run_fast("graphene", trace, shard_workers=2)
+        _run_fast("graphene", trace, shard_workers=2,
+                  chunk_events=len(trace) // 4)
+        pool = shard_pool.get_pool()
+        assert pool.active_segments == {}
+        workers = list(pool._workers)
+        assert all(w.process.is_alive() for w in workers)
+        shard_pool.close_pool()
+        assert all(not w.process.is_alive() for w in workers)
+        assert shard_pool.pool_stats() is None
+
+    def test_keyboard_interrupt_aborts_and_unlinks(self):
+        """Ctrl-C mid-stream: segments unlinked, workers killed, pool
+        still usable for the next run."""
+        base = _interleaved_trace(acts_per_bank=600)
+
+        def stream():
+            for i, (t, b, r) in enumerate(
+                zip(base.time_ns, base.bank, base.row)
+            ):
+                if i == 500:
+                    raise KeyboardInterrupt
+                yield ActEvent(float(t), int(b), int(r))
+
+        fast, _ = _run_fast_controller_only(shard_workers=2)
+        with pytest.raises(KeyboardInterrupt):
+            # chunk_events=150: the interrupt fires while later chunks
+            # are being planned, i.e. with exported segments in flight.
+            fast.run(stream(), chunk_events=150)
+        pool = shard_pool.get_pool()
+        assert pool.active_segments == {}, (
+            "abort must unlink every in-flight shared-memory segment"
+        )
+        assert pool.aborts >= 1
+        assert pool.stats()["workers_alive"] == 0
+
+        # The pool respawns workers and produces identical results.
+        serial, serial_device = _run_fast("graphene", base)
+        redo, redo_device = _run_fast("graphene", base, shard_workers=2)
+        assert _observable(redo, redo_device, 4) == _observable(
+            serial, serial_device, 4
+        )
+
+    def test_worker_error_aborts_and_surfaces(self, monkeypatch):
+        trace = _interleaved_trace(acts_per_bank=300)
+        fast, _ = _run_fast_controller_only(shard_workers=2)
+        pool = shard_pool.get_pool()
+        workers = pool.ensure(2)
+        # Poison one worker's protocol: an unknown message makes it
+        # reply ("error", ...), which must become ShardWorkerError in
+        # the parent and abort the pool.
+        workers[0].send(("no-such-message",))
+        with pytest.raises(shard_pool.ShardWorkerError):
+            workers[0].recv()
+        pool.abort()
+        assert pool.active_segments == {}
+        assert pool.stats()["workers_alive"] == 0
+        # And the pool recovers.
+        redo, redo_device = _run_fast("graphene", trace, shard_workers=2)
+        serial, serial_device = _run_fast("graphene", trace)
+        assert _observable(redo, redo_device, 4) == _observable(
+            serial, serial_device, 4
+        )
